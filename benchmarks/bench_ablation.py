@@ -1,0 +1,149 @@
+"""Ablation benches for DESIGN.md's design decisions.
+
+* ``lemma2``: Lemma 2's round-off shrink on vs off (violations repaired
+  by the patch channel when off -- the shrink is nearly free).
+* ``base-invariance``: Theorem-3 quantization-index computation across
+  bases (the *analysis* cost, used by the theory tests).
+* ``substrate``: throughput of the entropy/bit-plane substrates SZ and
+  ZFP are built on (canonical Huffman, embedded coder), isolating the
+  stage-level costs behind Figure 3.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.compressors import RelativeBound
+from repro.compressors.sz import SZCompressor
+from repro.compressors.zfp.embedded import decode_blocks, encode_blocks
+from repro.core import TransformedCompressor
+from repro.core.theory import quantization_indices
+from repro.encoding import HuffmanCodec
+
+
+@pytest.mark.benchmark(group="ablation-lemma2", min_rounds=2)
+@pytest.mark.parametrize("lemma2", [True, False], ids=["lemma2-on", "lemma2-off"])
+def test_lemma2_cost(benchmark, nyx_dmd, lemma2):
+    comp = TransformedCompressor(SZCompressor(), apply_lemma2=lemma2)
+    blob = benchmark(comp.compress, nyx_dmd, RelativeBound(1e-4))
+    benchmark.extra_info["violations_patched"] = comp.last_patch_count
+    benchmark.extra_info["compression_ratio"] = round(nyx_dmd.nbytes / len(blob), 3)
+    if lemma2:
+        assert comp.last_patch_count == 0
+
+
+@pytest.mark.benchmark(group="ablation-base-invariance", min_rounds=3)
+@pytest.mark.parametrize("base", [2.0, math.e, 10.0], ids=["b2", "be", "b10"])
+def test_quantization_index_analysis(benchmark, nyx_dmd, base):
+    benchmark(quantization_indices, nyx_dmd.astype(np.float64), 1e-2, base, 3)
+
+
+@pytest.mark.benchmark(group="ablation-substrate-huffman", min_rounds=3)
+def test_huffman_encode(benchmark):
+    rng = np.random.default_rng(0)
+    symbols = np.abs(rng.normal(0, 30, size=1 << 18)).astype(np.int64)
+    codec = HuffmanCodec()
+    blob = benchmark(codec.encode, symbols)
+    benchmark.extra_info["bits_per_symbol"] = round(8 * len(blob) / symbols.size, 3)
+
+
+@pytest.mark.benchmark(group="ablation-substrate-huffman", min_rounds=3)
+def test_huffman_decode(benchmark):
+    rng = np.random.default_rng(0)
+    symbols = np.abs(rng.normal(0, 30, size=1 << 18)).astype(np.int64)
+    codec = HuffmanCodec()
+    blob = codec.encode(symbols)
+    out = benchmark(codec.decode, blob)
+    assert (out == symbols).all()
+
+
+@pytest.mark.benchmark(group="ablation-substrate-embedded", min_rounds=3)
+def test_embedded_encode(benchmark):
+    rng = np.random.default_rng(1)
+    nb = rng.integers(0, 1 << 28, size=(4096, 64)).astype(np.uint64)
+    nplanes = np.full(4096, 20, dtype=np.int64)
+    payload, lens = benchmark(encode_blocks, nb, nplanes, 30)
+    benchmark.extra_info["bits_per_value"] = round(8 * len(payload) / nb.size, 3)
+
+
+@pytest.mark.benchmark(group="ablation-substrate-embedded", min_rounds=3)
+def test_embedded_decode(benchmark):
+    rng = np.random.default_rng(1)
+    nb = rng.integers(0, 1 << 28, size=(4096, 64)).astype(np.uint64)
+    nplanes = np.full(4096, 20, dtype=np.int64)
+    payload, lens = encode_blocks(nb, nplanes, 30)
+    benchmark(decode_blocks, payload, lens, nplanes, 30, 64)
+
+
+@pytest.mark.benchmark(group="ablation-predictor-sz2", min_rounds=2)
+@pytest.mark.parametrize("codec", ["SZ_ABS", "SZ2_ABS"], ids=["lorenzo", "hybrid"])
+def test_sz2_predictor_selection(benchmark, codec):
+    """SZ2 extension: the regression/Lorenzo hybrid vs plain Lorenzo on
+    gradient-dominated data (regression blocks should win the ratio)."""
+    from repro import AbsoluteBound, get_compressor
+
+    idx = np.indices((48, 48, 48)).astype(np.float64)
+    rng = np.random.default_rng(2)
+    data = (3 * idx[0] + 2 * idx[1] - idx[2]
+            + rng.normal(0, 0.4, (48, 48, 48))).astype(np.float32)
+    comp = get_compressor(codec)
+    blob = benchmark(comp.compress, data, AbsoluteBound(0.1))
+    benchmark.extra_info["compression_ratio"] = round(data.nbytes / len(blob), 3)
+
+
+@pytest.mark.benchmark(group="ablation-zfp-modes", min_rounds=2)
+@pytest.mark.parametrize("mode", ["accuracy", "rate"])
+def test_zfp_mode_tradeoff(benchmark, nyx_dmd, mode):
+    """Fixed-rate vs fixed-accuracy ZFP at a matched ~8 bits/value."""
+    from repro import AbsoluteBound, get_compressor
+    from repro.compressors.base import RateBound
+    from repro.metrics import relative_psnr
+
+    if mode == "rate":
+        comp = get_compressor("ZFP_R")
+        bound = RateBound(8)
+    else:
+        comp = get_compressor("ZFP_A")
+        bound = AbsoluteBound(float(nyx_dmd.max()) * 2e-4)  # lands near 8 b/v
+    blob = benchmark(comp.compress, nyx_dmd, bound)
+    recon = comp.decompress(blob)
+    benchmark.extra_info["bits_per_value"] = round(8 * len(blob) / nyx_dmd.size, 2)
+    benchmark.extra_info["rel_psnr_db"] = round(relative_psnr(nyx_dmd, recon), 1)
+
+
+@pytest.mark.benchmark(group="ablation-entropy-stage", min_rounds=3)
+@pytest.mark.parametrize("entropy", ["huffman", "range"])
+def test_fpzip_entropy_stage(benchmark, nyx_dmd, entropy):
+    """FPZIP's entropy stage: static Huffman vs adaptive range coding."""
+    from repro import PrecisionBound
+    from repro.compressors import FpzipCompressor
+
+    comp = FpzipCompressor(entropy=entropy)
+    blob = benchmark(comp.compress, nyx_dmd, PrecisionBound(19))
+    benchmark.extra_info["compression_ratio"] = round(nyx_dmd.nbytes / len(blob), 3)
+
+
+@pytest.mark.benchmark(group="ablation-huffman-chunking", min_rounds=3)
+@pytest.mark.parametrize("chunk", [64, 256, 4096])
+def test_huffman_decode_chunk_size(benchmark, chunk):
+    """Chunk width drives the decode state machine's parallelism."""
+    rng = np.random.default_rng(5)
+    symbols = np.abs(rng.normal(0, 30, size=1 << 17)).astype(np.int64)
+    codec = HuffmanCodec(chunk_size=chunk)
+    blob = codec.encode(symbols)
+    benchmark(codec.decode, blob)
+    benchmark.extra_info["blob_bytes"] = len(blob)
+
+
+@pytest.mark.benchmark(group="ablation-lossless-baseline", min_rounds=3)
+@pytest.mark.parametrize("shuffle", [False, True], ids=["plain", "shuffle"])
+def test_lossless_baseline(benchmark, nyx_dmd, shuffle):
+    """The introduction's claim: lossless stays under ~2:1."""
+    from repro.compressors.lossless import LosslessDeflate
+
+    comp = LosslessDeflate(shuffle=shuffle)
+    blob = benchmark(comp.compress, nyx_dmd)
+    ratio = nyx_dmd.nbytes / len(blob)
+    benchmark.extra_info["compression_ratio"] = round(ratio, 3)
+    assert ratio < 2.0

@@ -1,0 +1,31 @@
+"""Extensions bench: the transform over successive inner compressors.
+
+One benchmark per wrapped generation (SZ_T / SZ2_T / SZ3_T / ZFP_T) on the
+NYX density field; ratios land in ``extra_info``.  Reproduced claim (the
+scheme's design goal): a stronger absolute-error inner compressor upgrades
+the point-wise-relative compressor for free -- SZ3_T posts the best ratio
+on 3-D data.
+"""
+
+import pytest
+
+from repro.compressors import RelativeBound, get_compressor
+
+BOUND = 1e-2
+GENERATIONS = ("SZ_T", "SZ2_T", "SZ3_T", "ZFP_T")
+
+
+@pytest.mark.benchmark(group="extensions-inner-generations", min_rounds=2)
+@pytest.mark.parametrize("name", GENERATIONS)
+def test_wrapped_generation(benchmark, nyx_dmd, name):
+    comp = get_compressor(name)
+    blob = benchmark(comp.compress, nyx_dmd, RelativeBound(BOUND))
+    benchmark.extra_info["compression_ratio"] = round(nyx_dmd.nbytes / len(blob), 3)
+
+
+def test_sz3_t_wins_on_3d(nyx_dmd):
+    sizes = {
+        name: len(get_compressor(name).compress(nyx_dmd, RelativeBound(BOUND)))
+        for name in GENERATIONS
+    }
+    assert sizes["SZ3_T"] == min(sizes.values())

@@ -1,0 +1,27 @@
+"""Figure 1 bench: ZFP_T rate-distortion point per logarithm base.
+
+Each benchmark produces one (bit-rate, relative-error PSNR) point; the
+reproduced claim is that the three bases land on the same curve.
+"""
+
+import math
+
+import pytest
+
+from repro.compressors import RelativeBound
+from repro.compressors.zfp import ZFPCompressor
+from repro.core import TransformedCompressor
+from repro.metrics import bit_rate, relative_psnr
+
+BASES = {"base2": 2.0, "base_e": math.e, "base10": 10.0}
+BOUND = 1e-2
+
+
+@pytest.mark.benchmark(group="fig1-zfp_t-rate-distortion", min_rounds=3)
+@pytest.mark.parametrize("base_name", list(BASES))
+def test_zfp_t_rate_distortion_point(benchmark, nyx_dmd, base_name):
+    comp = TransformedCompressor(ZFPCompressor("accuracy"), base=BASES[base_name])
+    blob = benchmark(comp.compress, nyx_dmd, RelativeBound(BOUND))
+    recon = comp.decompress(blob)
+    benchmark.extra_info["bit_rate"] = round(bit_rate(len(blob), nyx_dmd.size), 3)
+    benchmark.extra_info["rel_psnr_db"] = round(relative_psnr(nyx_dmd, recon), 2)

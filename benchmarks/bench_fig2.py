@@ -1,0 +1,34 @@
+"""Figure 2 bench: compression ratio per application per compressor.
+
+One benchmark per (application, compressor) cell at b_r = 1e-2; the ratio
+lands in ``extra_info``.  Reproduced claim: SZ_T posts the best ratio on
+every application; ISABELA is flat and low; ZFP_T trails (bound
+over-preservation).
+"""
+
+import pytest
+
+from repro.experiments.common import PWR_COMPRESSORS, compress_for_relbound
+
+BOUND = 1e-2
+FIELD_BY_APP = {
+    "NYX": "nyx_dmd",
+    "CESM-ATM": "cesm_cld",
+    "HACC": "hacc_vx",
+    "Hurricane": "hurricane_cloud",
+}
+
+
+@pytest.mark.benchmark(group="fig2-compression-ratio", min_rounds=2)
+@pytest.mark.parametrize("app", list(FIELD_BY_APP))
+@pytest.mark.parametrize("name", PWR_COMPRESSORS)
+def test_ratio_cell(benchmark, request, app, name):
+    data = request.getfixturevalue(FIELD_BY_APP[app])
+    blob, setting = benchmark(compress_for_relbound, name, data, BOUND)
+    benchmark.extra_info.update(
+        {
+            "app": app,
+            "setting": setting,
+            "compression_ratio": round(data.nbytes / len(blob), 3),
+        }
+    )

@@ -1,0 +1,31 @@
+"""Figure 3 bench: compression and decompression throughput per codec.
+
+The benchmark timings themselves are the figure's content (MB/s =
+bytes / mean time).  Reproduced claims (relative ordering of this
+library's implementations): FPZIP and ZFP_T lead compression, SZ_T beats
+SZ_PWR, ISABELA is slowest; decompression is comparable for all but
+ISABELA.
+"""
+
+import pytest
+
+from repro.compressors import get_compressor
+from repro.experiments.common import PWR_COMPRESSORS, compress_for_relbound
+
+BOUND = 1e-2
+
+
+@pytest.mark.benchmark(group="fig3-compression-rate", min_rounds=3)
+@pytest.mark.parametrize("name", PWR_COMPRESSORS)
+def test_compression_rate(benchmark, nyx_dmd, name):
+    blob, _ = benchmark(compress_for_relbound, name, nyx_dmd, BOUND)
+    benchmark.extra_info["mb_processed"] = round(nyx_dmd.nbytes / 1e6, 2)
+
+
+@pytest.mark.benchmark(group="fig3-decompression-rate", min_rounds=3)
+@pytest.mark.parametrize("name", PWR_COMPRESSORS)
+def test_decompression_rate(benchmark, nyx_dmd, name):
+    blob, _ = compress_for_relbound(name, nyx_dmd, BOUND)
+    comp = get_compressor(name)
+    benchmark(comp.decompress, blob)
+    benchmark.extra_info["mb_produced"] = round(nyx_dmd.nbytes / 1e6, 2)

@@ -1,0 +1,54 @@
+"""Figure 6 bench: per-rank profiling + cluster simulation.
+
+Benchmarks the measurement half (real compress/decompress of a NYX shard)
+for the three parallel candidates, then runs the GPFS simulation and
+records the dump/load speedups at 4096 ranks.  Reproduced claim: SZ_T
+dumps and loads fastest, with the advantage growing with rank count.
+"""
+
+import pytest
+
+from repro.compressors import PrecisionBound, RelativeBound, get_compressor
+from repro.compressors.fpzip import precision_for_relbound
+from repro.parallel import SimulatedCluster, measure_profile
+
+BOUND = 1e-2
+CANDIDATES = ("SZ_PWR", "FPZIP", "SZ_T")
+
+
+def _bound_for(name, data):
+    if name == "FPZIP":
+        return PrecisionBound(precision_for_relbound(BOUND, data.dtype))
+    return RelativeBound(BOUND)
+
+
+@pytest.mark.benchmark(group="fig6-rank-profile", min_rounds=2)
+@pytest.mark.parametrize("name", CANDIDATES)
+def test_rank_profile(benchmark, nyx_dmd, name):
+    comp = get_compressor(name)
+    bound = _bound_for(name, nyx_dmd)
+    prof = benchmark(measure_profile, comp, nyx_dmd, bound)
+    benchmark.extra_info["ratio"] = round(prof.ratio, 3)
+
+
+@pytest.mark.benchmark(group="fig6-cluster-simulation", min_rounds=5)
+def test_cluster_simulation(benchmark, nyx_dmd):
+    profiles = [
+        measure_profile(get_compressor(n), nyx_dmd, _bound_for(n, nyx_dmd))
+        for n in CANDIDATES
+    ]
+    anchor = 1.4e8 / next(p for p in profiles if p.name == "SZ_T").compress_rate
+    profiles = [p.scaled(anchor) for p in profiles]
+    cluster = SimulatedCluster()
+
+    def simulate():
+        return {p.name: cluster.dump_load(p, 3e9, 4096) for p in profiles}
+
+    result = benchmark(simulate)
+    sz_t = result["SZ_T"]
+    others_dump = min(b.dump_s for n, b in result.items() if n != "SZ_T")
+    others_load = min(b.load_s for n, b in result.items() if n != "SZ_T")
+    benchmark.extra_info["dump_speedup_4096"] = round(others_dump / sz_t.dump_s, 3)
+    benchmark.extra_info["load_speedup_4096"] = round(others_load / sz_t.load_s, 3)
+    assert sz_t.dump_s < others_dump
+    assert sz_t.load_s < others_load

@@ -1,0 +1,48 @@
+"""Table III bench: pre/post-processing time per logarithm base.
+
+This *is* the table's measurement: forward mapping + sign compression
+(preprocessing) and inverse mapping + sign decompression (postprocessing)
+timed per base.  The reproduced claim: base 10's postprocessing is the
+slowest (no dedicated exp10 kernel), base 2 the best overall choice.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import LogTransform, abs_bound_for
+from repro.encoding import decode_sign_bitmap, encode_sign_bitmap
+
+BASES = {"base2": 2.0, "base_e": math.e, "base10": 10.0}
+BOUND = 1e-3
+
+
+@pytest.mark.benchmark(group="table3-preprocessing", min_rounds=5)
+@pytest.mark.parametrize("base_name", list(BASES))
+def test_preprocessing(benchmark, nyx_vx, base_name):
+    tf = LogTransform(BASES[base_name])
+    ba = abs_bound_for(BOUND, tf.base)
+    magnitudes = np.abs(nyx_vx)
+
+    def pre():
+        encode_sign_bitmap(nyx_vx)
+        return tf.forward(magnitudes, ba)
+
+    benchmark(pre)
+
+
+@pytest.mark.benchmark(group="table3-postprocessing", min_rounds=5)
+@pytest.mark.parametrize("base_name", list(BASES))
+def test_postprocessing(benchmark, nyx_vx, base_name):
+    tf = LogTransform(BASES[base_name])
+    ba = abs_bound_for(BOUND, tf.base)
+    d = tf.forward(np.abs(nyx_vx), ba)
+    _, payload = encode_sign_bitmap(nyx_vx)
+
+    def post():
+        mags = tf.inverse(d, ba, nyx_vx.dtype)
+        negatives = decode_sign_bitmap(False, payload, mags.size)
+        return np.where(negatives.reshape(mags.shape), -mags, mags)
+
+    benchmark(post)

@@ -1,0 +1,38 @@
+"""Table IV bench: the strict error-bound test, one benchmark per codec.
+
+Each benchmark compresses NYX dark_matter_density at b_r = 1e-2 with the
+compressor's native setting and records bounded-%, Avg/Max E and CR in
+``extra_info``.  Reproduced claims: FPZIP/SZ_T/ZFP_T strictly bounded
+with zeros kept, SZ_T the best ratio, ZFP_P unbounded.
+"""
+
+import pytest
+
+from repro.compressors import get_compressor
+from repro.experiments.common import compress_for_relbound
+from repro.metrics import bounded_fraction
+
+BOUND = 1e-2
+COMPRESSORS = ("ISABELA", "FPZIP", "SZ_PWR", "SZ_T", "ZFP_P", "ZFP_T")
+
+
+@pytest.mark.benchmark(group="table4-strict-bound", min_rounds=2)
+@pytest.mark.parametrize("name", COMPRESSORS)
+def test_strict_bound_row(benchmark, nyx_dmd, name):
+    blob, setting = benchmark(compress_for_relbound, name, nyx_dmd, BOUND)
+    recon = get_compressor(name).decompress(blob)
+    stats = bounded_fraction(nyx_dmd, recon, BOUND)
+    benchmark.extra_info.update(
+        {
+            "setting": setting,
+            "bounded": stats.bounded_label(),
+            "avg_rel_err": float(f"{stats.avg_rel:.3g}"),
+            "max_rel_err": float(f"{stats.max_rel:.3g}"),
+            "compression_ratio": round(nyx_dmd.nbytes / len(blob), 3),
+        }
+    )
+    if name in ("FPZIP", "SZ_T", "ZFP_T"):
+        assert stats.strictly_bounded
+        assert stats.zeros_modified == 0
+    if name == "ZFP_P":
+        assert stats.max_rel > BOUND  # cannot respect point-wise bounds

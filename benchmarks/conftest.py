@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures: session-cached synthetic fields.
+
+Benchmarks run at half linear scale (NYX 32^3, CESM 128x256, HACC 256k,
+Hurricane 16x64x64) so a full ``pytest benchmarks/ --benchmark-only``
+finishes in minutes while exercising the identical code paths as the
+full-scale experiment harness (``repro-experiments run all``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_field
+
+SCALE = 0.5
+
+
+@pytest.fixture(scope="session")
+def nyx_dmd() -> np.ndarray:
+    return load_field("NYX", "dark_matter_density", scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def nyx_vx() -> np.ndarray:
+    return load_field("NYX", "velocity_x", scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def cesm_cld() -> np.ndarray:
+    return load_field("CESM-ATM", "CLDHGH", scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def hacc_vx() -> np.ndarray:
+    return load_field("HACC", "velocity_x", scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def hurricane_cloud() -> np.ndarray:
+    return load_field("Hurricane", "CLOUDf48", scale=SCALE)

@@ -1,0 +1,80 @@
+"""Wrap your own absolute-error compressor into a relative-error one.
+
+Run with::
+
+    python examples/custom_compressor.py
+
+The transformation scheme is generic (Section V: "this transformation
+scheme ... can work as a preprocessing stage and a postprocessing stage
+for any lossy compressor").  This example builds a deliberately naive
+absolute-error compressor -- uniform scalar quantization + DEFLATE, ~30
+lines -- and shows that `TransformedCompressor` turns even *that* into a
+guaranteed point-wise-relative compressor, no changes required.
+"""
+
+import numpy as np
+
+from repro import (
+    AbsoluteBound,
+    Compressor,
+    RelativeBound,
+    TransformedCompressor,
+)
+from repro.encoding import deflate, inflate
+from repro.metrics import bounded_fraction
+
+
+class NaiveQuantizer(Compressor):
+    """Uniform scalar quantization to int32 + DEFLATE.  Absolute bound."""
+
+    name = "NAIVE"
+    supported_bounds = (AbsoluteBound,)
+
+    def compress(self, data, bound):
+        self._check_bound(bound)
+        data = self._check_input(data)
+        step = 2.0 * bound.value
+        q = np.rint(data.astype(np.float64) / step).astype(np.int32)
+        box = self._new_container(self.name, data)
+        box.put_f64("eb", bound.value)
+        box.put("q", deflate(q.tobytes()))
+        return box.to_bytes()
+
+    def decompress(self, blob):
+        box, shape, dtype = self._open_container(blob, self.name)
+        step = 2.0 * box.get_f64("eb")
+        q = np.frombuffer(inflate(box.get("q")), dtype=np.int32)
+        return (q.astype(np.float64) * step).astype(dtype).reshape(shape)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    data = np.exp(rng.normal(-2, 2.5, size=(48, 48, 48))).astype(np.float32)
+    data[rng.random(data.shape) < 0.05] = 0.0  # sprinkle exact zeros
+    data[::7] *= -1  # and mixed signs
+    br = 1e-2
+
+    # The naive compressor alone cannot honour a relative bound: pick the
+    # absolute bound from the largest value and small values are destroyed.
+    naive = NaiveQuantizer()
+    eb_global = br * float(np.abs(data).max())
+    recon = naive.decompress(naive.compress(data, AbsoluteBound(eb_global)))
+    stats = bounded_fraction(data, recon, br)
+    print(f"naive abs @ {eb_global:.3g}: bounded {stats.bounded_label()}, "
+          f"max rel err {stats.max_rel:.3g}")
+
+    # Wrapped: the same codec now guarantees the relative bound point-wise.
+    wrapped = TransformedCompressor(naive, name="NAIVE_T")
+    blob = wrapped.compress(data, RelativeBound(br))
+    recon = wrapped.decompress(blob)
+    stats = bounded_fraction(data, recon, br)
+    print(f"NAIVE_T  @ b_r={br:g}:  bounded {stats.bounded_label()}, "
+          f"max rel err {stats.max_rel:.3g}, ratio {data.nbytes / len(blob):.2f}x, "
+          f"patched {wrapped.last_patch_count} pts")
+    assert stats.strictly_bounded
+    assert (recon[data == 0] == 0).all()
+    print("zeros preserved exactly; signs restored; bound guaranteed.")
+
+
+if __name__ == "__main__":
+    main()

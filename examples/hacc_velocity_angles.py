@@ -1,0 +1,61 @@
+"""HACC velocity fidelity: angle skew under different error controls.
+
+Run with::
+
+    python examples/hacc_velocity_angles.py
+
+Cosmologists care about the *direction* of particle velocities, and the
+paper's Figure 5 shows that per-particle relative bounds preserve it far
+better than a single absolute bound at equal storage cost.  This example
+compresses the three synthetic HACC velocity components three ways at the
+same ~8x ratio and reports the angle between original and reconstructed
+velocity vectors.
+"""
+
+import numpy as np
+
+from repro import AbsoluteBound, PrecisionBound, RelativeBound, get_compressor
+from repro.data import load_field
+from repro.metrics import blockwise_mean_skew, skew_angles
+
+TARGET = 8.0
+
+
+def compress_all(name, bound, comps):
+    comp = get_compressor(name)
+    blobs = [comp.compress(c, bound) for c in comps]
+    recons = [comp.decompress(b) for b in blobs]
+    ratio = sum(c.nbytes for c in comps) / sum(len(b) for b in blobs)
+    return ratio, recons
+
+
+def main() -> None:
+    comps = [load_field("HACC", f"velocity_{ax}") for ax in "xyz"]
+    speed = np.sqrt(sum(c.astype(np.float64) ** 2 for c in comps))
+    print(f"HACC velocities: {comps[0].size} particles, "
+          f"median speed {np.median(speed):.0f}, max {speed.max():.0f}")
+
+    # Settings chosen to land all three compressors near the same ratio.
+    cases = [
+        ("SZ_ABS", AbsoluteBound(30.0)),
+        ("FPZIP", PrecisionBound(10)),
+        ("SZ_T", RelativeBound(0.12)),
+    ]
+    print(f"\n{'scheme':8s} {'ratio':>6s} {'mean skew':>10s} {'p99 skew':>9s}   slow-particle skew")
+    slow = speed < np.quantile(speed, 0.25)
+    for name, bound in cases:
+        ratio, recons = compress_all(name, bound, comps)
+        angles = skew_angles(tuple(comps), tuple(recons))
+        cells = blockwise_mean_skew(angles, 4096)
+        print(
+            f"{name:8s} {ratio:6.1f} {cells.mean():9.2f}deg {np.percentile(cells, 99):8.2f}deg"
+            f"   {angles[slow].mean():.2f}deg"
+        )
+
+    print("\nabsolute bounds scramble slow particles' directions; the "
+          "log-transform scheme (SZ_T) keeps every particle's direction "
+          "tight at the same storage cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""NYX cosmology study: why relative bounds beat absolute bounds.
+
+Run with::
+
+    python examples/nyx_cosmology.py [output_dir]
+
+Recreates the paper's motivating scenario (Section VI-E / Figure 4) on the
+synthetic NYX ``dark_matter_density`` field: at a *matched* compression
+ratio, compare an absolute-error compressor (SZ_ABS) against relative-
+error compressors (FPZIP, SZ_T) and look at what happens to the dense
+small-value regions cosmologists actually analyse.  Writes grayscale PGM
+slice panels when an output directory is given.
+"""
+
+import sys
+
+import numpy as np
+
+from repro import AbsoluteBound, RelativeBound, get_compressor
+from repro.data import load_field
+from repro.experiments.fig4 import tune_bound_for_ratio
+from repro.metrics import relative_errors
+from repro.viz import ascii_heatmap
+
+TARGET_RATIO = 7.0
+
+
+def main(out_dir: str | None = None) -> None:
+    density = load_field("NYX", "dark_matter_density")
+    print(f"dark_matter_density: {density.shape}, "
+          f"{(density <= 1).mean():.0%} of values in [0, 1], "
+          f"max {density.max():.3g}")
+
+    # --- absolute bound, tuned to the target ratio -------------------------
+    sz_abs = get_compressor("SZ_ABS")
+    eb, blob = tune_bound_for_ratio(
+        lambda b: sz_abs.compress(density, AbsoluteBound(b)),
+        1e-6 * float(density.max()), float(density.max()),
+        TARGET_RATIO, density.nbytes,
+    )
+    recon_abs = sz_abs.decompress(blob)
+    print(f"\nSZ_ABS  @ {density.nbytes / len(blob):.1f}x uses abs bound {eb:.3g}")
+
+    # --- relative bound, tuned to the same ratio ----------------------------
+    sz_t = get_compressor("SZ_T")
+    br, blob_t = tune_bound_for_ratio(
+        lambda b: sz_t.compress(density, RelativeBound(b)),
+        1e-6, 0.9, TARGET_RATIO, density.nbytes,
+    )
+    recon_t = sz_t.decompress(blob_t)
+    print(f"SZ_T    @ {density.nbytes / len(blob_t):.1f}x uses rel bound {br:.3g}")
+
+    # --- what happened to the dense regions? -------------------------------
+    focus = (density > 0) & (density <= 0.1)
+    for name, recon in (("SZ_ABS", recon_abs), ("SZ_T", recon_t)):
+        err = np.abs(recon[focus].astype(np.float64) - density[focus].astype(np.float64))
+        rel = relative_errors(density, recon)
+        print(
+            f"{name}: dense-region [0,0.1] mean abs err {err.mean():.2e}, "
+            f"global max rel err {rel.max():.3g}"
+        )
+
+    k = density.shape[0] // 2
+    print("\noriginal slice (zoom to [0, 0.1]):")
+    print(ascii_heatmap(density[k], width=48, vmin=0, vmax=0.1))
+    print("\nSZ_ABS reconstruction (same zoom -- small structure washed out):")
+    print(ascii_heatmap(recon_abs[k], width=48, vmin=0, vmax=0.1))
+    print("\nSZ_T reconstruction (same zoom -- structure preserved):")
+    print(ascii_heatmap(recon_t[k], width=48, vmin=0, vmax=0.1))
+
+    if out_dir:
+        from repro.experiments import fig4
+
+        table = fig4.run(out_dir=out_dir)
+        print("\n" + table.format())
+        print(f"\nPGM panels written to {out_dir}/")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

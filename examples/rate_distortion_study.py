@@ -1,0 +1,67 @@
+"""Rate-distortion study across every compressor family.
+
+Run with::
+
+    python examples/rate_distortion_study.py [out.csv]
+
+Sweeps bounds/precisions/rates over NYX dark_matter_density and prints
+(bit-rate, relative-error PSNR) series per compressor -- the analysis
+behind Figure 1, extended to the whole roster including the fixed-rate
+ZFP mode and the SZ2 hybrid.  Optionally writes a CSV for plotting.
+"""
+
+import sys
+
+from repro import (
+    PrecisionBound,
+    RateBound,
+    RelativeBound,
+    get_compressor,
+)
+from repro.data import load_field
+from repro.metrics import bit_rate, relative_psnr
+
+SWEEPS = {
+    "SZ_T": [RelativeBound(b) for b in (1e-4, 1e-3, 1e-2, 1e-1)],
+    "SZ2_T": [RelativeBound(b) for b in (1e-4, 1e-3, 1e-2, 1e-1)],
+    "ZFP_T": [RelativeBound(b) for b in (1e-4, 1e-3, 1e-2, 1e-1)],
+    "SZ_PWR": [RelativeBound(b) for b in (1e-4, 1e-3, 1e-2, 1e-1)],
+    "ISABELA": [RelativeBound(b) for b in (1e-3, 1e-2, 1e-1)],
+    "FPZIP": [PrecisionBound(p) for p in (24, 19, 16, 13)],
+    "ZFP_R": [RateBound(r) for r in (16, 12, 8, 4)],
+}
+
+
+def main(csv_path: str | None = None) -> None:
+    data = load_field("NYX", "dark_matter_density")
+    rows = []
+    print(f"{'compressor':9s} {'setting':>14s} {'bits/val':>9s} {'rel PSNR':>9s}")
+    for name, bounds in SWEEPS.items():
+        comp = get_compressor(name)
+        for bound in bounds:
+            blob = comp.compress(data, bound)
+            recon = comp.decompress(blob)
+            rate = bit_rate(len(blob), data.size)
+            psnr = relative_psnr(data, recon)
+            setting = f"{type(bound).__name__[:-5].lower()} {bound.value:g}"
+            rows.append((name, setting, rate, psnr))
+            print(f"{name:9s} {setting:>14s} {rate:9.3f} {psnr:9.2f}")
+
+    # Pareto view: which compressor gives the best PSNR below each rate?
+    print("\nbest relative-error PSNR by bit budget:")
+    for budget in (2, 4, 8, 16):
+        feasible = [(p, n, r) for n, _, r, p in rows if r <= budget]
+        if feasible:
+            p, n, r = max(feasible)
+            print(f"  <= {budget:2d} bits/val: {n} ({p:.1f} dB at {r:.2f} b/v)")
+
+    if csv_path:
+        with open(csv_path, "w") as fh:
+            fh.write("compressor,setting,bits_per_value,rel_psnr_db\n")
+            for row in rows:
+                fh.write(",".join(str(c) for c in row) + "\n")
+        print(f"\nwrote {csv_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -1,0 +1,123 @@
+"""repro -- point-wise relative-error-bounded lossy compression.
+
+Reproduction of Liang, Di, Tao, Chen & Cappello, *An Efficient
+Transformation Scheme for Lossy Data Compression with Point-wise Relative
+Error Bound* (IEEE CLUSTER 2018).
+
+Quickstart::
+
+    import numpy as np
+    from repro import compress, decompress, RelativeBound
+
+    data = np.random.default_rng(0).lognormal(size=(64, 64, 64)).astype(np.float32)
+    blob = compress(data, RelativeBound(1e-2))          # SZ_T by default
+    recon = decompress(blob)
+    assert np.all(np.abs(recon - data) <= 1e-2 * np.abs(data))
+
+Every compressor evaluated by the paper is available through
+:func:`get_compressor`: ``SZ_T``, ``ZFP_T`` (the paper's contribution),
+``SZ_ABS``, ``SZ_PWR``, ``ZFP_A``, ``ZFP_P``, ``FPZIP``, ``ISABELA``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors import (
+    AbsoluteBound,
+    Compressor,
+    ErrorBound,
+    FpzipCompressor,
+    IsabelaCompressor,
+    PrecisionBound,
+    RateBound,
+    RelativeBound,
+    SZ2Compressor,
+    SZ3Compressor,
+    SZCompressor,
+    SZPointwiseRelative,
+    UnsupportedBound,
+    ZFPCompressor,
+    available_compressors,
+    get_compressor,
+    register_compressor,
+)
+from repro.compressors.lossless import LosslessDeflate
+from repro.core import LogTransform, TransformedCompressor, make_sz_t, make_zfp_t
+from repro.encoding.container import Container
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbsoluteBound",
+    "Compressor",
+    "Container",
+    "ErrorBound",
+    "FpzipCompressor",
+    "IsabelaCompressor",
+    "LogTransform",
+    "LosslessDeflate",
+    "PrecisionBound",
+    "RateBound",
+    "RelativeBound",
+    "SZ2Compressor",
+    "SZ3Compressor",
+    "SZCompressor",
+    "SZPointwiseRelative",
+    "TransformedCompressor",
+    "UnsupportedBound",
+    "ZFPCompressor",
+    "__version__",
+    "available_compressors",
+    "compress",
+    "decompress",
+    "get_compressor",
+    "make_sz_t",
+    "make_zfp_t",
+    "register_compressor",
+]
+
+# -- registry ---------------------------------------------------------------
+
+register_compressor("SZ_ABS", SZCompressor)
+register_compressor("SZ_PWR", SZPointwiseRelative)
+register_compressor("ZFP_A", lambda: ZFPCompressor("accuracy"))
+register_compressor("ZFP_P", lambda: ZFPCompressor("precision"))
+register_compressor("ZFP_R", lambda: ZFPCompressor("rate"))
+register_compressor("FPZIP", FpzipCompressor)
+register_compressor("GZIP", LosslessDeflate)
+register_compressor("ISABELA", IsabelaCompressor)
+register_compressor("SZ_T", make_sz_t)
+register_compressor("SZ2_ABS", SZ2Compressor)
+register_compressor(
+    "SZ2_T", lambda: TransformedCompressor(SZ2Compressor())
+)
+register_compressor("SZ3_ABS", SZ3Compressor)
+register_compressor(
+    "SZ3_T", lambda: TransformedCompressor(SZ3Compressor())
+)
+register_compressor("ZFP_T", make_zfp_t)
+
+
+def compress(
+    data: np.ndarray,
+    bound: ErrorBound,
+    compressor: str | Compressor = "SZ_T",
+) -> bytes:
+    """Compress ``data`` under ``bound`` with the named compressor.
+
+    ``SZ_T`` (the paper's best-performing configuration) is the default.
+    """
+    if isinstance(compressor, str):
+        compressor = get_compressor(compressor)
+    return compressor.compress(data, bound)
+
+
+def decompress(blob: bytes) -> np.ndarray:
+    """Reconstruct an array from any stream produced by :func:`compress`.
+
+    The codec is dispatched from the container header, so callers do not
+    need to remember which compressor produced the bytes.
+    """
+    codec = Container.from_bytes(blob).codec
+    return get_compressor(codec).decompress(blob)

@@ -1,0 +1,148 @@
+"""File-level command line tool: ``repro-compress``.
+
+Mirrors the ergonomics of the SZ/ZFP command-line utilities::
+
+    repro-compress compress field.f32 field.rpz --shape 512,512,512 \
+        --rel-bound 1e-3 --compressor SZ_T
+    repro-compress decompress field.rpz field.out.f32
+    repro-compress info field.rpz
+
+Raw binaries need ``--shape`` (and ``--dtype`` when not float32); ``.npy``
+inputs are self-describing.  ``compress`` verifies and reports the achieved
+ratio and maximum point-wise relative error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import (
+    AbsoluteBound,
+    Container,
+    PrecisionBound,
+    RelativeBound,
+    available_compressors,
+    compress,
+    decompress,
+)
+from repro.data.io import load_array, save_array
+from repro.metrics import bounded_fraction
+
+__all__ = ["main"]
+
+
+def _parse_shape(text: str) -> tuple[int, ...]:
+    try:
+        dims = tuple(int(d) for d in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad shape {text!r}; expected e.g. 512,512,512")
+    if not dims or any(d <= 0 for d in dims):
+        raise argparse.ArgumentTypeError(f"shape dimensions must be positive: {text!r}")
+    return dims
+
+
+def _bound_from(args) -> AbsoluteBound | RelativeBound | PrecisionBound:
+    chosen = [
+        b for b in (
+            ("rel", args.rel_bound), ("abs", args.abs_bound), ("prec", args.precision)
+        ) if b[1] is not None
+    ]
+    if len(chosen) != 1:
+        raise SystemExit("specify exactly one of --rel-bound / --abs-bound / --precision")
+    kind, value = chosen[0]
+    if kind == "rel":
+        return RelativeBound(value)
+    if kind == "abs":
+        return AbsoluteBound(value)
+    return PrecisionBound(value)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-compress",
+        description="Error-bounded lossy compression of binary/npy fields.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    comp = sub.add_parser("compress", help="compress a field file")
+    comp.add_argument("input")
+    comp.add_argument("output")
+    comp.add_argument("--shape", type=_parse_shape, default=None,
+                      help="comma-separated dims for raw binary input")
+    comp.add_argument("--dtype", choices=["float32", "float64"], default="float32")
+    comp.add_argument("--compressor", choices=available_compressors(), default="SZ_T")
+    comp.add_argument("--rel-bound", type=float, default=None,
+                      help="point-wise relative error bound")
+    comp.add_argument("--abs-bound", type=float, default=None,
+                      help="absolute error bound")
+    comp.add_argument("--precision", type=int, default=None,
+                      help="bit precision (FPZIP / ZFP_P)")
+    comp.add_argument("--report", action="store_true",
+                      help="print a full quality report after compressing")
+
+    dec = sub.add_parser("decompress", help="reconstruct a compressed stream")
+    dec.add_argument("input")
+    dec.add_argument("output")
+
+    info = sub.add_parser("info", help="describe a compressed stream")
+    info.add_argument("input")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "compress":
+        data = load_array(args.input, args.shape, np.dtype(args.dtype))
+        bound = _bound_from(args)
+        blob = compress(data, bound, compressor=args.compressor)
+        with open(args.output, "wb") as fh:
+            fh.write(blob)
+        line = (
+            f"{args.input}: {data.nbytes} -> {len(blob)} bytes "
+            f"({data.nbytes / len(blob):.2f}x) with {args.compressor}"
+        )
+        if isinstance(bound, RelativeBound):
+            stats = bounded_fraction(data, decompress(blob), bound.value)
+            line += f", bounded {stats.bounded_label()}, max rel err {stats.max_rel:.3e}"
+        print(line)
+        if args.report:
+            from repro.report import quality_report
+
+            print(quality_report(data, blob).format())
+        return 0
+
+    if args.command == "decompress":
+        with open(args.input, "rb") as fh:
+            blob = fh.read()
+        recon = decompress(blob)
+        save_array(args.output, recon)
+        print(f"{args.output}: {recon.shape} {recon.dtype}")
+        return 0
+
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    box = Container.from_bytes(blob)
+    print(f"codec:  {box.codec}")
+    print(f"shape:  {box.get_shape('shape')}")
+    print(f"dtype:  {box.get_dtype('dtype').name}")
+    print(f"bytes:  {len(blob)}")
+    for key in box.keys():
+        print(f"  section {key:12s} {len(box.get(key)):10d} B")
+    return 0
+
+
+def _entry() -> int:  # pragma: no cover - thin wrapper for console_scripts
+    try:
+        return main()
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) went away; exit quietly like
+        # well-behaved unix tools.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(_entry())

@@ -1,0 +1,185 @@
+"""Compressor interface, error-bound types and registry.
+
+Every compressor consumes a numpy array plus an :class:`ErrorBound` and
+produces a self-describing byte stream (:class:`repro.encoding.Container`
+serialized with :meth:`Container.to_bytes`).  Decompression needs only the
+bytes.
+
+Three bound flavours exist, mirroring the paper's terminology:
+
+* :class:`AbsoluteBound` -- ``|x - x_d| <= value`` point-wise,
+* :class:`RelativeBound` -- ``|x - x_d| <= value * |x|`` point-wise,
+* :class:`PrecisionBound` -- "keep ``bits`` most-significant bits"
+  (FPZIP's ``-p`` and ZFP's precision mode; the paper stresses these do
+  not map directly onto an error bound, which is why the transformation
+  scheme is needed).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.encoding.container import Container
+
+__all__ = [
+    "ErrorBound",
+    "AbsoluteBound",
+    "RelativeBound",
+    "PrecisionBound",
+    "RateBound",
+    "UnsupportedBound",
+    "Compressor",
+    "register_compressor",
+    "get_compressor",
+    "available_compressors",
+]
+
+
+class UnsupportedBound(TypeError):
+    """Raised when a compressor is handed a bound kind it cannot honour."""
+
+
+@dataclass(frozen=True)
+class ErrorBound:
+    """Base class for error-control demands."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.value) or self.value <= 0:
+            raise ValueError(f"bound must be a positive finite number, got {self.value}")
+
+
+@dataclass(frozen=True)
+class AbsoluteBound(ErrorBound):
+    """Point-wise absolute error bound ``|x - x_d| <= value``."""
+
+    kind = "abs"
+
+
+@dataclass(frozen=True)
+class RelativeBound(ErrorBound):
+    """Point-wise relative error bound ``|x - x_d| <= value * |x|``."""
+
+    kind = "rel"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.value >= 1.0:
+            raise ValueError(
+                f"point-wise relative bounds must be < 1 (got {self.value}); at 1 the "
+                "sign of the data is no longer recoverable"
+            )
+
+
+@dataclass(frozen=True)
+class RateBound(ErrorBound):
+    """Fixed rate: exactly ``value`` bits per value (ZFP's fixed-rate mode).
+
+    No error guarantee -- the codec spends a hard bit budget as well as it
+    can (rate-distortion optimized), which is what enables random access.
+    """
+
+    kind = "rate"
+
+    def __post_init__(self) -> None:
+        if not 0.5 <= self.value <= 64:
+            raise ValueError(f"rate must be in [0.5, 64] bits/value, got {self.value}")
+
+
+@dataclass(frozen=True)
+class PrecisionBound(ErrorBound):
+    """Keep ``int(value)`` most-significant bits per value (FPZIP/ZFP -p)."""
+
+    kind = "prec"
+
+    def __post_init__(self) -> None:
+        if self.value != int(self.value) or not 2 <= self.value <= 64:
+            raise ValueError(f"precision must be an integer in [2, 64], got {self.value}")
+
+    @property
+    def bits(self) -> int:
+        return int(self.value)
+
+
+class Compressor(abc.ABC):
+    """Abstract error-bounded lossy compressor.
+
+    Subclasses set :attr:`name` (the identifier used in experiment tables)
+    and :attr:`supported_bounds` (tuple of bound classes).
+    """
+
+    name: str = "abstract"
+    supported_bounds: tuple[type, ...] = ()
+
+    @abc.abstractmethod
+    def compress(self, data: np.ndarray, bound: ErrorBound) -> bytes:
+        """Compress ``data`` under ``bound``; returns container bytes."""
+
+    @abc.abstractmethod
+    def decompress(self, blob: bytes) -> np.ndarray:
+        """Reconstruct the array (original shape and dtype) from bytes."""
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _check_bound(self, bound: ErrorBound) -> None:
+        if not isinstance(bound, self.supported_bounds):
+            names = ", ".join(b.__name__ for b in self.supported_bounds)
+            raise UnsupportedBound(
+                f"{self.name} supports bounds ({names}); got {type(bound).__name__}"
+            )
+
+    @staticmethod
+    def _check_input(data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data)
+        if data.dtype not in (np.float32, np.float64):
+            raise TypeError(f"expected float32/float64 data, got {data.dtype}")
+        if data.ndim not in (1, 2, 3):
+            raise ValueError(f"expected 1-D/2-D/3-D data, got ndim={data.ndim}")
+        if data.size == 0:
+            raise ValueError("cannot compress an empty array")
+        if not np.isfinite(data).all():
+            raise ValueError("data contains NaN or Inf; error-bounded lossy "
+                             "compression of non-finite values is undefined")
+        return np.ascontiguousarray(data)
+
+    @staticmethod
+    def _new_container(codec: str, data: np.ndarray) -> Container:
+        box = Container(codec)
+        box.put_dtype("dtype", data.dtype)
+        box.put_shape("shape", data.shape)
+        return box
+
+    @staticmethod
+    def _open_container(blob: bytes, codec: str) -> tuple[Container, tuple[int, ...], np.dtype]:
+        box = Container.from_bytes(blob)
+        if box.codec != codec:
+            raise ValueError(f"stream was produced by {box.codec!r}, expected {codec!r}")
+        return box, box.get_shape("shape"), box.get_dtype("dtype")
+
+
+_REGISTRY: dict[str, "type[Compressor] | object"] = {}
+
+
+def register_compressor(name: str, factory) -> None:
+    """Register a zero-argument compressor factory under ``name``."""
+    if name in _REGISTRY:
+        raise ValueError(f"compressor {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def get_compressor(name: str) -> Compressor:
+    """Instantiate a registered compressor by experiment-table name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown compressor {name!r}; known: {known}") from None
+    return factory()
+
+
+def available_compressors() -> list[str]:
+    return sorted(_REGISTRY)

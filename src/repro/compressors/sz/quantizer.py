@@ -1,0 +1,68 @@
+"""Linear-scaling quantization on the absolute-error lattice.
+
+SZ's linear-scaling quantization snaps reconstructions onto the lattice
+``2*eb*Z``; a value quantized to index ``k`` reconstructs to ``k * 2 * eb``
+with ``|x - x_d| <= eb`` by construction.  This module owns the float
+subtleties:
+
+* indices are computed in float64 and clipped to ``+-2**55`` so that the
+  3-D Lorenzo residual (an 8-term signed sum) can never overflow int64;
+* points whose index magnitude exceeds ``RISKY_INDEX`` (``2**40``) are
+  flagged *risky*: for them the quotient/product round-off can eat into
+  the bound, so the caller stores the original value verbatim;
+* the internal bound is shrunk by ``EB_SHRINK`` so that quantization,
+  reconstruction multiply and the final cast back to the input dtype stay
+  inside the user's bound for every non-risky point (the compressor still
+  re-verifies and patches any stragglers -- see ``sz.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "EB_SHRINK",
+    "RISKY_INDEX",
+    "CLIP_INDEX",
+    "lattice_quantize",
+    "lattice_reconstruct",
+]
+
+#: Fractional shrink applied to the user's bound before quantization.
+EB_SHRINK = 1.0 - 2.0**-9
+
+#: Index magnitude beyond which float64 round-off may violate the bound.
+RISKY_INDEX = 2.0**40
+
+#: Hard clip keeping the 8-term Lorenzo sums inside int64.
+CLIP_INDEX = 2.0**55
+
+
+def lattice_quantize(data: np.ndarray, eb: float) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize ``data`` onto the ``2*eb_int`` lattice.
+
+    Returns ``(k, risky)`` where ``k`` is the int64 index array and
+    ``risky`` a boolean mask of points that must be stored verbatim.
+    The computation is deliberately expressed so a decompressor holding the
+    verbatim value of a risky point reproduces the identical ``k`` (the
+    index feeds neighbouring predictions on both sides).
+    """
+    if eb <= 0 or not np.isfinite(eb):
+        raise ValueError(f"absolute bound must be positive and finite, got {eb}")
+    x = np.asarray(data, dtype=np.float64)
+    step = 2.0 * internal_bound(eb)
+    kf = np.rint(x / step)
+    risky = np.abs(kf) > RISKY_INDEX
+    k = np.clip(kf, -CLIP_INDEX, CLIP_INDEX).astype(np.int64)
+    return k, risky
+
+
+def lattice_reconstruct(k: np.ndarray, eb: float, dtype: np.dtype) -> np.ndarray:
+    """Reconstruct values ``k * 2 * eb_int`` in the target dtype."""
+    step = 2.0 * internal_bound(eb)
+    return (np.asarray(k, dtype=np.float64) * step).astype(dtype)
+
+
+def internal_bound(eb: float) -> float:
+    """The shrunk bound actually used for the lattice step."""
+    return eb * EB_SHRINK

@@ -1,0 +1,159 @@
+"""The ZFP compressor: fixed-accuracy and precision modes.
+
+*Accuracy* mode honours an absolute error bound.  A block whose largest
+exponent is ``emax`` gets ``emax - minexp + 2*(d+1)`` bit planes, where
+``minexp = floor(log2 tolerance)`` -- the ``2*(d+1)`` margin absorbs the
+growth of the lifted transform, which is also why ZFP characteristically
+*over-preserves* the bound (the paper leans on this to explain ZFP_T's
+lower ratios in Table IV and Figure 2).
+
+*Precision* mode (``ZFP_P``, the paper's ``-p`` baseline) encodes a fixed
+number of planes per block regardless of content.  Within a block this
+approximates relative-error control against the block's largest magnitude,
+so isolated small values in a large-magnitude block can lose all their
+bits: the paper's strict-bound test shows exactly this failure (unbounded
+maximum point-wise relative error), and this implementation reproduces it.
+
+Representability caveat (shared with the reference ZFP): the accuracy-mode
+guarantee requires the tolerance to be expressible in the *output* dtype,
+i.e. ``tolerance >= ulp(max |x|)`` -- a float32 array with values near 1e6
+cannot be reconstructed to 1e-6 absolute no matter what the codec does.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.compressors.base import (
+    AbsoluteBound,
+    Compressor,
+    ErrorBound,
+    PrecisionBound,
+    RateBound,
+)
+from repro.compressors.zfp.embedded import decode_blocks, encode_blocks, expand_fixed_rate
+from repro.compressors.zfp.fixedpoint import (
+    EMPTY_EMAX,
+    block_exponents,
+    dequantize_blocks,
+    intprec_for,
+    negabinary_decode,
+    negabinary_encode,
+    quantize_blocks,
+)
+from repro.compressors.zfp.transform import fwd_xform, inv_xform, sequency_order
+from repro.encoding import deflate, inflate
+from repro.utils.blocking import block_merge, block_partition
+
+__all__ = ["ZFPCompressor", "planes_for_tolerance"]
+
+_BLOCK = 4
+
+
+def planes_for_tolerance(
+    emax: np.ndarray, tolerance: float, ndim: int, intprec: int
+) -> np.ndarray:
+    """Bit planes to encode per block in fixed-accuracy mode.
+
+    ZFP's ``precision(maxexp, ...)``: ``maxexp - minexp + 2*(d+1)`` planes,
+    clamped to ``[0, intprec]``; blocks entirely below the tolerance emit
+    nothing.  Our fixed-point scale is ``2**(intprec-4)`` instead of ZFP's
+    ``2**(intprec-2)`` (two extra headroom bits for the lift + negabinary),
+    so the same guarantee needs two additional planes here.
+    """
+    minexp = math.floor(math.log2(tolerance))
+    raw = emax.astype(np.int64) - minexp + 2 * (ndim + 1) + 2
+    raw = np.where(emax == EMPTY_EMAX, 0, raw)
+    return np.clip(raw, 0, intprec)
+
+
+class ZFPCompressor(Compressor):
+    """Transform-based compressor (accuracy or precision mode).
+
+    Parameters
+    ----------
+    mode:
+        ``"accuracy"`` (absolute bound, :class:`AbsoluteBound`) or
+        ``"precision"`` (fixed planes, :class:`PrecisionBound`).
+    """
+
+    def __init__(self, mode: str = "accuracy") -> None:
+        if mode not in ("accuracy", "precision", "rate"):
+            raise ValueError(
+                f"mode must be 'accuracy', 'precision' or 'rate', got {mode!r}"
+            )
+        self.mode = mode
+        self.name = {"accuracy": "ZFP_A", "precision": "ZFP_P", "rate": "ZFP_R"}[mode]
+        self.supported_bounds = {
+            "accuracy": (AbsoluteBound,),
+            "precision": (PrecisionBound,),
+            "rate": (RateBound,),
+        }[mode]
+
+    # -- compression -------------------------------------------------------
+
+    def compress(self, data: np.ndarray, bound: ErrorBound) -> bytes:
+        self._check_bound(bound)
+        data = self._check_input(data)
+        ndim = data.ndim
+        intprec = intprec_for(data.dtype)
+
+        tiles, padded_shape = block_partition(data, _BLOCK)
+        emax = block_exponents(tiles)
+        q = quantize_blocks(tiles, emax, intprec)
+        coeffs = fwd_xform(q).reshape(q.shape[0], -1)
+        perm, _ = sequency_order(ndim)
+        nb = negabinary_encode(coeffs[:, perm])
+
+        maxbits = None
+        if self.mode == "accuracy":
+            nplanes = planes_for_tolerance(emax, float(bound.value), ndim, intprec)
+        elif self.mode == "precision":
+            nplanes = np.where(emax == EMPTY_EMAX, 0, min(bound.bits, intprec))
+        else:
+            # Fixed rate: code every plane, hard-cap each block's bits.
+            nplanes = np.where(emax == EMPTY_EMAX, 0, intprec)
+            maxbits = max(1, round(float(bound.value) * _BLOCK**ndim))
+        payload, lens = encode_blocks(nb, nplanes, intprec, maxbits=maxbits)
+
+        box = self._new_container(self.name, data)
+        box.put_f64("param", float(bound.value))
+        box.put_shape("padded", padded_shape)
+        box.put("emax", deflate(emax.astype(np.int32).tobytes()))
+        box.put("lens", deflate(lens.tobytes()))
+        box.put("payload", payload)
+        return box.to_bytes()
+
+    # -- decompression -----------------------------------------------------
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        box, shape, dtype = self._open_container(blob, self.name)
+        param = box.get_f64("param")
+        padded_shape = box.get_shape("padded")
+        ndim = len(shape)
+        intprec = intprec_for(dtype)
+        ncoef = _BLOCK**ndim
+
+        emax = np.frombuffer(inflate(box.get("emax")), dtype=np.int32)
+        lens = np.frombuffer(inflate(box.get("lens")), dtype=np.uint32)
+        if emax.size != lens.size:
+            raise ValueError("corrupt ZFP stream: block table size mismatch")
+
+        payload = box.get("payload")
+        if self.mode == "accuracy":
+            nplanes = planes_for_tolerance(emax, param, ndim, intprec)
+        elif self.mode == "precision":
+            nplanes = np.where(emax == EMPTY_EMAX, 0, min(int(param), intprec))
+        else:
+            nplanes = np.where(emax == EMPTY_EMAX, 0, intprec)
+            maxbits = max(1, round(param * ncoef))
+            payload, lens = expand_fixed_rate(payload, lens.size, maxbits, nplanes, ncoef)
+
+        nb = decode_blocks(payload, lens, nplanes, intprec, ncoef)
+        _, inv_perm = sequency_order(ndim)
+        coeffs = negabinary_decode(nb)[:, inv_perm]
+        q = inv_xform(coeffs.reshape((-1,) + (_BLOCK,) * ndim))
+        tiles = dequantize_blocks(q, emax, intprec, dtype)
+        return block_merge(tiles, padded_shape, _BLOCK, shape)

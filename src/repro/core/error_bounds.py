@@ -1,0 +1,91 @@
+r"""Bound mapping between relative and absolute error (Theorem 2, Lemma 2).
+
+Theorem 2 establishes that under the mapping ``f(x) = log_base(x)`` the
+point-wise relative bound ``b_r`` corresponds to the absolute bound
+
+.. math:: b_a = g(b_r) = \log_{base}(1 + b_r)
+
+in the transformed domain.  Lemma 2 then shrinks ``b_a`` to absorb the
+round-off error of evaluating the mapping in floating point:
+
+.. math:: b_a' = \log_{base}(1 + b_r) - \max_x |\log_{base} x| \cdot \epsilon_0
+
+where ``eps0`` is the unit round-off of the precision in which the
+transform is evaluated (the paper sets it to machine epsilon).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "abs_bound_for",
+    "adjusted_abs_bound",
+    "rel_bound_from_abs",
+    "machine_eps0",
+]
+
+
+def abs_bound_for(rel_bound: float, base: float = 2.0) -> float:
+    """Theorem 2: ``b_a = log_base(1 + b_r)``."""
+    _validate(rel_bound, base)
+    return math.log1p(rel_bound) / math.log(base)
+
+
+def rel_bound_from_abs(abs_bound: float, base: float = 2.0) -> float:
+    """Inverse of :func:`abs_bound_for`: ``b_r = base**b_a - 1``."""
+    if abs_bound <= 0:
+        raise ValueError(f"absolute bound must be positive, got {abs_bound}")
+    if base <= 1:
+        raise ValueError(f"base must exceed 1, got {base}")
+    return math.expm1(abs_bound * math.log(base))
+
+
+def adjusted_abs_bound(
+    rel_bound: float,
+    max_log_abs: float,
+    eps0: float,
+    base: float = 2.0,
+) -> float:
+    """Lemma 2: shrink ``b_a`` by the worst-case mapping round-off.
+
+    Parameters
+    ----------
+    rel_bound:
+        User's point-wise relative bound ``b_r``.
+    max_log_abs:
+        ``max_x |log_base x|`` over the (transformed) dataset.
+    eps0:
+        Unit round-off of the precision holding the transformed data.
+
+    Raises
+    ------
+    ValueError
+        If the round-off correction consumes the entire bound (the demand
+        is finer than the floating-point format can express).
+    """
+    _validate(rel_bound, base)
+    if max_log_abs < 0:
+        raise ValueError(f"max_log_abs must be non-negative, got {max_log_abs}")
+    ba = abs_bound_for(rel_bound, base)
+    adjusted = ba - max_log_abs * eps0
+    if adjusted <= 0:
+        raise ValueError(
+            f"relative bound {rel_bound:g} is below the round-off floor "
+            f"({max_log_abs:g} * {eps0:g}) of this data's dynamic range"
+        )
+    return adjusted
+
+
+def machine_eps0(dtype: np.dtype) -> float:
+    """Machine epsilon of the precision carrying the transformed values."""
+    return float(np.finfo(np.dtype(dtype)).eps)
+
+
+def _validate(rel_bound: float, base: float) -> None:
+    if not 0 < rel_bound < 1:
+        raise ValueError(f"relative bound must be in (0, 1), got {rel_bound}")
+    if base <= 1:
+        raise ValueError(f"base must exceed 1, got {base}")

@@ -1,0 +1,192 @@
+"""Algorithm 1: point-wise-relative compression via the log transform.
+
+:class:`TransformedCompressor` wraps *any* absolute-error-bounded
+compressor:
+
+1. strip signs (DEFLATE-compressed bitmap; skipped when single-signed),
+2. map magnitudes to log space, planting zeros at the sentinel,
+3. compute the adjusted absolute bound ``b_a'`` (Theorem 2 + Lemma 2),
+4. run the inner compressor on the transformed data with ``b_a'``,
+5. *verify*: decompress what was just produced, map it back, and record
+   any point whose relative error still exceeds ``b_r`` in an exact patch
+   channel.  With the Lemma-2 adjustment in place this channel is empty in
+   practice (the tests assert as much); it turns "bounded with probability
+   1 minus round-off" into "bounded, period", and its size is reported so
+   the round-off ablation can quantify Lemma 2's effect.
+
+``make_sz_t()`` / ``make_zfp_t()`` build the paper's ``SZ_T`` and
+``ZFP_T``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors.base import (
+    AbsoluteBound,
+    Compressor,
+    ErrorBound,
+    RelativeBound,
+)
+from repro.core.error_bounds import abs_bound_for, adjusted_abs_bound, machine_eps0
+from repro.core.transform import LogTransform
+from repro.encoding import decode_sign_bitmap, deflate, encode_sign_bitmap, inflate
+
+__all__ = ["TransformedCompressor", "make_sz_t", "make_zfp_t"]
+
+
+class TransformedCompressor(Compressor):
+    """Wrap an absolute-error-bounded compressor into a PWR compressor.
+
+    Parameters
+    ----------
+    inner:
+        Any compressor accepting :class:`AbsoluteBound` (SZ_ABS, ZFP_A...).
+    base:
+        Logarithm base; the paper proves the choice does not affect
+        quality (Theorem 3 / Lemma 4) and picks 2 for speed (Table III).
+    name:
+        Experiment-table name; defaults to ``<family>_T``.
+    verify:
+        Enable the encoder-side verification + patch channel (step 5).
+    apply_lemma2:
+        Apply Lemma 2's round-off shrink to the absolute bound.  Disabling
+        it (used by the round-off ablation) makes the bound mapping the
+        naive ``g(b_r)`` of Theorem 2; bound violations caused by mapping
+        round-off then land in the patch channel and are counted in
+        :attr:`last_patch_count`.
+    """
+
+    supported_bounds = (RelativeBound,)
+
+    def __init__(
+        self,
+        inner: Compressor,
+        base: float = 2.0,
+        name: str | None = None,
+        verify: bool = True,
+        apply_lemma2: bool = True,
+    ) -> None:
+        if AbsoluteBound not in inner.supported_bounds:
+            raise TypeError(
+                f"inner compressor {inner.name} does not support absolute bounds"
+            )
+        self.inner = inner
+        self.transform = LogTransform(base)
+        self.name = name if name is not None else f"{inner.name.split('_')[0]}_T"
+        self.verify = verify
+        self.apply_lemma2 = apply_lemma2
+        #: Number of patched points in the most recent compress() call.
+        self.last_patch_count = 0
+
+    # -- compression -------------------------------------------------------
+
+    def compress(self, data: np.ndarray, bound: ErrorBound) -> bytes:
+        self._check_bound(bound)
+        data = self._check_input(data)
+        br = float(bound.value)
+        tf = self.transform
+
+        magnitudes = np.abs(data)
+        all_nonneg, sign_payload = encode_sign_bitmap(data)
+
+        # Provisional bound to break the sentinel <-> max|log| circularity:
+        # nonzero magnitudes bound their own logs; the sentinel magnitude
+        # is known analytically from the format floor.
+        ba0 = abs_bound_for(br, tf.base)
+        eps0 = machine_eps0(data.dtype)
+        logs_nz = tf.forward(magnitudes, ba0)
+        max_log = max(
+            tf.max_log_magnitude(logs_nz),
+            abs(tf.floor_log(data.dtype)) + 4.0 * ba0 + 1.0,
+        )
+        if self.apply_lemma2:
+            ba = adjusted_abs_bound(br, max_log, eps0, tf.base)
+        else:
+            ba = ba0
+
+        d = tf.forward(magnitudes, ba)
+        inner_blob = self.inner.compress(d, AbsoluteBound(ba))
+
+        box = self._new_container(self.name, data)
+        box.put_f64("br", br)
+        box.put_f64("ba", ba)
+        box.put_f64("base", tf.base)
+        box.put_u64("all_nonneg", int(all_nonneg))
+        box.put("signs", sign_payload)
+        box.put("inner", inner_blob)
+
+        patch_idx = np.zeros(0, dtype=np.uint64)
+        patch_val = np.zeros(0, dtype=data.dtype)
+        if self.verify:
+            recon = self._reconstruct(
+                inner_blob, ba, data.shape, data.dtype, all_nonneg, sign_payload
+            )
+            err = np.abs(recon.astype(np.float64) - data.astype(np.float64))
+            viol = (err > br * np.abs(data.astype(np.float64))).ravel()
+            patch_idx = np.flatnonzero(viol).astype(np.uint64)
+            patch_val = data.ravel()[patch_idx.astype(np.int64)]
+        self.last_patch_count = int(patch_idx.size)
+        box.put("patch_idx", deflate(patch_idx.tobytes()))
+        box.put("patch_val", deflate(np.ascontiguousarray(patch_val).tobytes()))
+        box.put_u64("n_patch", patch_idx.size)
+        return box.to_bytes()
+
+    # -- decompression -----------------------------------------------------
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        box, shape, dtype = self._open_container(blob, self.name)
+        ba = box.get_f64("ba")
+        base = box.get_f64("base")
+        if base != self.transform.base:
+            raise ValueError(
+                f"stream was produced with base {base}, decompressor uses "
+                f"{self.transform.base}"
+            )
+        recon = self._reconstruct(
+            box.get("inner"),
+            ba,
+            shape,
+            dtype,
+            bool(box.get_u64("all_nonneg")),
+            box.get("signs"),
+        )
+        patch_idx = np.frombuffer(inflate(box.get("patch_idx")), dtype=np.uint64)
+        patch_val = np.frombuffer(inflate(box.get("patch_val")), dtype=dtype)
+        if patch_idx.size != box.get_u64("n_patch") or patch_val.size != patch_idx.size:
+            raise ValueError(f"corrupt {self.name} stream: patch channel size mismatch")
+        flat = recon.ravel()
+        flat[patch_idx.astype(np.int64)] = patch_val
+        return flat.reshape(shape)
+
+    def _reconstruct(
+        self,
+        inner_blob: bytes,
+        ba: float,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        all_nonneg: bool,
+        sign_payload: bytes,
+    ) -> np.ndarray:
+        """Inner decompress -> inverse log map -> sign restoration."""
+        d_rec = self.inner.decompress(inner_blob)
+        magnitudes = self.transform.inverse(d_rec, ba, dtype)
+        if all_nonneg:
+            return magnitudes.reshape(shape)
+        negatives = decode_sign_bitmap(False, sign_payload, magnitudes.size)
+        signed = np.where(negatives.reshape(magnitudes.shape), -magnitudes, magnitudes)
+        return signed.reshape(shape)
+
+
+def make_sz_t(base: float = 2.0, verify: bool = True) -> TransformedCompressor:
+    """The paper's ``SZ_T``: SZ(abs) wrapped in the log transform."""
+    from repro.compressors.sz import SZCompressor
+
+    return TransformedCompressor(SZCompressor(), base=base, verify=verify)
+
+
+def make_zfp_t(base: float = 2.0, verify: bool = True) -> TransformedCompressor:
+    """The paper's ``ZFP_T``: ZFP(accuracy) wrapped in the log transform."""
+    from repro.compressors.zfp import ZFPCompressor
+
+    return TransformedCompressor(ZFPCompressor("accuracy"), base=base, verify=verify)

@@ -1,0 +1,214 @@
+"""Field registry mirroring the paper's Table I.
+
+Each application exposes named fields with the statistical fingerprint the
+paper describes (or that the underlying simulations are documented to
+have):
+
+* **HACC** -- 1-D particle velocities; particle storage order largely
+  decorrelates them, which is why the paper calls HACC "sharply varying"
+  and why blockwise SZ_PWR struggles on it.
+* **CESM-ATM** -- 2-D climate fields; cloud fractions live in [0, 1] with
+  exact-zero regions (clipped), radiative/temperature fields are smooth.
+* **NYX** -- 3-D cosmology; ``dark_matter_density`` is log-normal with
+  ~84% of values in [0, 1] and a 1e4-scale tail (the paper's motivating
+  field for point-wise relative bounds), ``velocity_*`` are large signed
+  smooth fields.
+* **Hurricane** -- 3-D weather; ``CLOUDf48``-style fields are mostly
+  exact zeros with spiky condensate, winds are signed and smooth.
+
+Default sizes are laptop-scale (DESIGN.md section 2); ``scale`` multiplies
+every axis for larger runs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.data.generators import gaussian_random_field
+
+__all__ = ["Field", "APPLICATIONS", "application_names", "field_names", "load_field"]
+
+
+@dataclass(frozen=True)
+class Field:
+    """A synthetic stand-in for one simulation output field."""
+
+    app: str
+    name: str
+    shape: tuple[int, ...]
+    description: str
+    make: Callable[[tuple[int, ...], int], np.ndarray]
+
+    def generate(self, scale: float = 1.0, seed: int | None = None) -> np.ndarray:
+        """Materialize the field as float32 (deterministic in the seed)."""
+        shape = tuple(max(8, int(round(s * scale))) for s in self.shape)
+        if seed is None:
+            seed = zlib.crc32(f"{self.app}/{self.name}".encode())
+        return self.make(shape, seed).astype(np.float32)
+
+
+def _signed_velocity(sigma: float, beta: float, mix: float):
+    def make(shape, seed):
+        return sigma * gaussian_random_field(shape, beta=beta, seed=seed, mix_white=mix)
+
+    return make
+
+
+def _particle_velocity(median: float, spread: float, beta: float, mix: float):
+    """HACC-style particle velocity: a log-normal *dispersion* field
+    modulates signed fluctuations, so most particles are slow (cold voids)
+    while halo particles reach ~100x the median -- the population that
+    makes absolute error bounds skew velocity angles (Fig. 5) and starves
+    blockwise SZ_PWR (Fig. 2a)."""
+
+    def make(shape, seed):
+        amp = median * np.exp(
+            spread * gaussian_random_field(shape, beta=beta, seed=seed)
+        )
+        direction = gaussian_random_field(shape, beta=beta, seed=seed + 1, mix_white=mix)
+        return amp * direction
+
+    return make
+
+
+def _lognormal(sigma: float, mu: float, beta: float, unit: float = 1.0):
+    def make(shape, seed):
+        g = gaussian_random_field(shape, beta=beta, seed=seed)
+        return unit * np.exp(sigma * g + mu)
+
+    return make
+
+
+def _fraction(beta: float, center: float = 0.5, amp: float = 0.45):
+    def make(shape, seed):
+        g = gaussian_random_field(shape, beta=beta, seed=seed)
+        return np.clip(center + amp * g, 0.0, 1.0)
+
+    return make
+
+
+def _smooth_offset(mean: float, sigma: float, beta: float):
+    def make(shape, seed):
+        return mean + sigma * gaussian_random_field(shape, beta=beta, seed=seed)
+
+    return make
+
+
+def _sparse_condensate(threshold: float, unit: float, beta: float):
+    """Mostly-zero field with positive spikes (cloud/rain water)."""
+
+    def make(shape, seed):
+        g = gaussian_random_field(shape, beta=beta, seed=seed)
+        return unit * np.maximum(g - threshold, 0.0)
+
+    return make
+
+
+_HACC_SHAPE = (1 << 19,)
+_CESM_SHAPE = (256, 512)
+_NYX_SHAPE = (64, 64, 64)
+_HURR_SHAPE = (32, 128, 128)
+
+# NYX dark_matter_density calibration: P(rho <= 1) ~ 0.84 and
+# max ~ 1.4e4 over ~2.6e5 samples  =>  sigma ~ 2.7, mu = -sigma.
+_FIELDS: list[Field] = [
+    # -- HACC (Table I: 3 fields, 1-D particle arrays) ----------------------
+    Field("HACC", "velocity_x", _HACC_SHAPE,
+          "particle x-velocity: log-normal dispersion, mostly slow particles",
+          _particle_velocity(300.0, 1.3, beta=2.0, mix=0.35)),
+    Field("HACC", "velocity_y", _HACC_SHAPE,
+          "particle y-velocity: log-normal dispersion, mostly slow particles",
+          _particle_velocity(300.0, 1.3, beta=2.0, mix=0.35)),
+    Field("HACC", "velocity_z", _HACC_SHAPE,
+          "particle z-velocity: log-normal dispersion, mostly slow particles",
+          _particle_velocity(300.0, 1.3, beta=2.0, mix=0.35)),
+    # -- CESM-ATM (2-D climate) ---------------------------------------------
+    Field("CESM-ATM", "CLDHGH", _CESM_SHAPE,
+          "high-cloud fraction in [0,1] with clipped zero regions",
+          _fraction(beta=3.2)),
+    Field("CESM-ATM", "CLDLOW", _CESM_SHAPE,
+          "low-cloud fraction in [0,1] with clipped zero regions",
+          _fraction(beta=3.0, center=0.4)),
+    Field("CESM-ATM", "FLDS", _CESM_SHAPE,
+          "downwelling longwave flux, smooth positive",
+          _smooth_offset(350.0, 40.0, beta=3.5)),
+    Field("CESM-ATM", "TS", _CESM_SHAPE,
+          "surface temperature (K), smooth positive",
+          _smooth_offset(285.0, 15.0, beta=3.5)),
+    Field("CESM-ATM", "PRECT", _CESM_SHAPE,
+          "precipitation rate, tiny positive log-normal",
+          _lognormal(1.8, 0.0, beta=3.0, unit=2e-8)),
+    # -- NYX (3-D cosmology) ------------------------------------------------
+    Field("NYX", "dark_matter_density", _NYX_SHAPE,
+          "log-normal density, ~84% of mass in [0,1], 1e4-scale tail",
+          _lognormal(2.7, -2.7, beta=3.5)),
+    Field("NYX", "baryon_density", _NYX_SHAPE,
+          "log-normal density, slightly narrower than dark matter",
+          _lognormal(2.2, -2.2, beta=3.5)),
+    Field("NYX", "temperature", _NYX_SHAPE,
+          "gas temperature (K), positive log-normal around 1e4",
+          _lognormal(1.5, 0.0, beta=3.2, unit=1e4)),
+    Field("NYX", "velocity_x", _NYX_SHAPE,
+          "large signed velocity, smooth",
+          _signed_velocity(8000.0, beta=3.0, mix=0.05)),
+    Field("NYX", "velocity_y", _NYX_SHAPE,
+          "large signed velocity, smooth",
+          _signed_velocity(8000.0, beta=3.0, mix=0.05)),
+    Field("NYX", "velocity_z", _NYX_SHAPE,
+          "large signed velocity, smooth",
+          _signed_velocity(8000.0, beta=3.0, mix=0.05)),
+    # -- Hurricane ISABEL (3-D weather) --------------------------------------
+    Field("Hurricane", "CLOUDf48", _HURR_SHAPE,
+          "cloud water: ~84% exact zeros, positive spikes",
+          _sparse_condensate(1.0, 1e-3, beta=2.8)),
+    Field("Hurricane", "PRECIPf48", _HURR_SHAPE,
+          "precipitation: mostly zeros, positive spikes",
+          _sparse_condensate(1.3, 5e-3, beta=2.5)),
+    Field("Hurricane", "Uf48", _HURR_SHAPE,
+          "zonal wind, signed, smooth",
+          _signed_velocity(25.0, beta=3.2, mix=0.05)),
+    Field("Hurricane", "Vf48", _HURR_SHAPE,
+          "meridional wind, signed, smooth",
+          _signed_velocity(25.0, beta=3.2, mix=0.05)),
+    Field("Hurricane", "Wf48", _HURR_SHAPE,
+          "vertical wind, signed, rougher",
+          _signed_velocity(2.0, beta=2.2, mix=0.15)),
+    Field("Hurricane", "TCf48", _HURR_SHAPE,
+          "temperature (C), smooth, crosses zero",
+          _smooth_offset(-25.0, 30.0, beta=3.5)),
+    Field("Hurricane", "QVAPORf48", _HURR_SHAPE,
+          "water vapour mixing ratio, positive log-normal",
+          _lognormal(1.2, 0.0, beta=3.2, unit=5e-3)),
+]
+
+APPLICATIONS: dict[str, dict[str, Field]] = {}
+for _f in _FIELDS:
+    APPLICATIONS.setdefault(_f.app, {})[_f.name] = _f
+
+
+def application_names() -> list[str]:
+    return list(APPLICATIONS)
+
+
+def field_names(app: str) -> list[str]:
+    try:
+        return list(APPLICATIONS[app])
+    except KeyError:
+        raise KeyError(f"unknown application {app!r}; known: {application_names()}") from None
+
+
+def load_field(
+    app: str, name: str, scale: float = 1.0, seed: int | None = None
+) -> np.ndarray:
+    """Generate one field; ``scale`` multiplies every axis length."""
+    fields = APPLICATIONS.get(app)
+    if fields is None:
+        raise KeyError(f"unknown application {app!r}; known: {application_names()}")
+    field = fields.get(name)
+    if field is None:
+        raise KeyError(f"unknown field {name!r} of {app}; known: {list(fields)}")
+    return field.generate(scale=scale, seed=seed)

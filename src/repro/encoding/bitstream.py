@@ -1,0 +1,234 @@
+"""MSB-first bit streams with vectorized bulk packing.
+
+Two access styles are provided:
+
+* :class:`BitWriter` / :class:`BitReader` -- incremental, scalar-friendly
+  streams used by container headers and by small per-block metadata.
+* :func:`pack_fixed_width` / :func:`unpack_fixed_width` -- fully vectorized
+  packing of integer arrays at a fixed bit width, the hot path used by the
+  ISABELA permutation index and several side channels.
+
+All streams are MSB-first: the first bit written is the most significant
+bit of the first byte.  This matches the convention of the canonical
+Huffman codec in :mod:`repro.encoding.huffman`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "BitWriter",
+    "BitReader",
+    "pack_fixed_width",
+    "unpack_fixed_width",
+    "pack_varbits",
+    "unpack_varbits",
+]
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into a growable byte buffer.
+
+    The writer keeps a small Python-int accumulator; bulk array writes go
+    through :meth:`write_bit_array`, which uses ``np.packbits``.
+    """
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+        self._acc = 0  # pending bits, MSB-first in the low `_nacc` bits
+        self._nacc = 0
+        self._nbits = 0
+
+    def __len__(self) -> int:
+        """Total number of bits written so far."""
+        return self._nbits
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (any truthy value counts as 1)."""
+        self.write_bits(1 if bit else 0, 1)
+
+    def write_bits(self, value: int, nbits: int) -> None:
+        """Append the low ``nbits`` of ``value``, MSB of the field first."""
+        if nbits < 0:
+            raise ValueError(f"nbits must be non-negative, got {nbits}")
+        if nbits == 0:
+            return
+        value &= (1 << nbits) - 1
+        self._acc = (self._acc << nbits) | value
+        self._nacc += nbits
+        self._nbits += nbits
+        # Flush whole bytes out of the accumulator.
+        while self._nacc >= 8:
+            self._nacc -= 8
+            self._chunks.append(bytes([(self._acc >> self._nacc) & 0xFF]))
+        self._acc &= (1 << self._nacc) - 1
+
+    def write_bit_array(self, bits: np.ndarray) -> None:
+        """Append a 1-D array of 0/1 values as individual bits."""
+        bits = np.asarray(bits).astype(np.uint8).ravel()
+        if bits.size == 0:
+            return
+        if self._nacc == 0:
+            # Fast path: byte-aligned, pack directly.
+            self._chunks.append(np.packbits(bits).tobytes())
+            self._nbits += bits.size
+            tail = bits.size % 8
+            if tail:
+                # packbits pads with zeros; pull the last partial byte back
+                # into the accumulator so subsequent writes are correct.
+                last = self._chunks.pop()
+                self._chunks.append(last[:-1])
+                self._acc = last[-1] >> (8 - tail)
+                self._nacc = tail
+        else:
+            for b in bits.tolist():
+                self.write_bits(int(b), 1)
+
+    def getvalue(self) -> bytes:
+        """Return the stream as bytes, zero-padding the final partial byte."""
+        out = b"".join(self._chunks)
+        if self._nacc:
+            out += bytes([(self._acc << (8 - self._nacc)) & 0xFF])
+        return out
+
+    @property
+    def nbits(self) -> int:
+        return self._nbits
+
+
+class BitReader:
+    """Reads an MSB-first bit stream produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes, nbits: int | None = None) -> None:
+        self._bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+        if nbits is not None:
+            if nbits > self._bits.size:
+                raise ValueError(f"stream holds {self._bits.size} bits, {nbits} requested")
+            self._bits = self._bits[:nbits]
+        self._pos = 0
+
+    def __len__(self) -> int:
+        return self._bits.size
+
+    @property
+    def pos(self) -> int:
+        """Current bit cursor."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        return self._bits.size - self._pos
+
+    def read_bit(self) -> int:
+        if self._pos >= self._bits.size:
+            raise EOFError("bit stream exhausted")
+        bit = int(self._bits[self._pos])
+        self._pos += 1
+        return bit
+
+    def read_bits(self, nbits: int) -> int:
+        """Read ``nbits`` as an unsigned integer (MSB of the field first)."""
+        if nbits == 0:
+            return 0
+        if self._pos + nbits > self._bits.size:
+            raise EOFError(f"requested {nbits} bits, only {self.remaining} left")
+        chunk = self._bits[self._pos : self._pos + nbits]
+        self._pos += nbits
+        value = 0
+        for b in chunk.tolist():
+            value = (value << 1) | b
+        return value
+
+    def read_bit_array(self, nbits: int) -> np.ndarray:
+        """Read ``nbits`` bits as a uint8 0/1 array."""
+        if self._pos + nbits > self._bits.size:
+            raise EOFError(f"requested {nbits} bits, only {self.remaining} left")
+        chunk = self._bits[self._pos : self._pos + nbits]
+        self._pos += nbits
+        return chunk.copy()
+
+    def seek(self, bitpos: int) -> None:
+        if not 0 <= bitpos <= self._bits.size:
+            raise ValueError(f"seek position {bitpos} outside stream of {self._bits.size} bits")
+        self._pos = bitpos
+
+
+def pack_fixed_width(values: np.ndarray, width: int) -> bytes:
+    """Pack a 1-D array of non-negative ints at ``width`` bits each.
+
+    Fully vectorized: expands each value into its ``width`` bits via
+    broadcasting and a single ``np.packbits`` call.
+    """
+    if width < 0 or width > 64:
+        raise ValueError(f"width must be in [0, 64], got {width}")
+    values = np.ascontiguousarray(values, dtype=np.uint64).ravel()
+    if width == 0:
+        if np.any(values != 0):
+            raise ValueError("width 0 can only encode zeros")
+        return b""
+    if values.size and int(values.max()) >> width:
+        raise ValueError(f"value {int(values.max())} does not fit in {width} bits")
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+    bits = ((values[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bits.ravel()).tobytes()
+
+
+def unpack_fixed_width(data: bytes, width: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_fixed_width`; returns a uint64 array."""
+    if width == 0:
+        return np.zeros(count, dtype=np.uint64)
+    nbits = width * count
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8), count=nbits)
+    bits = bits.reshape(count, width).astype(np.uint64)
+    weights = np.left_shift(np.uint64(1), np.arange(width - 1, -1, -1, dtype=np.uint64))
+    return (bits * weights).sum(axis=1, dtype=np.uint64)
+
+
+def pack_varbits(values: np.ndarray, widths: np.ndarray) -> bytes:
+    """Pack ``values[i]`` at ``widths[i]`` bits each (MSB-first per field).
+
+    Vectorized via one bit-scatter pass per bit position (at most
+    ``widths.max()`` passes).  The decoder must know the widths (FPZIP
+    recovers them from the Huffman-coded residual classes).
+    """
+    values = np.ascontiguousarray(values, dtype=np.uint64).ravel()
+    widths = np.ascontiguousarray(widths, dtype=np.int64).ravel()
+    if values.size != widths.size:
+        raise ValueError("values and widths must have the same length")
+    if widths.size == 0:
+        return b""
+    if widths.min() < 0 or widths.max() > 64:
+        raise ValueError("widths must be in [0, 64]")
+    ends = np.cumsum(widths)
+    starts = ends - widths
+    total = int(ends[-1])
+    bits = np.zeros(total + 7, dtype=np.uint8)
+    for j in range(int(widths.max())):
+        mask = widths > j
+        if not mask.any():
+            break
+        pos = starts[mask] + j
+        shift = (widths[mask] - 1 - j).astype(np.uint64)
+        bits[pos] = ((values[mask] >> shift) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bits[:total]).tobytes()
+
+
+def unpack_varbits(data: bytes, widths: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_varbits`; returns uint64 values."""
+    widths = np.ascontiguousarray(widths, dtype=np.int64).ravel()
+    if widths.size == 0:
+        return np.zeros(0, dtype=np.uint64)
+    ends = np.cumsum(widths)
+    starts = ends - widths
+    total = int(ends[-1])
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8), count=total).astype(np.uint64)
+    values = np.zeros(widths.size, dtype=np.uint64)
+    for j in range(int(widths.max(initial=0))):
+        mask = widths > j
+        if not mask.any():
+            break
+        pos = starts[mask] + j
+        shift = (widths[mask] - 1 - j).astype(np.uint64)
+        values[mask] |= bits[pos] << shift
+    return values

@@ -1,0 +1,107 @@
+"""Small integer/byte codecs shared across compressors.
+
+* zigzag mapping between signed and unsigned integers,
+* LEB128-style varints for container metadata,
+* sign-bitmap packing (Algorithm 1 of the paper stores the signs of the
+  input separately and compresses them with DEFLATE when the data is not
+  single-signed),
+* thin wrappers over :mod:`zlib` (the paper's "gzip stage" -- gzip is the
+  DEFLATE algorithm plus a file header, which we do not need).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = [
+    "zigzag_encode",
+    "zigzag_decode",
+    "write_varint",
+    "read_varint",
+    "encode_sign_bitmap",
+    "decode_sign_bitmap",
+    "deflate",
+    "inflate",
+]
+
+
+def zigzag_encode(values: np.ndarray) -> np.ndarray:
+    """Map int64 -> uint64 with small magnitudes staying small.
+
+    ``0, -1, 1, -2, 2, ...`` map to ``0, 1, 2, 3, 4, ...``.
+    """
+    v = np.asarray(values, dtype=np.int64)
+    return ((v << 1) ^ (v >> 63)).view(np.uint64)
+
+
+def zigzag_decode(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag_encode`."""
+    u = np.asarray(values, dtype=np.uint64)
+    return ((u >> np.uint64(1)).view(np.int64)) ^ -(u & np.uint64(1)).view(np.int64)
+
+
+def write_varint(value: int) -> bytes:
+    """LEB128 encoding of a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"varint requires a non-negative value, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def read_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a LEB128 varint; returns ``(value, next_offset)``."""
+    value = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 70:
+            raise ValueError("varint too long")
+
+
+def encode_sign_bitmap(data: np.ndarray) -> tuple[bool, bytes]:
+    """Pack the signs of ``data`` per Algorithm 1 of the paper.
+
+    Returns ``(all_nonnegative, payload)``.  When every value is
+    non-negative the payload is empty (the paper's ``P`` flag); otherwise the
+    payload is the DEFLATE-compressed bit map with one bit per element
+    (1 = negative).
+    """
+    negatives = np.signbit(np.asarray(data)).ravel()
+    if not negatives.any():
+        return True, b""
+    packed = np.packbits(negatives.astype(np.uint8)).tobytes()
+    return False, deflate(packed)
+
+
+def decode_sign_bitmap(all_nonnegative: bool, payload: bytes, count: int) -> np.ndarray:
+    """Inverse of :func:`encode_sign_bitmap`; returns a boolean array."""
+    if all_nonnegative:
+        return np.zeros(count, dtype=bool)
+    packed = np.frombuffer(inflate(payload), dtype=np.uint8)
+    return np.unpackbits(packed, count=count).astype(bool)
+
+
+def deflate(data: bytes, level: int = 6) -> bytes:
+    """DEFLATE-compress ``data`` (the paper's optional gzip stage)."""
+    return zlib.compress(data, level)
+
+
+def inflate(data: bytes) -> bytes:
+    return zlib.decompress(data)

@@ -1,0 +1,193 @@
+"""Self-describing byte container for compressed streams.
+
+Every compressor in the library serializes to a :class:`Container` so the
+compression ratios reported by the experiment harness are measured on real
+byte streams, not on in-memory object sizes.
+
+Layout::
+
+    magic  b"RPRC"                 4 bytes
+    version                        1 byte
+    codec name length + utf-8      varint + bytes
+    n_sections                     varint
+    repeat n_sections times:
+        key length + utf-8 key     varint + bytes
+        payload length + payload   varint + bytes
+
+Sections preserve insertion order.  Metadata convenience accessors store
+small scalars as UTF-8/struct-packed sections.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import OrderedDict
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.encoding.codecs import read_varint, write_varint
+
+__all__ = ["Container", "ContainerError"]
+
+_MAGIC = b"RPRC"
+_VERSION = 1
+
+# dtype tokens are fixed so streams are portable across numpy versions.
+_DTYPE_TOKENS = {
+    "float32": b"f4",
+    "float64": b"f8",
+    "int32": b"i4",
+    "int64": b"i8",
+    "uint8": b"u1",
+    "uint16": b"u2",
+    "uint32": b"u4",
+    "uint64": b"u8",
+}
+_TOKEN_DTYPES = {v: np.dtype(k) for k, v in _DTYPE_TOKENS.items()}
+
+
+class ContainerError(ValueError):
+    """Raised for malformed container bytes."""
+
+
+class Container:
+    """Ordered mapping of named byte sections with typed helpers."""
+
+    def __init__(self, codec: str) -> None:
+        if not codec:
+            raise ValueError("codec name must be non-empty")
+        self.codec = codec
+        self._sections: OrderedDict[str, bytes] = OrderedDict()
+
+    # -- raw sections ------------------------------------------------------
+
+    def put(self, key: str, payload: bytes) -> None:
+        if key in self._sections:
+            raise ContainerError(f"duplicate section {key!r}")
+        self._sections[key] = bytes(payload)
+
+    def get(self, key: str) -> bytes:
+        try:
+            return self._sections[key]
+        except KeyError:
+            raise ContainerError(f"missing section {key!r} in {self.codec} stream") from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._sections
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._sections)
+
+    def keys(self):
+        return self._sections.keys()
+
+    # -- typed helpers -----------------------------------------------------
+
+    def put_u64(self, key: str, value: int) -> None:
+        self.put(key, struct.pack("<Q", value))
+
+    def get_u64(self, key: str) -> int:
+        return struct.unpack("<Q", self.get(key))[0]
+
+    def put_i64(self, key: str, value: int) -> None:
+        self.put(key, struct.pack("<q", value))
+
+    def get_i64(self, key: str) -> int:
+        return struct.unpack("<q", self.get(key))[0]
+
+    def put_f64(self, key: str, value: float) -> None:
+        self.put(key, struct.pack("<d", value))
+
+    def get_f64(self, key: str) -> float:
+        return struct.unpack("<d", self.get(key))[0]
+
+    def put_str(self, key: str, value: str) -> None:
+        self.put(key, value.encode("utf-8"))
+
+    def get_str(self, key: str) -> str:
+        return self.get(key).decode("utf-8")
+
+    def put_shape(self, key: str, shape: tuple[int, ...]) -> None:
+        self.put(key, b"".join(write_varint(d) for d in (len(shape), *shape)))
+
+    def get_shape(self, key: str) -> tuple[int, ...]:
+        data = self.get(key)
+        ndim, pos = read_varint(data)
+        dims = []
+        for _ in range(ndim):
+            d, pos = read_varint(data, pos)
+            dims.append(d)
+        return tuple(dims)
+
+    def put_dtype(self, key: str, dtype: np.dtype) -> None:
+        name = np.dtype(dtype).name
+        if name not in _DTYPE_TOKENS:
+            raise ContainerError(f"unsupported dtype {name}")
+        self.put(key, _DTYPE_TOKENS[name])
+
+    def get_dtype(self, key: str) -> np.dtype:
+        token = self.get(key)
+        if token not in _TOKEN_DTYPES:
+            raise ContainerError(f"unknown dtype token {token!r}")
+        return _TOKEN_DTYPES[token]
+
+    def put_array(self, key: str, arr: np.ndarray) -> None:
+        """Store a 1-D array as dtype token + raw little-endian bytes."""
+        arr = np.ascontiguousarray(arr)
+        name = arr.dtype.name
+        if name not in _DTYPE_TOKENS:
+            raise ContainerError(f"unsupported dtype {name}")
+        le = arr.astype(arr.dtype.newbyteorder("<"), copy=False)
+        self.put(key, _DTYPE_TOKENS[name] + le.tobytes())
+
+    def get_array(self, key: str) -> np.ndarray:
+        data = self.get(key)
+        dtype = _TOKEN_DTYPES.get(data[:2])
+        if dtype is None:
+            raise ContainerError(f"unknown dtype token {data[:2]!r}")
+        return np.frombuffer(data[2:], dtype=dtype.newbyteorder("<")).astype(dtype)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        parts = [_MAGIC, bytes([_VERSION])]
+        codec = self.codec.encode("utf-8")
+        parts.append(write_varint(len(codec)))
+        parts.append(codec)
+        parts.append(write_varint(len(self._sections)))
+        for key, payload in self._sections.items():
+            k = key.encode("utf-8")
+            parts.append(write_varint(len(k)))
+            parts.append(k)
+            parts.append(write_varint(len(payload)))
+            parts.append(payload)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Container":
+        if data[:4] != _MAGIC:
+            raise ContainerError("bad magic: not a repro compressed stream")
+        if data[4] != _VERSION:
+            raise ContainerError(f"unsupported container version {data[4]}")
+        pos = 5
+        n, pos = read_varint(data, pos)
+        codec = data[pos : pos + n].decode("utf-8")
+        pos += n
+        nsec, pos = read_varint(data, pos)
+        out = cls(codec)
+        for _ in range(nsec):
+            n, pos = read_varint(data, pos)
+            key = data[pos : pos + n].decode("utf-8")
+            pos += n
+            n, pos = read_varint(data, pos)
+            if pos + n > len(data):
+                raise ContainerError(f"truncated section {key!r}")
+            out.put(key, data[pos : pos + n])
+            pos += n
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized size in bytes."""
+        return len(self.to_bytes())

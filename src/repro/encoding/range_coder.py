@@ -1,0 +1,207 @@
+"""Adaptive binary-search range coder, chunk-parallel like the Huffman codec.
+
+FPZIP's reference implementation entropy-codes residual classes with an
+*adaptive* range coder rather than a static Huffman code; adaptivity wins
+when the class distribution drifts across the array.  Arithmetic coding is
+inherently sequential per stream, so -- as with
+:mod:`repro.encoding.huffman` -- the input is cut into fixed-symbol-count
+chunks that are encoded and decoded as independent streams advanced in
+lockstep by numpy: every loop iteration processes one symbol of *every*
+chunk.
+
+The coder is Subbotin's carry-less range coder (32-bit window, byte-wise
+renormalization, underflow clamped by shrinking the range), with a
+per-chunk adaptive frequency model over a small alphabet:
+
+* counts start at 1, the coded symbol's count grows by ``_INC``,
+* when the total passes ``_LIMIT`` all counts halve (staying >= 1),
+
+so encoder and decoder models evolve identically without side channels.
+
+Intended for small alphabets (residual classes, selector streams); the
+model table is ``(nchunks, nsym)`` uint32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.codecs import deflate, inflate, read_varint, write_varint
+
+__all__ = ["RangeCodec"]
+
+_TOP = np.uint64(1) << np.uint64(24)
+_BOT = np.uint64(1) << np.uint64(16)
+_MASK32 = np.uint64(0xFFFFFFFF)
+_INC = np.uint32(24)
+_LIMIT = 1 << 13
+
+
+class RangeCodec:
+    """Adaptive range coding over a small alphabet, chunked for decode speed.
+
+    Parameters
+    ----------
+    nsym:
+        Alphabet size (symbols are ``0..nsym-1``); at most 256.
+    chunk_size:
+        Symbols per independently decodable chunk.
+    """
+
+    def __init__(self, nsym: int, chunk_size: int = 1024) -> None:
+        if not 2 <= nsym <= 256:
+            raise ValueError(f"alphabet size must be in [2, 256], got {nsym}")
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.nsym = nsym
+        self.chunk_size = chunk_size
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self, symbols: np.ndarray) -> bytes:
+        symbols = np.ascontiguousarray(symbols, dtype=np.int64).ravel()
+        n = symbols.size
+        header = [write_varint(n), write_varint(self.chunk_size), write_varint(self.nsym)]
+        if n == 0:
+            return b"".join(header)
+        if symbols.min() < 0 or symbols.max() >= self.nsym:
+            raise ValueError(f"symbols must lie in [0, {self.nsym})")
+
+        cs = self.chunk_size
+        nchunks = -(-n // cs)
+        # Pad the tail chunk with symbol 0; the decoder discards the excess.
+        padded = np.zeros(nchunks * cs, dtype=np.int64)
+        padded[:n] = symbols
+        syms = padded.reshape(nchunks, cs)
+
+        counts = np.ones((nchunks, self.nsym), dtype=np.uint32)
+        low = np.zeros(nchunks, dtype=np.uint64)
+        rng = np.full(nchunks, _MASK32, dtype=np.uint64)
+        # worst case ~2 bytes/symbol for tiny alphabets + flush slack
+        out = np.zeros((nchunks, 2 * cs + 16), dtype=np.uint8)
+        cur = np.zeros(nchunks, dtype=np.int64)
+
+        rows = np.arange(nchunks)
+        for i in range(cs):
+            s = syms[:, i]
+            cums = np.cumsum(counts, axis=1, dtype=np.uint64)
+            tot = cums[:, -1]
+            cum = np.where(s > 0, cums[rows, np.maximum(s - 1, 0)], np.uint64(0))
+            freq = counts[rows, s].astype(np.uint64)
+
+            r = rng // tot
+            low = (low + cum * r) & _MASK32
+            rng = freq * r
+            low, rng, cur = self._renorm_encode(low, rng, out, cur)
+
+            counts[rows, s] += _INC
+            over = (tot + np.uint64(_INC)) >= np.uint64(_LIMIT)
+            if over.any():
+                counts[over] = (counts[over] >> np.uint32(1)) | np.uint32(1)
+
+        # Flush the 4-byte window.
+        for _ in range(4):
+            out[rows, cur] = ((low >> np.uint64(24)) & np.uint64(0xFF)).astype(np.uint8)
+            cur += 1
+            low = (low << np.uint64(8)) & _MASK32
+
+        lens = cur.astype(np.uint32)
+        header.append(write_varint(len(deflate(lens.tobytes()))))
+        header.append(deflate(lens.tobytes()))
+        mask = np.arange(out.shape[1])[None, :] < cur[:, None]
+        header.append(out[mask].tobytes())
+        return b"".join(header)
+
+    @staticmethod
+    def _renorm_encode(
+        low: np.ndarray, rng: np.ndarray, out: np.ndarray, cur: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        while True:
+            same_top = ((low ^ (low + rng)) & _MASK32) < _TOP
+            underflow = ~same_top & (rng < _BOT)
+            need = same_top | underflow
+            if not need.any():
+                return low, rng, cur
+            rng = np.where(underflow, ((~low) + np.uint64(1)) & (_BOT - np.uint64(1)), rng)
+            # A clamped range of zero would deadlock; give it the minimum.
+            rng = np.where(underflow & (rng == 0), _BOT - np.uint64(1), rng)
+            idx = np.flatnonzero(need)
+            out[idx, cur[idx]] = ((low[idx] >> np.uint64(24)) & np.uint64(0xFF)).astype(np.uint8)
+            cur[idx] += 1
+            low = np.where(need, (low << np.uint64(8)) & _MASK32, low)
+            rng = np.where(need, (rng << np.uint64(8)) & _MASK32, rng)
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode(self, blob: bytes) -> np.ndarray:
+        n, pos = read_varint(blob)
+        cs, pos = read_varint(blob, pos)
+        nsym, pos = read_varint(blob, pos)
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        sz, pos = read_varint(blob, pos)
+        lens = np.frombuffer(inflate(blob[pos : pos + sz]), dtype=np.uint32).astype(np.int64)
+        pos += sz
+        payload = np.frombuffer(blob, dtype=np.uint8, offset=pos)
+
+        nchunks = lens.size
+        offsets = np.cumsum(lens) - lens
+        # Pad reads past each chunk's end (flushed windows may read junk
+        # bytes; values are irrelevant once the chunk's symbols are out).
+        data = np.zeros(int(lens.sum()) + 8, dtype=np.uint8)
+        data[: payload.size] = payload
+
+        counts = np.ones((nchunks, nsym), dtype=np.uint32)
+        low = np.zeros(nchunks, dtype=np.uint64)
+        rng = np.full(nchunks, _MASK32, dtype=np.uint64)
+        ptr = offsets.copy()
+        code = np.zeros(nchunks, dtype=np.uint64)
+        for _ in range(4):
+            code = ((code << np.uint64(8)) | data[ptr].astype(np.uint64)) & _MASK32
+            ptr += 1
+
+        rows = np.arange(nchunks)
+        syms = np.zeros((nchunks, cs), dtype=np.int64)
+        for i in range(cs):
+            cums = np.cumsum(counts, axis=1, dtype=np.uint64)
+            tot = cums[:, -1]
+            r = rng // tot
+            dv = ((code - low) & _MASK32) // r
+            dv = np.minimum(dv, tot - np.uint64(1))
+            s = (cums <= dv[:, None]).sum(axis=1).astype(np.int64)
+            syms[:, i] = s
+
+            cum = np.where(s > 0, cums[rows, np.maximum(s - 1, 0)], np.uint64(0))
+            freq = counts[rows, s].astype(np.uint64)
+            low = (low + cum * r) & _MASK32
+            rng = freq * r
+            low, rng, code, ptr = self._renorm_decode(low, rng, code, ptr, data)
+
+            counts[rows, s] += _INC
+            over = (tot + np.uint64(_INC)) >= np.uint64(_LIMIT)
+            if over.any():
+                counts[over] = (counts[over] >> np.uint32(1)) | np.uint32(1)
+
+        return syms.reshape(-1)[:n]
+
+    @staticmethod
+    def _renorm_decode(
+        low: np.ndarray,
+        rng: np.ndarray,
+        code: np.ndarray,
+        ptr: np.ndarray,
+        data: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        while True:
+            same_top = ((low ^ (low + rng)) & _MASK32) < _TOP
+            underflow = ~same_top & (rng < _BOT)
+            need = same_top | underflow
+            if not need.any():
+                return low, rng, code, ptr
+            rng = np.where(underflow, ((~low) + np.uint64(1)) & (_BOT - np.uint64(1)), rng)
+            rng = np.where(underflow & (rng == 0), _BOT - np.uint64(1), rng)
+            idx = np.flatnonzero(need)
+            code[idx] = ((code[idx] << np.uint64(8)) | data[ptr[idx]].astype(np.uint64)) & _MASK32
+            ptr[idx] += 1
+            low = np.where(need, (low << np.uint64(8)) & _MASK32, low)
+            rng = np.where(need, (rng << np.uint64(8)) & _MASK32, rng)

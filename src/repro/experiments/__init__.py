@@ -1,0 +1,43 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each experiment module exposes ``run(scale=1.0, **options) -> Table`` (or a
+list of tables) printing the same rows/series the paper reports.  The CLI
+(``repro-experiments`` / ``python -m repro.experiments``) drives them and
+writes text + CSV artifacts.
+
+| experiment | paper artifact | module |
+|---|---|---|
+| ``table2``  | Table II (CR per log base, SZ_T)          | :mod:`repro.experiments.table2` |
+| ``fig1``    | Fig. 1 (rate-distortion per base, ZFP_T)  | :mod:`repro.experiments.fig1` |
+| ``table3``  | Table III (pre/post-processing per base)  | :mod:`repro.experiments.table3` |
+| ``table4``  | Table IV (strict error-bound test)        | :mod:`repro.experiments.table4` |
+| ``fig2``    | Fig. 2 (CR vs bound, 4 apps)              | :mod:`repro.experiments.fig2` |
+| ``fig3``    | Fig. 3 (compress/decompress rates)        | :mod:`repro.experiments.fig3` |
+| ``fig4``    | Fig. 4 (multiprecision slice distortion)  | :mod:`repro.experiments.fig4` |
+| ``fig5``    | Fig. 5 (velocity angle skew)              | :mod:`repro.experiments.fig5` |
+| ``fig6``    | Fig. 6 (parallel dump/load)               | :mod:`repro.experiments.fig6` |
+| ``roundoff``| Lemma 2 ablation                          | :mod:`repro.experiments.roundoff` |
+| ``intro``   | lossless <= 2:1 motivation                | :mod:`repro.experiments.intro` |
+| ``errordist``| error-shape study (reference [7])        | :mod:`repro.experiments.errordist` |
+| ``extensions``| SZ_T vs SZ2_T vs SZ3_T vs ZFP_T          | :mod:`repro.experiments.extensions` |
+"""
+
+from repro.experiments.common import Table, sweep_records
+
+__all__ = ["Table", "sweep_records", "EXPERIMENT_NAMES"]
+
+EXPERIMENT_NAMES = [
+    "intro",
+    "table2",
+    "fig1",
+    "table3",
+    "table4",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "roundoff",
+    "errordist",
+    "extensions",
+]

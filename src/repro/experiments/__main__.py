@@ -1,0 +1,8 @@
+"""``python -m repro.experiments`` entry point."""
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Command line driver: ``repro-experiments run table4 fig2 --out results``.
+
+Runs any subset of the paper's experiments (or ``all``), prints the tables
+and optionally writes ``<name>.txt`` / ``<name>.csv`` (plus PGM panels for
+the figure experiments) into an output directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import os
+import sys
+import time
+
+from repro.experiments import EXPERIMENT_NAMES
+from repro.experiments.common import Table, sweep_records
+
+__all__ = ["main"]
+
+
+def _run_experiment(name: str, scale: float, out_dir: str | None, cache: dict) -> list[Table]:
+    module = importlib.import_module(f"repro.experiments.{name}")
+    kwargs = {}
+    if name in ("fig2", "fig3"):
+        # The two figures share one measurement sweep; run it once.
+        if "sweep" not in cache:
+            cache["sweep"] = sweep_records(scale=scale)
+        result = module.run(scale=scale, records=cache["sweep"])
+    elif name in ("fig4", "fig5"):
+        result = module.run(scale=scale, out_dir=out_dir, **kwargs)
+    else:
+        result = module.run(scale=scale)
+    return result if isinstance(result, list) else [result]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    runp = sub.add_parser("run", help="run experiments")
+    runp.add_argument(
+        "names",
+        nargs="+",
+        choices=[*EXPERIMENT_NAMES, "all"],
+        help="experiments to run ('all' for everything)",
+    )
+    runp.add_argument("--scale", type=float, default=1.0,
+                      help="multiply every dataset axis by this factor")
+    runp.add_argument("--out", default=None, help="directory for txt/csv/pgm artifacts")
+    listp = sub.add_parser("list", help="list available experiments")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in EXPERIMENT_NAMES:
+            print(name)
+        return 0
+
+    names = EXPERIMENT_NAMES if "all" in args.names else args.names
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+    cache: dict = {}
+    for name in names:
+        t0 = time.perf_counter()
+        tables = _run_experiment(name, args.scale, args.out, cache)
+        elapsed = time.perf_counter() - t0
+        for i, table in enumerate(tables):
+            print(table.format())
+            if args.out:
+                suffix = f"_{i}" if len(tables) > 1 else ""
+                base = os.path.join(args.out, f"{name}{suffix}")
+                with open(base + ".txt", "w") as fh:
+                    fh.write(table.format() + "\n")
+                with open(base + ".csv", "w") as fh:
+                    fh.write(table.to_csv())
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Figure 3: compression and decompression rates (MB/s).
+
+Same grid as Figure 2 but reporting throughput.  Paper shape: FPZIP leads
+compression everywhere, ZFP_T is usually second, SZ_T beats SZ_PWR (no
+per-block bookkeeping), ISABELA is slowest (sorting); decompression rates
+are comparable for everything but ISABELA.
+
+Absolute MB/s of these numpy reimplementations are far below the paper's
+C codes; the *relative* ordering is the reproduced quantity (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.experiments.common import (
+    PWR_COMPRESSORS,
+    SweepRecord,
+    Table,
+    sweep_records,
+)
+
+__all__ = ["run", "aggregate_rates"]
+
+
+def aggregate_rates(
+    records: list[SweepRecord],
+) -> dict[tuple[str, str, float], tuple[float, float]]:
+    """(compress MB/s, decompress MB/s) per (app, compressor, bound)."""
+    nbytes = defaultdict(int)
+    ctime = defaultdict(float)
+    dtime = defaultdict(float)
+    for r in records:
+        key = (r.app, r.compressor, r.rel_bound)
+        nbytes[key] += r.original_nbytes
+        ctime[key] += r.compress_s
+        dtime[key] += r.decompress_s
+    return {
+        k: (nbytes[k] / ctime[k] / 1e6, nbytes[k] / dtime[k] / 1e6) for k in nbytes
+    }
+
+
+def run(
+    scale: float = 1.0,
+    records: list[SweepRecord] | None = None,
+) -> list[Table]:
+    if records is None:
+        records = sweep_records(scale=scale)
+    rates = aggregate_rates(records)
+    apps = sorted({r.app for r in records})
+    bounds = sorted({r.rel_bound for r in records})
+
+    tables = []
+    for which, idx in (("compression", 0), ("decompression", 1)):
+        table = Table(
+            title=f"Figure 3 -- {which} rate (MB/s)",
+            columns=["app", "pw rel bound", *PWR_COMPRESSORS],
+        )
+        for app in apps:
+            for br in bounds:
+                row = [rates.get((app, c, br), (float("nan"),) * 2)[idx] for c in PWR_COMPRESSORS]
+                table.add(app, br, *row)
+        tables.append(table)
+    tables[0].notes.append("paper: FPZIP fastest, ZFP_T second, SZ_T > SZ_PWR, ISABELA slowest")
+    tables[1].notes.append("paper: comparable for all compressors except ISABELA")
+    return tables

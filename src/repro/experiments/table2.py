@@ -1,0 +1,43 @@
+"""Table II: impact of the logarithm base on SZ_T compression ratios.
+
+The paper compresses NYX ``dark_matter_density`` and ``velocity_x`` with
+SZ_T under bases {2, e, 10} and six relative bounds, finding per-base CR
+differences of only ~1-3% (Lemma 3 / Theorem 3 in action).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.compressors import RelativeBound
+from repro.core import TransformedCompressor
+from repro.compressors.sz import SZCompressor
+from repro.data import load_field
+from repro.experiments.common import Table
+
+__all__ = ["run", "BASES", "BOUNDS", "FIELDS"]
+
+BASES = (2.0, math.e, 10.0)
+BOUNDS = (1e-4, 1e-3, 1e-2, 1e-1, 0.2, 0.3)
+FIELDS = ("dark_matter_density", "velocity_x")
+
+
+def run(scale: float = 1.0, bounds: tuple[float, ...] = BOUNDS) -> Table:
+    table = Table(
+        title="Table II -- SZ_T compression ratio per logarithm base (NYX)",
+        columns=["field", "pw rel bound", "base 2", "base e", "base 10", "max spread %"],
+    )
+    for fname in FIELDS:
+        data = load_field("NYX", fname, scale=scale)
+        for br in bounds:
+            ratios = []
+            for base in BASES:
+                comp = TransformedCompressor(SZCompressor(), base=base)
+                blob = comp.compress(data, RelativeBound(br))
+                ratios.append(data.nbytes / len(blob))
+            spread = 100.0 * (max(ratios) - min(ratios)) / min(ratios)
+            table.add(fname, br, *ratios, spread)
+    table.notes.append(
+        "paper: base choice moves CR by ~1% (density) / ~3% (velocity) on average"
+    )
+    return table

@@ -1,0 +1,22 @@
+"""Compression-quality metrics used throughout the evaluation."""
+
+from repro.metrics.angles import blockwise_mean_skew, skew_angles
+from repro.metrics.error import ErrorStats, bounded_fraction, relative_errors
+from repro.metrics.rate import (
+    bit_rate,
+    compression_ratio,
+    psnr,
+    relative_psnr,
+)
+
+__all__ = [
+    "ErrorStats",
+    "bit_rate",
+    "blockwise_mean_skew",
+    "bounded_fraction",
+    "compression_ratio",
+    "psnr",
+    "relative_errors",
+    "relative_psnr",
+    "skew_angles",
+]

@@ -1,0 +1,75 @@
+"""Point-wise error statistics (the columns of the paper's Table IV).
+
+Zero handling follows the paper's convention: a point whose original value
+is exactly zero counts as *bounded* iff it decompresses to exactly zero
+(a compressor that "modifies original 0" earns the table's ``*`` marker);
+its relative error is excluded from the Avg E / Max E statistics, which
+are otherwise ``|x - x_d| / |x|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ErrorStats", "relative_errors", "bounded_fraction"]
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Summary of point-wise errors between an array and its reconstruction."""
+
+    max_abs: float
+    max_rel: float
+    avg_rel: float
+    bounded_fraction: float  # fraction of points within the relative bound
+    zeros_modified: int  # original zeros that no longer decode to zero
+    n: int
+
+    @property
+    def strictly_bounded(self) -> bool:
+        return self.bounded_fraction == 1.0
+
+    def bounded_label(self) -> str:
+        """Table-IV style label: '100%', '~100%', '99.93%', with '*' for
+        modified zeros."""
+        f = self.bounded_fraction
+        if f == 1.0:
+            label = "100%"
+        elif f > 0.9999:
+            label = "~100%"
+        else:
+            label = f"{100 * f:.2f}%"
+        return label + ("*" if self.zeros_modified else "")
+
+
+def relative_errors(original: np.ndarray, recon: np.ndarray) -> np.ndarray:
+    """``|x - x_d| / |x|`` over non-zero originals (flattened)."""
+    x = np.asarray(original, dtype=np.float64).ravel()
+    xd = np.asarray(recon, dtype=np.float64).ravel()
+    nz = x != 0
+    return np.abs(xd[nz] - x[nz]) / np.abs(x[nz])
+
+
+def bounded_fraction(
+    original: np.ndarray, recon: np.ndarray, rel_bound: float
+) -> ErrorStats:
+    """Evaluate a reconstruction against a point-wise relative bound."""
+    x = np.asarray(original, dtype=np.float64).ravel()
+    xd = np.asarray(recon, dtype=np.float64).ravel()
+    if x.shape != xd.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {xd.shape}")
+    err = np.abs(xd - x)
+    zeros = x == 0
+    zeros_modified = int((err[zeros] > 0).sum())
+    rel = err[~zeros] / np.abs(x[~zeros])
+    ok = int((rel <= rel_bound).sum()) + int((err[zeros] == 0).sum())
+    return ErrorStats(
+        max_abs=float(err.max(initial=0.0)),
+        max_rel=float(rel.max(initial=0.0)),
+        avg_rel=float(rel.mean()) if rel.size else 0.0,
+        bounded_fraction=ok / x.size,
+        zeros_modified=zeros_modified,
+        n=x.size,
+    )

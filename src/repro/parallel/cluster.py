@@ -1,0 +1,142 @@
+"""Simulated cluster for the Figure-6 dump/load experiment.
+
+``measure_profile`` runs a *real* compressor of this library on a shard of
+data and records its compression/decompression throughput and ratio.
+``SimulatedCluster`` then combines a profile with the GPFS model:
+
+    dump(P ranks)  = bytes_per_rank / compress_rate
+                   + (bytes_per_rank / ratio) / write_bw(P)
+    load(P ranks)  = (bytes_per_rank / ratio) / read_bw(P)
+                   + bytes_per_rank / decompress_rate
+
+Compression is embarrassingly parallel (file-per-process), so the compute
+term is rank-local; only the file system is shared.  Because our
+compressors are numpy reimplementations, their absolute throughput is far
+below the C codes on Bebop; profiles therefore accept a ``rate_scale``
+that anchors one measured rate to the paper's reported scale while
+preserving the *measured relative* speeds -- the quantity Figure 6's
+comparison actually depends on (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.compressors.base import Compressor, ErrorBound
+from repro.parallel.io_model import GPFSModel
+
+__all__ = [
+    "CompressorProfile",
+    "DumpLoadBreakdown",
+    "SimulatedCluster",
+    "measure_profile",
+]
+
+
+@dataclass(frozen=True)
+class CompressorProfile:
+    """Measured single-rank behaviour of one compressor on one workload."""
+
+    name: str
+    compress_rate: float  # bytes of input per second
+    decompress_rate: float  # bytes of output per second
+    ratio: float  # input bytes / compressed bytes
+
+    def scaled(self, rate_scale: float) -> "CompressorProfile":
+        """Scale both throughputs (ratio is scale-free)."""
+        if rate_scale <= 0:
+            raise ValueError(f"rate_scale must be positive, got {rate_scale}")
+        return replace(
+            self,
+            compress_rate=self.compress_rate * rate_scale,
+            decompress_rate=self.decompress_rate * rate_scale,
+        )
+
+
+@dataclass(frozen=True)
+class DumpLoadBreakdown:
+    """Figure-6 bar: compute and I/O seconds for one (compressor, ranks)."""
+
+    name: str
+    ranks: int
+    compress_s: float
+    write_s: float
+    read_s: float
+    decompress_s: float
+
+    @property
+    def dump_s(self) -> float:
+        return self.compress_s + self.write_s
+
+    @property
+    def load_s(self) -> float:
+        return self.read_s + self.decompress_s
+
+
+def measure_profile(
+    compressor: Compressor,
+    data: np.ndarray,
+    bound: ErrorBound,
+    repeats: int = 1,
+) -> CompressorProfile:
+    """Time real compress/decompress calls on ``data`` (best of repeats)."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best_c = float("inf")
+    best_d = float("inf")
+    blob = b""
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        blob = compressor.compress(data, bound)
+        t1 = time.perf_counter()
+        compressor.decompress(blob)
+        t2 = time.perf_counter()
+        best_c = min(best_c, t1 - t0)
+        best_d = min(best_d, t2 - t1)
+    return CompressorProfile(
+        name=compressor.name,
+        compress_rate=data.nbytes / best_c,
+        decompress_rate=data.nbytes / best_d,
+        ratio=data.nbytes / len(blob),
+    )
+
+
+@dataclass(frozen=True)
+class SimulatedCluster:
+    """Bebop-shaped machine: homogeneous ranks over a shared GPFS."""
+
+    fs: GPFSModel = GPFSModel()
+    max_ranks: int = 4096
+
+    def dump_load(
+        self,
+        profile: CompressorProfile,
+        bytes_per_rank: float,
+        ranks: int,
+    ) -> DumpLoadBreakdown:
+        """Dump and load breakdown for one compressor at one scale."""
+        if not 1 <= ranks <= self.max_ranks:
+            raise ValueError(f"ranks must be in [1, {self.max_ranks}], got {ranks}")
+        if bytes_per_rank <= 0:
+            raise ValueError("bytes_per_rank must be positive")
+        compressed = bytes_per_rank / profile.ratio
+        return DumpLoadBreakdown(
+            name=profile.name,
+            ranks=ranks,
+            compress_s=bytes_per_rank / profile.compress_rate,
+            write_s=self.fs.write_time(compressed, ranks),
+            read_s=self.fs.read_time(compressed, ranks),
+            decompress_s=bytes_per_rank / profile.decompress_rate,
+        )
+
+    def uncompressed_dump_load(
+        self, bytes_per_rank: float, ranks: int
+    ) -> tuple[float, float]:
+        """Baseline raw-I/O dump/load seconds (the paper's 0.7-4 h anchor)."""
+        return (
+            self.fs.write_time(bytes_per_rank, ranks),
+            self.fs.read_time(bytes_per_rank, ranks),
+        )

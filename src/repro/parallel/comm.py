@@ -1,0 +1,129 @@
+"""In-process SPMD communicator with mpi4py's collective vocabulary.
+
+``run_spmd(nranks, fn)`` launches ``fn(comm)`` on ``nranks`` threads; each
+thread sees a :class:`FakeComm` whose ``Get_rank``/``Get_size``/``bcast``/
+``scatter``/``gather``/``allreduce``/``barrier`` behave like
+``mpi4py.MPI.COMM_WORLD`` for picklable Python objects and numpy arrays.
+Collectives synchronize on barriers, so rank code with data dependencies
+is exercised realistically (numpy releases the GIL, so ranks genuinely
+overlap).  This exists to keep the library's parallel code MPI-shaped --
+drop-in portable to real mpi4py -- while remaining runnable and testable
+in this repository's single-node environment.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+__all__ = ["FakeComm", "run_spmd"]
+
+
+class _Shared:
+    """State shared by all ranks of one SPMD execution."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.slots: list[Any] = [None] * size
+        self.lock = threading.Lock()
+
+
+class FakeComm:
+    """One rank's view of the shared communicator."""
+
+    def __init__(self, shared: _Shared, rank: int) -> None:
+        self._shared = shared
+        self._rank = rank
+
+    # -- mpi4py surface ------------------------------------------------------
+
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self._shared.size
+
+    def barrier(self) -> None:
+        self._shared.barrier.wait()
+
+    Barrier = barrier
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        sh = self._shared
+        if self._rank == root:
+            sh.slots[root] = obj
+        sh.barrier.wait()
+        out = sh.slots[root]
+        sh.barrier.wait()  # keep root's slot alive until everyone copied
+        return out
+
+    def scatter(self, sendobj: Any, root: int = 0) -> Any:
+        sh = self._shared
+        if self._rank == root:
+            if sendobj is None or len(sendobj) != sh.size:
+                raise ValueError(f"scatter needs a length-{sh.size} sequence at root")
+            for i, item in enumerate(sendobj):
+                sh.slots[i] = item
+        sh.barrier.wait()
+        out = sh.slots[self._rank]
+        sh.barrier.wait()
+        return out
+
+    def gather(self, sendobj: Any, root: int = 0) -> list[Any] | None:
+        sh = self._shared
+        sh.slots[self._rank] = sendobj
+        sh.barrier.wait()
+        out = list(sh.slots) if self._rank == root else None
+        sh.barrier.wait()
+        return out
+
+    def allgather(self, sendobj: Any) -> list[Any]:
+        sh = self._shared
+        sh.slots[self._rank] = sendobj
+        sh.barrier.wait()
+        out = list(sh.slots)
+        sh.barrier.wait()
+        return out
+
+    def allreduce(self, sendobj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        values = self.allgather(sendobj)
+        if op is None:
+            total = values[0]
+            for v in values[1:]:
+                total = total + v
+            return total
+        total = values[0]
+        for v in values[1:]:
+            total = op(total, v)
+        return total
+
+
+def run_spmd(nranks: int, fn: Callable[[FakeComm], Any]) -> list[Any]:
+    """Run ``fn(comm)`` on ``nranks`` concurrent ranks; returns per-rank
+    results in rank order.  Exceptions on any rank are re-raised."""
+    if nranks <= 0:
+        raise ValueError(f"nranks must be positive, got {nranks}")
+    shared = _Shared(nranks)
+    results: list[Any] = [None] * nranks
+    errors: list[BaseException | None] = [None] * nranks
+
+    def worker(rank: int) -> None:
+        try:
+            results[rank] = fn(FakeComm(shared, rank))
+        except BaseException as exc:  # noqa: BLE001 - propagated below
+            errors[rank] = exc
+            shared.barrier.abort()
+
+    threads = [threading.Thread(target=worker, args=(r,)) for r in range(nranks)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for exc in errors:
+        if exc is not None and not isinstance(exc, threading.BrokenBarrierError):
+            raise exc
+    for exc in errors:
+        if exc is not None:
+            raise exc
+    return results

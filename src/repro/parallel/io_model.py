@@ -1,0 +1,59 @@
+"""GPFS file-per-process I/O contention model.
+
+The paper reports that dumping the *uncompressed* 3-12 TB NYX snapshots
+takes 0.7-2.8 hours and loading takes 1-4 hours on Bebop's GPFS -- which
+pins the file system's saturated aggregate bandwidths at roughly 1.2 GB/s
+(write) and 0.85 GB/s (read).  The model below is the standard two-regime
+shape for file-per-process POSIX I/O:
+
+* few ranks: each rank is limited by its own link (``per_process_bw``),
+* many ranks: the file system saturates and every rank gets an equal
+  share of the aggregate.
+
+At the paper's scales (>= 1024 ranks, GBs per rank) the aggregate regime
+dominates, so dump/load times are driven by *compressed bytes*, which is
+exactly why the compressor with the best ratio wins Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPFSModel"]
+
+
+@dataclass(frozen=True)
+class GPFSModel:
+    """Aggregate-bandwidth contention model for a parallel file system."""
+
+    aggregate_write_bw: float = 1.2e9  # bytes/s, saturated write
+    aggregate_read_bw: float = 0.85e9  # bytes/s, saturated read
+    per_process_bw: float = 1.0e9  # bytes/s, single-rank link ceiling
+    metadata_overhead_s: float = 0.5  # per-rank open/close latency (hidden
+    #                                   by parallelism; counted once)
+
+    def __post_init__(self) -> None:
+        for name in ("aggregate_write_bw", "aggregate_read_bw", "per_process_bw"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    def effective_write_bw(self, ranks: int) -> float:
+        """Per-rank write bandwidth at a given concurrency."""
+        self._check_ranks(ranks)
+        return min(self.per_process_bw, self.aggregate_write_bw / ranks)
+
+    def effective_read_bw(self, ranks: int) -> float:
+        self._check_ranks(ranks)
+        return min(self.per_process_bw, self.aggregate_read_bw / ranks)
+
+    def write_time(self, nbytes_per_rank: float, ranks: int) -> float:
+        """Wall-clock seconds for every rank to write its file."""
+        return self.metadata_overhead_s + nbytes_per_rank / self.effective_write_bw(ranks)
+
+    def read_time(self, nbytes_per_rank: float, ranks: int) -> float:
+        return self.metadata_overhead_s + nbytes_per_rank / self.effective_read_bw(ranks)
+
+    @staticmethod
+    def _check_ranks(ranks: int) -> None:
+        if ranks <= 0:
+            raise ValueError(f"ranks must be positive, got {ranks}")

@@ -1,0 +1,114 @@
+"""Real file-per-process dump/load on local storage.
+
+The paper's Section VI-F workload, executable end-to-end on this machine:
+every rank compresses its shard and writes ``rank_<i>.rpz`` with POSIX
+I/O (file-per-process, as in the paper), then the load phase reads and
+decompresses.  Ranks are the in-process SPMD threads of
+:mod:`repro.parallel.comm` -- swap the communicator for ``mpi4py`` and the
+same code runs on a real cluster.
+
+Measured per-phase times feed the same :class:`DumpLoadBreakdown` shape
+the simulator produces, so small real runs can sanity-check the model.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compressors.base import Compressor, ErrorBound
+from repro.parallel.comm import FakeComm, run_spmd
+
+__all__ = ["RankTiming", "DumpSummary", "dump_file_per_process", "load_file_per_process"]
+
+
+@dataclass(frozen=True)
+class RankTiming:
+    rank: int
+    compute_s: float  # compress or decompress time
+    io_s: float  # write or read time
+    bytes_in: int
+    bytes_out: int
+
+
+@dataclass(frozen=True)
+class DumpSummary:
+    timings: tuple[RankTiming, ...]
+
+    @property
+    def wall_compute_s(self) -> float:
+        return max(t.compute_s for t in self.timings)
+
+    @property
+    def wall_io_s(self) -> float:
+        return max(t.io_s for t in self.timings)
+
+    @property
+    def total_bytes_in(self) -> int:
+        return sum(t.bytes_in for t in self.timings)
+
+    @property
+    def total_bytes_out(self) -> int:
+        return sum(t.bytes_out for t in self.timings)
+
+    @property
+    def ratio(self) -> float:
+        return self.total_bytes_in / self.total_bytes_out
+
+
+def _rank_path(out_dir: str, rank: int) -> str:
+    return os.path.join(out_dir, f"rank_{rank}.rpz")
+
+
+def dump_file_per_process(
+    shards: list[np.ndarray],
+    compressor: Compressor,
+    bound: ErrorBound,
+    out_dir: str,
+) -> DumpSummary:
+    """Compress and write one file per rank (rank count = ``len(shards)``)."""
+    if not shards:
+        raise ValueError("need at least one shard")
+    os.makedirs(out_dir, exist_ok=True)
+
+    def rank_main(comm: FakeComm) -> RankTiming:
+        rank = comm.Get_rank()
+        shard = shards[rank]
+        t0 = time.perf_counter()
+        blob = compressor.compress(shard, bound)
+        t1 = time.perf_counter()
+        with open(_rank_path(out_dir, rank), "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        t2 = time.perf_counter()
+        return RankTiming(rank, t1 - t0, t2 - t1, shard.nbytes, len(blob))
+
+    return DumpSummary(tuple(run_spmd(len(shards), rank_main)))
+
+
+def load_file_per_process(
+    out_dir: str, nranks: int
+) -> tuple[list[np.ndarray], DumpSummary]:
+    """Read and decompress every rank file; returns (shards, summary)."""
+    from repro import decompress
+
+    if nranks <= 0:
+        raise ValueError("nranks must be positive")
+
+    def rank_main(comm: FakeComm) -> tuple[np.ndarray, RankTiming]:
+        rank = comm.Get_rank()
+        t0 = time.perf_counter()
+        with open(_rank_path(out_dir, rank), "rb") as fh:
+            blob = fh.read()
+        t1 = time.perf_counter()
+        shard = decompress(blob)
+        t2 = time.perf_counter()
+        return shard, RankTiming(rank, t2 - t1, t1 - t0, len(blob), shard.nbytes)
+
+    results = run_spmd(nranks, rank_main)
+    shards = [r[0] for r in results]
+    return shards, DumpSummary(tuple(r[1] for r in results))

@@ -1,0 +1,136 @@
+"""One-call compression quality reports.
+
+``quality_report(original, blob)`` decompresses a stream, pulls the codec
+and its native bound out of the container, and assembles every metric the
+evaluation uses -- ratio, bit-rate, PSNR flavours, point-wise error
+statistics, error-distribution shape.  The CLI's ``--report`` flag and the
+examples use it; it is also the quickest way for a downstream user to
+judge "what did this setting actually do to my data".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.encoding.container import Container
+from repro.metrics import bit_rate, compression_ratio, psnr, relative_psnr
+from repro.metrics.distribution import ErrorDistribution, error_distribution
+from repro.metrics.error import ErrorStats, bounded_fraction
+
+__all__ = ["QualityReport", "quality_report"]
+
+#: Container keys holding each codec's native bound, with its kind.
+_BOUND_KEYS = {
+    "SZ_ABS": ("eb", "abs"),
+    "SZ2_ABS": ("eb", "abs"),
+    "ZFP_A": ("param", "abs"),
+    "SZ_PWR": ("br", "rel"),
+    "ISABELA": ("br", "rel"),
+    "SZ_T": ("br", "rel"),
+    "SZ2_T": ("br", "rel"),
+    "ZFP_T": ("br", "rel"),
+    "NAIVE_T": ("br", "rel"),
+}
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    codec: str
+    original_nbytes: int
+    compressed_nbytes: int
+    ratio: float
+    bits_per_value: float
+    psnr_db: float
+    relative_psnr_db: float
+    bound_kind: str | None  # "abs" / "rel" / None when not recoverable
+    bound_value: float | None
+    errors: ErrorStats | None  # vs the native bound, when known
+    distribution: ErrorDistribution | None
+
+    def format(self) -> str:
+        lines = [
+            f"codec:            {self.codec}",
+            f"size:             {self.original_nbytes} -> {self.compressed_nbytes} B"
+            f"  ({self.ratio:.2f}x, {self.bits_per_value:.2f} bits/value)",
+            f"PSNR:             {self.psnr_db:.2f} dB   "
+            f"relative-error PSNR: {self.relative_psnr_db:.2f} dB",
+        ]
+        if self.bound_kind is not None and self.errors is not None:
+            lines.append(
+                f"bound:            {self.bound_kind} {self.bound_value:g}   "
+                f"bounded: {self.errors.bounded_label()}"
+            )
+            lines.append(
+                f"point-wise error: max abs {self.errors.max_abs:.3e}   "
+                f"max rel {self.errors.max_rel:.3e}   avg rel {self.errors.avg_rel:.3e}"
+            )
+        if self.distribution is not None:
+            shape = "uniform" if self.distribution.looks_uniform else "bell-shaped"
+            lines.append(
+                f"error shape:      {shape} (std/bound {self.distribution.std:.3f}, "
+                f"budget fill {self.distribution.fill:.2f})"
+            )
+        return "\n".join(lines)
+
+
+def quality_report(original: np.ndarray, blob: bytes) -> QualityReport:
+    """Full quality assessment of ``blob`` against ``original``."""
+    from repro import decompress
+
+    box = Container.from_bytes(blob)
+    recon = decompress(blob)
+    original = np.asarray(original)
+    if recon.shape != original.shape:
+        raise ValueError(
+            f"stream reconstructs shape {recon.shape}, original is {original.shape}"
+        )
+
+    bound_kind = bound_value = errors = dist = None
+    key = _BOUND_KEYS.get(box.codec)
+    if key is not None and key[0] in box:
+        bound_value = box.get_f64(key[0])
+        bound_kind = key[1]
+        if bound_kind == "abs":
+            # abs-bound codecs: stats against the absolute bound directly
+            errors = _abs_stats(original, recon, bound_value)
+            dist = error_distribution(original, recon, bound_value)
+        else:
+            errors = bounded_fraction(original, recon, bound_value)
+            x = original.astype(np.float64).ravel()
+            nz = x != 0
+            rel = (recon.astype(np.float64).ravel()[nz] - x[nz]) / np.abs(x[nz])
+            if rel.size >= 8:
+                dist = error_distribution(np.zeros_like(rel), rel, bound_value)
+
+    return QualityReport(
+        codec=box.codec,
+        original_nbytes=original.nbytes,
+        compressed_nbytes=len(blob),
+        ratio=compression_ratio(original.nbytes, len(blob)),
+        bits_per_value=bit_rate(len(blob), original.size),
+        psnr_db=psnr(original, recon),
+        relative_psnr_db=relative_psnr(original, recon),
+        bound_kind=bound_kind,
+        bound_value=bound_value,
+        errors=errors,
+        distribution=dist,
+    )
+
+
+def _abs_stats(original: np.ndarray, recon: np.ndarray, eb: float) -> ErrorStats:
+    """ErrorStats where 'bounded' means the absolute bound."""
+    x = original.astype(np.float64).ravel()
+    xd = recon.astype(np.float64).ravel()
+    err = np.abs(xd - x)
+    zeros = x == 0
+    rel = err[~zeros] / np.abs(x[~zeros])
+    return ErrorStats(
+        max_abs=float(err.max(initial=0.0)),
+        max_rel=float(rel.max(initial=0.0)),
+        avg_rel=float(rel.mean()) if rel.size else 0.0,
+        bounded_fraction=float((err <= eb).mean()),
+        zeros_modified=int((err[zeros] > 0).sum()),
+        n=x.size,
+    )

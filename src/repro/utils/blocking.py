@@ -1,0 +1,58 @@
+"""Block partitioning shared by ZFP (4^d blocks) and SZ's PWR mode.
+
+``block_partition`` pads an array to block multiples (edge replication, so
+padded samples share the statistics of the block they extend) and returns a
+``(nblocks, b1, ..., bd)`` view-ordering copy; ``block_merge`` inverts it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pad_to_blocks", "block_partition", "block_merge"]
+
+
+def pad_to_blocks(data: np.ndarray, block: int) -> np.ndarray:
+    """Pad every axis of ``data`` up to a multiple of ``block`` (edge mode)."""
+    if block <= 0:
+        raise ValueError(f"block must be positive, got {block}")
+    pads = [(0, (-s) % block) for s in data.shape]
+    if all(p == (0, 0) for p in pads):
+        return data
+    return np.pad(data, pads, mode="edge")
+
+
+def block_partition(data: np.ndarray, block: int) -> tuple[np.ndarray, tuple[int, ...]]:
+    """Cut ``data`` into ``block**d`` tiles.
+
+    Returns ``(tiles, padded_shape)`` where ``tiles`` has shape
+    ``(nblocks, block, ..., block)`` with blocks ordered C-style over the
+    block grid.
+    """
+    padded = pad_to_blocks(np.asarray(data), block)
+    d = padded.ndim
+    grid = tuple(s // block for s in padded.shape)
+    # reshape to interleaved (g1, b, g2, b, ...) then bring grid axes first
+    inter = padded.reshape(tuple(x for g in grid for x in (g, block)))
+    order = tuple(range(0, 2 * d, 2)) + tuple(range(1, 2 * d, 2))
+    tiles = inter.transpose(order).reshape((-1,) + (block,) * d)
+    return np.ascontiguousarray(tiles), padded.shape
+
+
+def block_merge(
+    tiles: np.ndarray,
+    padded_shape: tuple[int, ...],
+    block: int,
+    orig_shape: tuple[int, ...],
+) -> np.ndarray:
+    """Invert :func:`block_partition`, cropping back to ``orig_shape``."""
+    d = len(padded_shape)
+    grid = tuple(s // block for s in padded_shape)
+    inter = tiles.reshape(grid + (block,) * d)
+    # interleave grid and block axes back: (g1, b, g2, b, ...)
+    order = []
+    for i in range(d):
+        order.extend([i, d + i])
+    padded = inter.transpose(order).reshape(padded_shape)
+    slices = tuple(slice(0, s) for s in orig_shape)
+    return np.ascontiguousarray(padded[slices])

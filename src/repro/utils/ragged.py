@@ -1,0 +1,22 @@
+"""Ragged-array helpers for batched variable-length bit emission."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ragged_arange"]
+
+
+def ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(c) for c in counts])`` without the loop.
+
+    The workhorse of the vectorized codecs: paired with ``np.repeat`` of
+    row indices it turns per-item variable-length loops into single
+    gather/scatter passes.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = np.cumsum(counts) - counts
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)

@@ -1,0 +1,37 @@
+"""Wall-clock timing helpers used by the rate experiments (Table III, Fig 3)."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context-manager stopwatch accumulating seconds across entries.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.seconds >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self.entries = 0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds += time.perf_counter() - self._t0
+        self.entries += 1
+
+    def rate_mbs(self, nbytes: int) -> float:
+        """Throughput in MB/s for ``nbytes`` processed over the total time."""
+        if self.seconds <= 0:
+            return float("inf")
+        return nbytes / self.seconds / 1e6

@@ -1,0 +1,5 @@
+"""Dependency-free visualization for the slice figures (Fig. 4/5)."""
+
+from repro.viz.heatmap import ascii_heatmap, save_pgm, to_gray
+
+__all__ = ["ascii_heatmap", "save_pgm", "to_gray"]

@@ -1,0 +1,59 @@
+"""Grayscale renderers for 2-D slices (no plotting dependencies).
+
+The paper's Figures 4 and 5 are image comparisons; we regenerate them as
+PGM files (viewable anywhere, diffable) plus coarse ASCII previews for
+terminal output.  Quantitative companions (per-value-range error stats,
+per-cell skew angles) come from :mod:`repro.metrics`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["to_gray", "save_pgm", "ascii_heatmap"]
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def to_gray(
+    slice2d: np.ndarray,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> np.ndarray:
+    """Map a 2-D field to uint8 grayscale, clipping to [vmin, vmax]."""
+    a = np.asarray(slice2d, dtype=np.float64)
+    if a.ndim != 2:
+        raise ValueError(f"expected a 2-D slice, got shape {a.shape}")
+    lo = float(a.min()) if vmin is None else float(vmin)
+    hi = float(a.max()) if vmax is None else float(vmax)
+    if hi <= lo:
+        return np.zeros(a.shape, dtype=np.uint8)
+    return (np.clip((a - lo) / (hi - lo), 0.0, 1.0) * 255.0).astype(np.uint8)
+
+
+def save_pgm(path: str, gray: np.ndarray) -> None:
+    """Write a binary PGM (P5) image."""
+    gray = np.asarray(gray, dtype=np.uint8)
+    if gray.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {gray.shape}")
+    h, w = gray.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(gray.tobytes())
+
+
+def ascii_heatmap(
+    slice2d: np.ndarray,
+    width: int = 64,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> str:
+    """Coarse ASCII rendering (terminal preview of a figure panel)."""
+    gray = to_gray(slice2d, vmin, vmax)
+    h, w = gray.shape
+    step_w = max(1, w // width)
+    step_h = max(1, int(step_w * 2))  # characters are ~2x taller than wide
+    coarse = gray[: h - h % step_h, : w - w % step_w]
+    coarse = coarse.reshape(coarse.shape[0] // step_h, step_h, -1, step_w).mean(axis=(1, 3))
+    idx = (coarse / 256.0 * len(_ASCII_RAMP)).astype(int).clip(0, len(_ASCII_RAMP) - 1)
+    return "\n".join("".join(_ASCII_RAMP[i] for i in row) for row in idx)

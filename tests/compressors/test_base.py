@@ -1,0 +1,112 @@
+"""Bound types, input validation, registry."""
+
+import numpy as np
+import pytest
+
+from repro import available_compressors, get_compressor, register_compressor
+from repro.compressors import (
+    AbsoluteBound,
+    PrecisionBound,
+    RelativeBound,
+    SZCompressor,
+    UnsupportedBound,
+)
+from repro.compressors.base import Compressor
+
+
+class TestBounds:
+    @pytest.mark.parametrize("cls", [AbsoluteBound, RelativeBound])
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_nonpositive_rejected(self, cls, bad):
+        with pytest.raises(ValueError):
+            cls(bad)
+
+    def test_relative_bound_below_one(self):
+        with pytest.raises(ValueError, match="< 1"):
+            RelativeBound(1.0)
+        RelativeBound(0.999)  # fine
+
+    def test_precision_bound_integral(self):
+        with pytest.raises(ValueError):
+            PrecisionBound(3.5)
+        with pytest.raises(ValueError):
+            PrecisionBound(1)
+        with pytest.raises(ValueError):
+            PrecisionBound(65)
+        assert PrecisionBound(19).bits == 19
+
+    def test_bounds_are_frozen(self):
+        b = AbsoluteBound(0.5)
+        with pytest.raises(AttributeError):
+            b.value = 1.0
+
+
+class TestInputValidation:
+    def setup_method(self):
+        self.comp = SZCompressor()
+        self.bound = AbsoluteBound(1e-3)
+
+    def test_wrong_bound_kind(self):
+        data = np.ones(10, dtype=np.float32)
+        with pytest.raises(UnsupportedBound, match="SZ_ABS"):
+            self.comp.compress(data, RelativeBound(1e-3))
+
+    def test_integer_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            self.comp.compress(np.ones(10, dtype=np.int32), self.bound)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            self.comp.compress(np.zeros(0, dtype=np.float32), self.bound)
+
+    def test_4d_rejected(self):
+        with pytest.raises(ValueError):
+            self.comp.compress(np.zeros((2, 2, 2, 2), dtype=np.float32), self.bound)
+
+    def test_nan_rejected(self):
+        data = np.ones(10, dtype=np.float32)
+        data[3] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            self.comp.compress(data, self.bound)
+
+    def test_inf_rejected(self):
+        data = np.ones(10, dtype=np.float64)
+        data[0] = np.inf
+        with pytest.raises(ValueError):
+            self.comp.compress(data, self.bound)
+
+    def test_noncontiguous_input_accepted(self):
+        data = np.ones((20, 20), dtype=np.float32)[::2, ::2]
+        blob = self.comp.compress(data, self.bound)
+        assert self.comp.decompress(blob).shape == (10, 10)
+
+    def test_wrong_codec_stream_rejected(self):
+        data = np.ones(16, dtype=np.float32)
+        blob = self.comp.compress(data, self.bound)
+        from repro.compressors.zfp import ZFPCompressor
+
+        with pytest.raises(ValueError, match="SZ_ABS"):
+            ZFPCompressor("accuracy").decompress(blob)
+
+
+class TestRegistry:
+    def test_paper_compressors_registered(self):
+        names = available_compressors()
+        for expected in ("SZ_ABS", "SZ_PWR", "SZ_T", "ZFP_A", "ZFP_P", "ZFP_T",
+                         "FPZIP", "ISABELA"):
+            assert expected in names
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="known"):
+            get_compressor("NOPE")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_compressor("SZ_ABS", SZCompressor)
+
+    def test_factories_return_fresh_instances(self):
+        assert get_compressor("SZ_T") is not get_compressor("SZ_T")
+
+    def test_every_factory_is_a_compressor(self):
+        for name in available_compressors():
+            assert isinstance(get_compressor(name), Compressor)

@@ -1,0 +1,141 @@
+"""FPZIP: ordered mapping, precision->error law, losslessness, zeros."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compressors import FpzipCompressor, PrecisionBound
+from repro.compressors.fpzip import (
+    _from_ordered,
+    _to_ordered,
+    max_relative_error,
+    precision_for_relbound,
+)
+
+
+def roundtrip(data, p):
+    comp = FpzipCompressor()
+    blob = comp.compress(data, PrecisionBound(p))
+    return blob, comp.decompress(blob)
+
+
+class TestOrderedMap:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_roundtrip(self, dtype):
+        data = np.array([-1e30, -1.5, -0.0, 0.0, 2e-38, 1.0, 3.14, 1e30], dtype=dtype)
+        out = _from_ordered(_to_ordered(data), dtype)
+        np.testing.assert_array_equal(np.abs(out), np.abs(data))
+        np.testing.assert_array_equal(np.signbit(out), np.signbit(data))
+
+    def test_monotone(self):
+        data = np.array([-100.0, -1.0, -1e-10, 0.0, 1e-10, 1.0, 100.0], dtype=np.float32)
+        s = _to_ordered(data).astype(np.uint64)
+        assert (np.diff(s.astype(np.int64)) > 0).all()
+
+    @given(st.lists(st.floats(width=32, allow_nan=False, allow_infinity=False), min_size=1, max_size=50))
+    def test_property_roundtrip(self, raw):
+        data = np.array(raw, dtype=np.float32)
+        out = _from_ordered(_to_ordered(data), np.float32)
+        np.testing.assert_array_equal(out.view(np.uint32), data.view(np.uint32))
+
+
+class TestErrorLaw:
+    def test_table4_precision_values(self):
+        """The paper's Table IV -p settings map to its Max E values."""
+        assert max_relative_error(19, np.float32) == pytest.approx(9.77e-4, rel=0.01)
+        assert max_relative_error(16, np.float32) == pytest.approx(7.8e-3, rel=0.01)
+        assert max_relative_error(13, np.float32) == pytest.approx(6.2e-2, rel=0.01)
+
+    def test_precision_for_relbound(self):
+        assert precision_for_relbound(1e-3, np.float32) == 19
+        assert precision_for_relbound(7.9e-3, np.float32) == 16  # 2^-7 = 7.8125e-3
+        assert precision_for_relbound(1e-1, np.float32) == 13
+        assert precision_for_relbound(1e-3, np.float64) == 22
+
+    def test_precision_for_relbound_validation(self):
+        with pytest.raises(ValueError):
+            precision_for_relbound(0.0, np.float32)
+        with pytest.raises(ValueError):
+            precision_for_relbound(1.5, np.float32)
+
+    @pytest.mark.parametrize("p", [13, 16, 19, 24])
+    def test_measured_error_within_law(self, smooth_positive_3d, p):
+        _, recon = roundtrip(smooth_positive_3d, p)
+        x = smooth_positive_3d.astype(np.float64)
+        rel = np.abs(recon.astype(np.float64) - x) / np.abs(x)
+        assert rel.max() <= max_relative_error(p, np.float32)
+
+    def test_error_law_is_tight(self, smooth_positive_3d):
+        """Truncation should actually approach the advertised maximum."""
+        p = 16
+        _, recon = roundtrip(smooth_positive_3d, p)
+        x = smooth_positive_3d.astype(np.float64)
+        rel = np.abs(recon.astype(np.float64) - x) / np.abs(x)
+        assert rel.max() >= 0.5 * max_relative_error(p, np.float32)
+
+
+class TestRoundtrip:
+    def test_lossless_at_full_precision(self, signed_2d):
+        _, recon = roundtrip(signed_2d, 32)
+        np.testing.assert_array_equal(recon, signed_2d)
+
+    def test_zeros_exact(self, zero_heavy_3d):
+        _, recon = roundtrip(zero_heavy_3d, 16)
+        np.testing.assert_array_equal(recon[zero_heavy_3d == 0], 0.0)
+
+    def test_negative_zero_normalized(self):
+        data = np.array([-0.0, 1.0], dtype=np.float32)
+        _, recon = roundtrip(data, 16)
+        assert recon[0] == 0.0
+
+    def test_float64_path(self, wide_range_3d):
+        _, recon = roundtrip(wide_range_3d, 40)
+        rel = np.abs(recon - wide_range_3d) / np.abs(wide_range_3d)
+        assert rel.max() <= max_relative_error(40, np.float64)
+
+    def test_float64_precision_capped(self, wide_range_3d):
+        blob, recon = roundtrip(wide_range_3d, 64)  # capped to 58 internally
+        rel = np.abs(recon - wide_range_3d) / np.abs(wide_range_3d)
+        assert rel.max() <= 2.0**-46
+
+    def test_precision_controls_size(self, smooth_positive_3d):
+        sizes = [len(roundtrip(smooth_positive_3d, p)[0]) for p in (12, 20, 28)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_signed_rough_data(self, rough_1d):
+        _, recon = roundtrip(rough_1d, 19)
+        nz = rough_1d != 0
+        rel = np.abs(recon[nz].astype(np.float64) - rough_1d[nz].astype(np.float64))
+        rel /= np.abs(rough_1d[nz].astype(np.float64))
+        assert rel.max() <= max_relative_error(19, np.float32)
+
+    @pytest.mark.parametrize("entropy", ["huffman", "range"])
+    def test_entropy_stages_equivalent_fidelity(self, smooth_positive_3d, entropy):
+        comp = FpzipCompressor(entropy=entropy)
+        blob = comp.compress(smooth_positive_3d, PrecisionBound(19))
+        recon = comp.decompress(blob)
+        x = smooth_positive_3d.astype(np.float64)
+        rel = np.abs(recon.astype(np.float64) - x) / np.abs(x)
+        assert rel.max() <= max_relative_error(19, np.float32)
+
+    def test_entropy_stages_cross_decode(self, smooth_positive_3d):
+        """The stage is recorded in the stream: any instance decodes it."""
+        blob = FpzipCompressor(entropy="range").compress(
+            smooth_positive_3d, PrecisionBound(16)
+        )
+        recon = FpzipCompressor(entropy="huffman").decompress(blob)
+        assert recon.shape == smooth_positive_3d.shape
+
+    def test_invalid_entropy(self):
+        with pytest.raises(ValueError):
+            FpzipCompressor(entropy="bogus")
+
+    @given(st.integers(10, 32), st.integers(0, 2**31 - 1))
+    def test_property_bound(self, p, seed):
+        rng = np.random.default_rng(seed)
+        data = np.exp(rng.normal(0, 3, size=123)).astype(np.float32)
+        _, recon = roundtrip(data, p)
+        rel = np.abs(recon.astype(np.float64) - data.astype(np.float64))
+        rel /= np.abs(data.astype(np.float64))
+        assert rel.max() <= max_relative_error(p, np.float32)

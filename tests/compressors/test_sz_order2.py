@@ -1,0 +1,68 @@
+"""Second-order Lorenzo prediction (SZ 1.4's layer-2 option)."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import AbsoluteBound, SZCompressor
+from repro.compressors.sz.predictor import lorenzo_predict, lorenzo_reconstruct, lorenzo_residual
+
+
+class TestPredictorOrder2:
+    def test_1d_stencil_is_second_difference(self):
+        k = np.array([0, 1, 4, 9, 16], dtype=np.int64)  # i^2
+        q = lorenzo_residual(k, 1, order=2)
+        # second difference of i^2 is the constant 2 (after boundary terms)
+        np.testing.assert_array_equal(q[2:], 2)
+
+    def test_linear_data_predicted_exactly(self):
+        k = (7 * np.arange(100)).astype(np.int64)
+        q = lorenzo_residual(k, 1, order=2)
+        assert (q[2:] == 0).all()
+        pred = lorenzo_predict(k, 1, order=2)
+        np.testing.assert_array_equal(pred[2:], k[2:])
+
+    @pytest.mark.parametrize("shape,ndim", [((64,), 1), ((9, 11), 2), ((4, 5, 6), 3)])
+    def test_roundtrip(self, shape, ndim):
+        rng = np.random.default_rng(0)
+        k = rng.integers(-(2**30), 2**30, size=shape).astype(np.int64)
+        q = lorenzo_residual(k, ndim, order=2)
+        np.testing.assert_array_equal(lorenzo_reconstruct(q, ndim, order=2), k)
+
+    def test_bad_order(self):
+        with pytest.raises(ValueError):
+            lorenzo_residual(np.zeros(4, dtype=np.int64), 1, order=3)
+        with pytest.raises(ValueError):
+            SZCompressor(order=0)
+
+
+class TestSZOrder2:
+    def test_bound_holds(self, all_archetypes):
+        comp = SZCompressor(order=2)
+        for name, data in all_archetypes.items():
+            eb = 1e-3 * max(float(np.abs(data).max()), 1e-30)
+            recon = comp.decompress(comp.compress(data, AbsoluteBound(eb)))
+            err = np.abs(recon.astype(np.float64) - data.astype(np.float64))
+            assert err.max() <= eb, name
+
+    def test_order2_wins_on_smooth_ramps(self):
+        i = np.arange(1 << 15, dtype=np.float64)
+        data = (1e-5 * i * i).astype(np.float32)
+        b1 = SZCompressor(order=1).compress(data, AbsoluteBound(1e-2))
+        b2 = SZCompressor(order=2).compress(data, AbsoluteBound(1e-2))
+        assert len(b2) < len(b1)
+
+    def test_order1_wins_on_noisy_data(self, rough_1d):
+        eb = float(rough_1d.std()) * 1e-3
+        b1 = SZCompressor(order=1).compress(rough_1d, AbsoluteBound(eb))
+        b2 = SZCompressor(order=2).compress(rough_1d, AbsoluteBound(eb))
+        assert len(b1) < len(b2)  # differencing amplifies noise
+
+    def test_order_recorded_in_stream(self, smooth_positive_3d):
+        from repro.encoding import Container
+
+        comp = SZCompressor(order=2)
+        blob = comp.compress(smooth_positive_3d, AbsoluteBound(1e-3))
+        assert Container.from_bytes(blob).get_u64("order") == 2
+        # a fresh order-1 instance still decodes it correctly (stream wins)
+        recon = SZCompressor(order=1).decompress(blob)
+        assert np.abs(recon - smooth_positive_3d).max() <= 1e-3

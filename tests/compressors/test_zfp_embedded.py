@@ -1,0 +1,101 @@
+"""Embedded group-tested coder: exactness at full precision, prefix property."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compressors.zfp.embedded import decode_blocks, encode_blocks
+
+
+def roundtrip(nb, nplanes, intprec):
+    payload, lens = encode_blocks(nb, nplanes, intprec)
+    return decode_blocks(payload, lens, nplanes, intprec, nb.shape[1]), lens
+
+
+class TestExactRoundtrip:
+    def test_full_planes_lossless(self):
+        rng = np.random.default_rng(0)
+        nb = rng.integers(0, 2**32, size=(40, 16)).astype(np.uint64)
+        nplanes = np.full(40, 32, dtype=np.int64)
+        out, _ = roundtrip(nb, nplanes, 32)
+        np.testing.assert_array_equal(out, nb)
+
+    def test_64_coefficients_3d_blocks(self):
+        rng = np.random.default_rng(1)
+        nb = rng.integers(0, 2**30, size=(10, 64)).astype(np.uint64)
+        nplanes = np.full(10, 30, dtype=np.int64)
+        out, _ = roundtrip(nb, nplanes, 30)
+        np.testing.assert_array_equal(out, nb)
+
+    def test_empty_blocks_emit_nothing(self):
+        nb = np.zeros((5, 16), dtype=np.uint64)
+        nplanes = np.zeros(5, dtype=np.int64)
+        payload, lens = encode_blocks(nb, nplanes, 32)
+        assert payload == b""
+        np.testing.assert_array_equal(lens, 0)
+        out = decode_blocks(payload, lens, nplanes, 32, 16)
+        np.testing.assert_array_equal(out, 0)
+
+    def test_mixed_plane_counts(self):
+        rng = np.random.default_rng(2)
+        nb = rng.integers(0, 2**20, size=(8, 16)).astype(np.uint64)
+        nplanes = np.array([0, 5, 10, 20, 20, 3, 0, 20], dtype=np.int64)
+        out, _ = roundtrip(nb, nplanes, 20)
+        for b in range(8):
+            kmin = 20 - nplanes[b]
+            mask = ~np.uint64((1 << kmin) - 1)
+            np.testing.assert_array_equal(out[b], nb[b] & mask)
+
+    def test_single_block_single_coeff(self):
+        nb = np.array([[7]], dtype=np.uint64)
+        out, _ = roundtrip(nb, np.array([3]), 3)
+        np.testing.assert_array_equal(out, nb)
+
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.integers(1, 12),
+        st.sampled_from([4, 16, 64]),
+    )
+    def test_property_truncation_prefix(self, seed, planes, ncoef):
+        """Decoding p planes recovers exactly the top-p bit planes."""
+        intprec = 16
+        rng = np.random.default_rng(seed)
+        nb = rng.integers(0, 1 << intprec, size=(6, ncoef)).astype(np.uint64)
+        nplanes = np.full(6, planes, dtype=np.int64)
+        out, _ = roundtrip(nb, nplanes, intprec)
+        kmin = intprec - planes
+        mask = ~np.uint64((1 << kmin) - 1)
+        np.testing.assert_array_equal(out, nb & mask)
+
+
+class TestBitBudget:
+    def test_sparse_planes_cost_little(self):
+        # One significant coefficient: group testing should emit far fewer
+        # bits than verbatim coding would.
+        nb = np.zeros((1, 64), dtype=np.uint64)
+        nb[0, 0] = 1 << 29
+        nplanes = np.array([30], dtype=np.int64)
+        _, lens = encode_blocks(nb, nplanes, 30)
+        assert int(lens[0]) < 30 * 64 / 4
+
+    def test_dense_blocks_cost_more_than_sparse(self):
+        rng = np.random.default_rng(3)
+        sparse = np.zeros((1, 64), dtype=np.uint64)
+        sparse[0, :2] = rng.integers(1 << 28, 1 << 29, 2)
+        dense = rng.integers(1 << 28, 1 << 29, size=(1, 64)).astype(np.uint64)
+        nplanes = np.array([30], dtype=np.int64)
+        _, lens_sparse = encode_blocks(sparse, nplanes, 30)
+        _, lens_dense = encode_blocks(dense, nplanes, 30)
+        assert int(lens_dense[0]) > int(lens_sparse[0])
+
+    def test_too_many_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            encode_blocks(np.zeros((1, 65), dtype=np.uint64), np.array([1]), 32)
+
+    def test_lens_match_payload(self):
+        rng = np.random.default_rng(4)
+        nb = rng.integers(0, 2**16, size=(12, 16)).astype(np.uint64)
+        nplanes = np.full(12, 16, dtype=np.int64)
+        payload, lens = encode_blocks(nb, nplanes, 16)
+        assert len(payload) == -(-int(lens.sum()) // 8)

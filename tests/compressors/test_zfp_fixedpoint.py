@@ -1,0 +1,93 @@
+"""ZFP fixed-point layer: exponents, quantization, negabinary."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compressors.zfp.fixedpoint import (
+    EMPTY_EMAX,
+    block_exponents,
+    dequantize_blocks,
+    intprec_for,
+    negabinary_decode,
+    negabinary_encode,
+    quantize_blocks,
+)
+
+
+class TestExponents:
+    def test_power_of_two_exact(self):
+        blocks = np.array([[8.0, 1.0], [0.5, 0.25]])
+        np.testing.assert_array_equal(block_exponents(blocks), [3, -1])
+
+    def test_zero_block_sentinel(self):
+        blocks = np.array([[0.0, 0.0], [1.0, 0.0]])
+        emax = block_exponents(blocks)
+        assert emax[0] == EMPTY_EMAX
+        assert emax[1] == 0
+
+    def test_negative_values_use_magnitude(self):
+        np.testing.assert_array_equal(block_exponents(np.array([[-7.9, 1.0]])), [2])
+
+    @given(st.floats(1e-300, 1e300))
+    def test_property_bracket(self, v):
+        e = int(block_exponents(np.array([[v]]))[0])
+        assert 2.0**e <= v < 2.0 ** (e + 1)
+
+
+class TestQuantize:
+    @pytest.mark.parametrize("dtype,intprec", [(np.float32, 32), (np.float64, 62)])
+    def test_intprec_for(self, dtype, intprec):
+        assert intprec_for(dtype) == intprec
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(TypeError):
+            intprec_for(np.int32)
+
+    def test_roundtrip_within_scale(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.normal(0, 100, size=(20, 4, 4)).astype(np.float64)
+        emax = block_exponents(blocks)
+        q = quantize_blocks(blocks, emax, 62)
+        back = dequantize_blocks(q, emax, 62, np.float64)
+        # quantization grid is 2**(emax-58): relative error ~1e-17
+        assert np.abs(back - blocks).max() <= 2.0 ** (float(emax.max()) - 57)
+
+    def test_values_fit_headroom(self):
+        blocks = np.array([[[1.999, -1.999, 0.001, 1.0]]] * 3, dtype=np.float64)
+        emax = block_exponents(blocks)
+        q = quantize_blocks(blocks, emax, 62)
+        assert np.abs(q).max() < 2**59
+
+    def test_zero_block_survives(self):
+        blocks = np.zeros((2, 4), dtype=np.float64)
+        emax = block_exponents(blocks)
+        q = quantize_blocks(blocks, emax, 62)
+        np.testing.assert_array_equal(q, 0)
+        back = dequantize_blocks(q, emax, 62, np.float32)
+        np.testing.assert_array_equal(back, 0.0)
+        assert np.isfinite(back).all()
+
+
+class TestNegabinary:
+    def test_known_values(self):
+        # negabinary of 0 is 0; sign lives in alternating bit weights
+        x = np.array([0], dtype=np.int64)
+        assert negabinary_encode(x)[0] == 0
+
+    def test_roundtrip_extremes(self):
+        x = np.array([0, 1, -1, 2**61, -(2**61)], dtype=np.int64)
+        np.testing.assert_array_equal(negabinary_decode(negabinary_encode(x)), x)
+
+    @given(st.lists(st.integers(-(2**62), 2**62), max_size=100))
+    def test_property_roundtrip(self, raw):
+        x = np.array(raw, dtype=np.int64)
+        np.testing.assert_array_equal(negabinary_decode(negabinary_encode(x)), x)
+
+    def test_small_magnitudes_use_low_planes(self):
+        # |x| < 2**k implies negabinary fits in ~k+2 bits -- the property
+        # embedded coding relies on to drop low planes safely.
+        x = np.arange(-128, 129, dtype=np.int64)
+        nb = negabinary_encode(x)
+        assert int(nb.max()) < 1 << 10

@@ -1,0 +1,89 @@
+"""ZFP fixed-rate mode: exact budget, random-access property, quality."""
+
+import numpy as np
+import pytest
+
+from repro import decompress, get_compressor
+from repro.compressors import RateBound, ZFPCompressor
+from repro.encoding import Container
+
+
+def roundtrip(data, rate):
+    comp = ZFPCompressor("rate")
+    blob = comp.compress(data, RateBound(rate))
+    return blob, comp.decompress(blob)
+
+
+class TestExactRate:
+    @pytest.mark.parametrize("rate", [2, 4, 8, 16])
+    def test_payload_is_exactly_rate(self, smooth_positive_3d, rate):
+        blob, recon = roundtrip(smooth_positive_3d, rate)
+        box = Container.from_bytes(blob)
+        lens = np.frombuffer(
+            __import__("zlib").decompress(box.get("lens")), dtype=np.uint32
+        )
+        assert (lens == rate * 64).all()  # 4^3 values per block
+        assert recon.shape == smooth_positive_3d.shape
+
+    def test_fractional_rate(self, smooth_positive_3d):
+        blob, _ = roundtrip(smooth_positive_3d, 2.5)
+        box = Container.from_bytes(blob)
+        lens = np.frombuffer(
+            __import__("zlib").decompress(box.get("lens")), dtype=np.uint32
+        )
+        assert (lens == round(2.5 * 64)).all()
+
+    def test_stream_size_independent_of_content(self):
+        rng = np.random.default_rng(0)
+        easy = np.ones((32, 32, 32), dtype=np.float32) * 5
+        easy += rng.normal(0, 1e-6, easy.shape).astype(np.float32)
+        hard = rng.normal(0, 1e5, (32, 32, 32)).astype(np.float32)
+        b_easy, _ = roundtrip(easy, 8)
+        b_hard, _ = roundtrip(hard, 8)
+        box_e = Container.from_bytes(b_easy)
+        box_h = Container.from_bytes(b_hard)
+        assert len(box_e.get("payload")) == len(box_h.get("payload"))
+
+    def test_rate_bound_validation(self):
+        with pytest.raises(ValueError):
+            RateBound(0.1)
+        with pytest.raises(ValueError):
+            RateBound(65)
+
+
+class TestQuality:
+    def test_error_shrinks_with_rate(self, smooth_positive_3d):
+        errs = []
+        for rate in (2, 6, 12):
+            _, recon = roundtrip(smooth_positive_3d, rate)
+            errs.append(
+                np.abs(recon.astype(np.float64) - smooth_positive_3d.astype(np.float64)).max()
+            )
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_high_rate_near_lossless(self, smooth_positive_3d):
+        _, recon = roundtrip(smooth_positive_3d, 24)
+        rel = np.abs(recon.astype(np.float64) - smooth_positive_3d.astype(np.float64))
+        rel /= np.abs(smooth_positive_3d).max()
+        assert rel.max() < 1e-5
+
+    def test_all_zero_data(self):
+        data = np.zeros((16, 16), dtype=np.float32)
+        blob, recon = roundtrip(data, 4)
+        np.testing.assert_array_equal(recon, 0.0)
+
+    def test_signed_2d(self, signed_2d):
+        _, recon = roundtrip(signed_2d, 12)
+        scale = float(np.abs(signed_2d).max())
+        assert np.abs(recon - signed_2d).max() < scale * 1e-2
+
+    def test_registry_dispatch(self, smooth_positive_3d):
+        blob = get_compressor("ZFP_R").compress(smooth_positive_3d, RateBound(8))
+        recon = decompress(blob)
+        assert recon.shape == smooth_positive_3d.shape
+
+    def test_wrong_bound_kind(self, smooth_positive_3d):
+        from repro.compressors import AbsoluteBound, UnsupportedBound
+
+        with pytest.raises(UnsupportedBound):
+            ZFPCompressor("rate").compress(smooth_positive_3d, AbsoluteBound(1.0))

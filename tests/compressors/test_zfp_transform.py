@@ -1,0 +1,77 @@
+"""ZFP lifting transform: near-invertibility, energy compaction, ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compressors.zfp.transform import (
+    fwd_lift,
+    fwd_xform,
+    inv_lift,
+    inv_xform,
+    sequency_order,
+)
+
+
+class TestLift:
+    def test_requires_length_four_axis(self):
+        with pytest.raises(ValueError):
+            fwd_lift(np.zeros((2, 5), dtype=np.int64), 1)
+        with pytest.raises(ValueError):
+            inv_lift(np.zeros((3,), dtype=np.int64), 0)
+
+    def test_constant_block_maps_to_dc_only(self):
+        a = np.full((1, 4), 1 << 20, dtype=np.int64)
+        out = fwd_xform(a)
+        assert out[0, 0] != 0
+        np.testing.assert_array_equal(out[0, 1:], 0)
+
+    def test_roundtrip_error_is_tiny(self):
+        # The integer lift discards low bits; inv(fwd(x)) must stay within
+        # a few units of x (ZFP's 2*(d+1) spare planes absorb this).
+        rng = np.random.default_rng(0)
+        for ndim in (1, 2, 3):
+            a = rng.integers(-(2**40), 2**40, size=(50,) + (4,) * ndim).astype(np.int64)
+            back = inv_xform(fwd_xform(a))
+            assert np.abs(back - a).max() <= 2 ** (2 * ndim)
+
+    def test_linear_ramp_compacts_energy(self):
+        ramp = np.arange(4, dtype=np.int64)[None, :] * (1 << 16)
+        out = fwd_xform(ramp)
+        # DC and first AC dominate; highest-frequency coefficient is small.
+        assert abs(int(out[0, 3])) < abs(int(out[0, 1]))
+
+    @given(
+        hnp.arrays(
+            np.int64, (3, 4, 4),
+            elements=st.integers(-(2**50), 2**50),
+        )
+    )
+    def test_property_roundtrip_2d(self, a):
+        back = inv_xform(fwd_xform(a))
+        assert np.abs(back - a).max() <= 16
+
+
+class TestSequencyOrder:
+    @pytest.mark.parametrize("ndim,n", [(1, 4), (2, 16), (3, 64)])
+    def test_is_permutation(self, ndim, n):
+        perm, inv = sequency_order(ndim)
+        assert sorted(perm.tolist()) == list(range(n))
+        np.testing.assert_array_equal(perm[inv], np.arange(n))
+
+    def test_dc_coefficient_first(self):
+        for ndim in (1, 2, 3):
+            perm, _ = sequency_order(ndim)
+            assert perm[0] == 0
+
+    def test_total_sequency_nondecreasing(self):
+        perm, _ = sequency_order(3)
+        idx = np.indices((4, 4, 4)).reshape(3, -1)
+        total = idx.sum(axis=0)[perm]
+        assert (np.diff(total) >= 0).all()
+
+    def test_bad_ndim(self):
+        with pytest.raises(ValueError):
+            sequency_order(4)

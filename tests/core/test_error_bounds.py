@@ -1,0 +1,82 @@
+"""Theorem 2 bound mapping and Lemma 2 adjustment."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.error_bounds import (
+    abs_bound_for,
+    adjusted_abs_bound,
+    machine_eps0,
+    rel_bound_from_abs,
+)
+
+
+class TestTheorem2Mapping:
+    def test_base2_value(self):
+        assert abs_bound_for(1e-2, 2.0) == pytest.approx(math.log2(1.01))
+
+    def test_natural_base(self):
+        assert abs_bound_for(0.5, math.e) == pytest.approx(math.log(1.5))
+
+    def test_inverse_mapping(self):
+        for br in (1e-4, 1e-2, 0.3):
+            for base in (2.0, math.e, 10.0):
+                assert rel_bound_from_abs(abs_bound_for(br, base), base) == pytest.approx(br)
+
+    @given(st.floats(1e-8, 0.99), st.floats(1.01, 100.0))
+    def test_property_roundtrip(self, br, base):
+        assert rel_bound_from_abs(abs_bound_for(br, base), base) == pytest.approx(br, rel=1e-9)
+
+    def test_smaller_base_larger_abs_bound(self):
+        # log_2(1+br) > log_10(1+br): the bound scales with 1/log(base).
+        assert abs_bound_for(0.1, 2.0) > abs_bound_for(0.1, 10.0)
+
+    @pytest.mark.parametrize("bad_br", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_rel_bound(self, bad_br):
+        with pytest.raises(ValueError):
+            abs_bound_for(bad_br)
+
+    @pytest.mark.parametrize("bad_base", [1.0, 0.5, -2.0])
+    def test_invalid_base(self, bad_base):
+        with pytest.raises(ValueError):
+            abs_bound_for(0.1, bad_base)
+        with pytest.raises(ValueError):
+            rel_bound_from_abs(0.1, bad_base)
+
+    def test_invalid_abs_bound(self):
+        with pytest.raises(ValueError):
+            rel_bound_from_abs(0.0)
+
+
+class TestLemma2:
+    def test_shrinks_bound(self):
+        ba = abs_bound_for(1e-3)
+        adj = adjusted_abs_bound(1e-3, max_log_abs=150.0, eps0=2.0**-23)
+        assert 0 < adj < ba
+        assert adj == pytest.approx(ba - 150.0 * 2.0**-23)
+
+    def test_zero_roundoff_is_identity(self):
+        assert adjusted_abs_bound(1e-2, 100.0, 0.0) == abs_bound_for(1e-2)
+
+    def test_unreachable_demand_raises(self):
+        # bound so tight the round-off floor swallows it
+        with pytest.raises(ValueError, match="round-off floor"):
+            adjusted_abs_bound(1e-7, max_log_abs=1074.0, eps0=2.0**-10)
+
+    def test_negative_max_log_rejected(self):
+        with pytest.raises(ValueError):
+            adjusted_abs_bound(1e-3, -1.0, 1e-7)
+
+    def test_machine_eps0(self):
+        assert machine_eps0(np.float32) == np.finfo(np.float32).eps
+        assert machine_eps0(np.float64) == np.finfo(np.float64).eps
+
+    @given(st.floats(1e-4, 0.5), st.floats(0.0, 200.0))
+    def test_property_adjustment_conservative(self, br, max_log):
+        """Adjusted bound never exceeds the naive bound."""
+        adj = adjusted_abs_bound(br, max_log, machine_eps0(np.float32))
+        assert adj <= abs_bound_for(br)

@@ -1,0 +1,154 @@
+"""Executable theorems: uniqueness (Thm 2), index bounds (Thm 3), Lemma 4."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.theory import (
+    ZFP_TRANSFORM_MATRIX,
+    coding_gain,
+    decorrelation_efficiency,
+    mapping_equation_deviation,
+    quant_index_bound,
+    quantization_indices,
+    zfp_coefficient_covariance,
+)
+from repro.core.error_bounds import abs_bound_for
+
+
+@pytest.fixture(scope="module")
+def xs():
+    rng = np.random.default_rng(0)
+    return np.exp(rng.uniform(-20, 20, size=2000))
+
+
+class TestMappingUniqueness:
+    """Equation (1) singles out the log family (Theorem 2)."""
+
+    @pytest.mark.parametrize("base", [2.0, math.e, 10.0])
+    def test_log_family_satisfies_equation(self, xs, base):
+        br = 1e-2
+        dev = mapping_equation_deviation(
+            lambda x: np.log(x) / math.log(base),
+            lambda y: np.exp(y * math.log(base)),
+            abs_bound_for(br, base),
+            br,
+            xs,
+        )
+        assert dev < 1e-10
+
+    def test_log_with_constant_shift_also_satisfies(self, xs):
+        """Theorem 2 allows f(x) = log x + C."""
+        br = 1e-2
+        dev = mapping_equation_deviation(
+            lambda x: np.log2(x) + 42.0,
+            lambda y: np.exp2(y - 42.0),
+            abs_bound_for(br, 2.0),
+            br,
+            xs,
+        )
+        assert dev < 1e-10
+
+    @pytest.mark.parametrize(
+        "f,finv",
+        [
+            (np.sqrt, np.square),  # sqrt mapping
+            (lambda x: x, lambda y: y),  # identity
+            (np.cbrt, lambda y: y**3),  # cube root
+            (lambda x: x**2, np.sqrt),  # square
+        ],
+    )
+    def test_non_log_mappings_fail(self, xs, f, finv):
+        br = 1e-2
+        # give each candidate its best-case g(br): calibrate at x = 1
+        g = float(f(np.array([1.0 + br]))[0] - f(np.array([1.0]))[0])
+        dev = mapping_equation_deviation(f, finv, g, br, xs)
+        assert dev > br  # fails Equation (1) by more than the bound itself
+
+    def test_positive_x_required(self):
+        with pytest.raises(ValueError):
+            mapping_equation_deviation(np.log, np.exp, 0.1, 0.1, np.array([-1.0]))
+
+
+class TestTheorem3:
+    def test_bound_values(self):
+        br = 1e-2
+        base_term = abs(math.log(1 - br) / math.log1p(br) - 1.0)
+        assert quant_index_bound(br, 1) == pytest.approx(base_term)
+        assert quant_index_bound(br, 2) == pytest.approx(3 * base_term)
+        assert quant_index_bound(br, 3) == pytest.approx(7 * base_term)
+
+    def test_bound_grows_with_rel_bound(self):
+        assert quant_index_bound(0.3, 3) > quant_index_bound(1e-3, 3)
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            quant_index_bound(0.0, 1)
+
+    @pytest.mark.parametrize("ndim,shape", [(1, (4096,)), (2, (64, 64)), (3, (16, 16, 16))])
+    def test_cross_base_index_deviation_within_bound(self, ndim, shape):
+        """Lemma 3 + Theorem 3: indices agree across bases up to the bound."""
+        rng = np.random.default_rng(1)
+        data = np.exp(rng.normal(0, 2, size=shape))
+        for br in (1e-3, 1e-1):
+            q2 = quantization_indices(data, br, 2.0, ndim)
+            qe = quantization_indices(data, br, math.e, ndim)
+            q10 = quantization_indices(data, br, 10.0, ndim)
+            limit = quant_index_bound(br, ndim) + 1.0  # +1 for the rounding step
+            assert np.abs(q2 - qe).max() <= limit
+            assert np.abs(q2 - q10).max() <= limit
+
+    def test_positive_data_required(self):
+        with pytest.raises(ValueError):
+            quantization_indices(np.array([-1.0, 2.0]), 1e-2, 2.0, 1)
+
+
+class TestLemma4:
+    def test_transform_matrix_near_orthogonal(self):
+        # ZFP's transform trades exact orthogonality for cheap lifting
+        # steps; only the (1,3) row pair has a small residual correlation.
+        gram = ZFP_TRANSFORM_MATRIX @ ZFP_TRANSFORM_MATRIX.T
+        norm = np.sqrt(np.outer(np.diag(gram), np.diag(gram)))
+        off = (gram - np.diag(np.diag(gram))) / norm
+        assert np.abs(off).max() < 0.15
+        # DC row exactly orthogonal to every AC row.
+        assert np.abs(gram[0, 1:]).max() < 1e-12
+
+    def test_eta_gamma_invariant_across_bases(self):
+        rng = np.random.default_rng(2)
+        data = np.exp(rng.normal(0, 3, size=4096))
+        results = []
+        for base in (2.0, math.e, 10.0):
+            cov = zfp_coefficient_covariance(data, base)
+            results.append((decorrelation_efficiency(cov), coding_gain(cov)))
+        for eta, gamma in results[1:]:
+            assert eta == pytest.approx(results[0][0], rel=1e-9)
+            assert gamma == pytest.approx(results[0][1], rel=1e-9)
+
+    def test_eta_in_unit_interval(self):
+        rng = np.random.default_rng(3)
+        cov = zfp_coefficient_covariance(np.exp(rng.normal(0, 1, 2048)), 2.0)
+        assert 0 < decorrelation_efficiency(cov) <= 1.0
+
+    def test_coding_gain_at_least_one_for_correlated_data(self):
+        # smooth data -> strongly unequal coefficient variances -> gain > 1
+        t = np.linspace(0, 20, 4096)
+        data = np.exp(np.sin(t) + 2)
+        cov = zfp_coefficient_covariance(data, 2.0)
+        assert coding_gain(cov) > 1.0
+
+    def test_scaling_data_in_log_space_cancels(self):
+        """The 1/ln(a)^2 factor cancels: cov scaling leaves eta/gamma."""
+        rng = np.random.default_rng(4)
+        data = np.exp(rng.normal(0, 2, 4096))
+        cov = zfp_coefficient_covariance(data, 2.0)
+        scaled = 7.3 * cov
+        assert decorrelation_efficiency(scaled) == pytest.approx(
+            decorrelation_efficiency(cov)
+        )
+        assert coding_gain(scaled) == pytest.approx(coding_gain(cov))
+
+    def test_coding_gain_rejects_singular(self):
+        with pytest.raises(ValueError):
+            coding_gain(np.zeros((4, 4)))

@@ -1,0 +1,89 @@
+"""Log transform: bijectivity, sentinel separation, base fast paths."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.transform import FLOOR_LOG2, LogTransform
+
+
+class TestForwardInverse:
+    @pytest.mark.parametrize("base", [2.0, math.e, 10.0, 3.7])
+    def test_roundtrip_positive_values(self, base):
+        tf = LogTransform(base)
+        x = np.array([1e-30, 1e-3, 1.0, 7.25, 1e20], dtype=np.float64)
+        d = tf.forward(x, 1e-3)
+        back = tf.inverse(d, 1e-3, np.float64)
+        np.testing.assert_allclose(back, x, rtol=1e-12)
+
+    def test_float32_stays_float32(self):
+        tf = LogTransform(2.0)
+        x = np.array([1.5, 2.5], dtype=np.float32)
+        d = tf.forward(x, 1e-3)
+        assert d.dtype == np.float32
+        assert tf.inverse(d, 1e-3, np.float32).dtype == np.float32
+
+    def test_base2_uses_exact_log2(self):
+        tf = LogTransform(2.0)
+        x = np.array([0.25, 1.0, 1024.0], dtype=np.float64)
+        np.testing.assert_array_equal(tf.forward(x, 1e-3), [-2.0, 0.0, 10.0])
+
+    def test_negative_magnitudes_rejected(self):
+        with pytest.raises(ValueError):
+            LogTransform().forward(np.array([-1.0]), 1e-3)
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            LogTransform(1.0)
+
+    @given(st.floats(1e-37, 1e37), st.sampled_from([2.0, math.e, 10.0]))
+    def test_property_roundtrip(self, x, base):
+        tf = LogTransform(base)
+        arr = np.array([x], dtype=np.float64)
+        back = tf.inverse(tf.forward(arr, 1e-2), 1e-2, np.float64)
+        assert back[0] == pytest.approx(x, rel=1e-12)
+
+
+class TestZeroSentinel:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_zero_maps_below_floor(self, dtype):
+        tf = LogTransform(2.0)
+        ba = 0.01
+        d = tf.forward(np.zeros(3, dtype=dtype), ba)
+        assert (d < FLOOR_LOG2[np.dtype(dtype)]).all()
+
+    def test_zero_roundtrips_to_exact_zero(self):
+        tf = LogTransform(2.0)
+        ba = 0.01
+        x = np.array([0.0, 1.0, 0.0], dtype=np.float32)
+        d = tf.forward(x, ba)
+        back = tf.inverse(d, ba, np.float32)
+        np.testing.assert_array_equal(back, x)
+
+    def test_guard_band_separates_sentinel_from_data(self):
+        """Even after +-ba compression noise, sentinel and genuine data
+        cannot cross the zero-detection threshold."""
+        tf = LogTransform(2.0)
+        ba = 0.5
+        dtype = np.float32
+        sentinel = tf.zero_sentinel(ba, dtype)
+        threshold = tf.zero_threshold(ba, dtype)
+        assert sentinel + ba < threshold  # perturbed sentinel still zero
+        assert FLOOR_LOG2[np.dtype(dtype)] - ba > threshold  # perturbed data never zero
+
+    def test_denormal_input_not_swallowed(self):
+        """Values at the format's floor must not decode to zero."""
+        tf = LogTransform(2.0)
+        ba = 0.01
+        tiny = np.array([2.0**-149], dtype=np.float32)
+        d = tf.forward(tiny.astype(np.float64), ba)
+        back = tf.inverse(d, ba, np.float64)
+        assert back[0] > 0
+
+    def test_max_log_magnitude(self):
+        tf = LogTransform(2.0)
+        d = np.array([-10.0, 5.0, 0.5])
+        assert tf.max_log_magnitude(d) == 10.0

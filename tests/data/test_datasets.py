@@ -1,0 +1,77 @@
+"""Field registry: Table I coverage and statistical fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.data import APPLICATIONS, application_names, field_names, load_field
+
+
+class TestRegistry:
+    def test_table1_applications_present(self):
+        assert set(application_names()) == {"HACC", "CESM-ATM", "NYX", "Hurricane"}
+
+    def test_dimensionalities_match_table1(self):
+        dims = {"HACC": 1, "CESM-ATM": 2, "NYX": 3, "Hurricane": 3}
+        for app, d in dims.items():
+            for name in field_names(app):
+                assert len(APPLICATIONS[app][name].shape) == d
+
+    def test_unknown_app_and_field(self):
+        with pytest.raises(KeyError, match="known"):
+            load_field("BOGUS", "x")
+        with pytest.raises(KeyError, match="known"):
+            load_field("NYX", "bogus_field")
+
+    def test_all_fields_generate_float32_finite(self):
+        for app in application_names():
+            for name in field_names(app):
+                f = load_field(app, name, scale=0.25)
+                assert f.dtype == np.float32
+                assert np.isfinite(f).all(), f"{app}/{name} not finite"
+
+    def test_determinism_and_seed_override(self):
+        a = load_field("NYX", "temperature", scale=0.25)
+        b = load_field("NYX", "temperature", scale=0.25)
+        np.testing.assert_array_equal(a, b)
+        c = load_field("NYX", "temperature", scale=0.25, seed=123)
+        assert not np.array_equal(a, c)
+
+    def test_scale_multiplies_axes(self):
+        small = load_field("CESM-ATM", "TS", scale=0.25)
+        base = APPLICATIONS["CESM-ATM"]["TS"].shape
+        assert small.shape == tuple(int(s * 0.25) for s in base)
+
+
+class TestFingerprints:
+    """The statistics the paper's effects depend on (DESIGN.md section 2)."""
+
+    def test_nyx_dark_matter_density(self):
+        d = load_field("NYX", "dark_matter_density")
+        frac = (d <= 1.0).mean()
+        assert 0.80 <= frac <= 0.88  # paper: ~84% of the data in [0, 1]
+        assert d.min() > 0
+        assert d.max() > 100  # heavy tail
+
+    def test_nyx_velocity_signed_and_large(self):
+        v = load_field("NYX", "velocity_x")
+        assert (v < 0).any() and (v > 0).any()
+        assert np.abs(v).max() > 1e4
+
+    def test_cesm_cloud_fraction_in_unit_interval_with_zeros(self):
+        c = load_field("CESM-ATM", "CLDHGH")
+        assert c.min() == 0.0 and c.max() == 1.0
+        assert (c == 0).mean() > 0.02  # clipped zero regions exist
+
+    def test_hurricane_cloud_mostly_zero(self):
+        c = load_field("Hurricane", "CLOUDf48")
+        assert (c == 0).mean() > 0.5
+        assert c.min() == 0.0
+
+    def test_hacc_velocity_rough(self):
+        v = load_field("HACC", "velocity_x").astype(np.float64)
+        corr = np.corrcoef(v[:-1], v[1:])[0, 1]
+        assert corr < 0.9  # particle data: weak neighbour correlation
+
+    def test_hurricane_temperature_crosses_zero(self):
+        t = load_field("Hurricane", "TCf48")
+        assert (t < 0).any() and (t > 0).any()

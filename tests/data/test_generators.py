@@ -1,0 +1,53 @@
+"""Spectral field synthesis: determinism, spectra, normalization."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import gaussian_random_field, spectral_noise
+
+
+class TestSpectralNoise:
+    @pytest.mark.parametrize("shape", [(4096,), (64, 64), (16, 16, 16)])
+    def test_normalized(self, shape):
+        rng = np.random.default_rng(0)
+        f = spectral_noise(shape, 3.0, rng)
+        assert f.shape == shape
+        assert abs(f.mean()) < 1e-10
+        assert f.std() == pytest.approx(1.0)
+
+    def test_beta_zero_is_white(self):
+        rng = np.random.default_rng(1)
+        f = spectral_noise((8192,), 0.0, rng)
+        # white noise: neighbouring samples nearly uncorrelated
+        corr = np.corrcoef(f[:-1], f[1:])[0, 1]
+        assert abs(corr) < 0.05
+
+    def test_large_beta_is_smooth(self):
+        rng = np.random.default_rng(2)
+        f = spectral_noise((8192,), 4.0, rng)
+        corr = np.corrcoef(f[:-1], f[1:])[0, 1]
+        assert corr > 0.95
+
+    def test_4d_rejected(self):
+        with pytest.raises(ValueError):
+            spectral_noise((4, 4, 4, 4), 2.0, np.random.default_rng(0))
+
+
+class TestGaussianRandomField:
+    def test_deterministic_in_seed(self):
+        a = gaussian_random_field((32, 32), beta=3.0, seed=7)
+        b = gaussian_random_field((32, 32), beta=3.0, seed=7)
+        np.testing.assert_array_equal(a, b)
+        c = gaussian_random_field((32, 32), beta=3.0, seed=8)
+        assert not np.array_equal(a, c)
+
+    def test_mix_white_roughens(self):
+        smooth = gaussian_random_field((8192,), beta=3.0, seed=0, mix_white=0.0)
+        rough = gaussian_random_field((8192,), beta=3.0, seed=0, mix_white=0.8)
+        c_smooth = np.corrcoef(smooth[:-1], smooth[1:])[0, 1]
+        c_rough = np.corrcoef(rough[:-1], rough[1:])[0, 1]
+        assert c_rough < c_smooth
+
+    def test_invalid_mix(self):
+        with pytest.raises(ValueError):
+            gaussian_random_field((64,), mix_white=1.5)

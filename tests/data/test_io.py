@@ -1,0 +1,43 @@
+"""Raw/npy field I/O."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_array, read_raw, save_array, write_raw
+
+
+class TestRaw:
+    def test_roundtrip(self, tmp_path):
+        data = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        path = str(tmp_path / "f.f32")
+        write_raw(path, data)
+        out = read_raw(path, (2, 3, 4), np.float32)
+        np.testing.assert_array_equal(out, data)
+
+    def test_float64(self, tmp_path):
+        data = np.random.default_rng(0).normal(size=(5, 5))
+        path = str(tmp_path / "f.f64")
+        write_raw(path, data)
+        np.testing.assert_array_equal(read_raw(path, (5, 5), np.float64), data)
+
+    def test_size_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "f.f32")
+        write_raw(path, np.zeros(10, dtype=np.float32))
+        with pytest.raises(ValueError, match="bytes"):
+            read_raw(path, (11,), np.float32)
+
+
+class TestDispatch:
+    def test_npy_roundtrip(self, tmp_path):
+        data = np.ones((4, 4), dtype=np.float32)
+        path = str(tmp_path / "f.npy")
+        save_array(path, data)
+        np.testing.assert_array_equal(load_array(path), data)
+
+    def test_raw_needs_shape(self, tmp_path):
+        path = str(tmp_path / "f.dat")
+        save_array(path, np.zeros(4, dtype=np.float32))
+        with pytest.raises(ValueError, match="shape"):
+            load_array(path)
+        out = load_array(path, (4,))
+        assert out.shape == (4,)

@@ -1,0 +1,100 @@
+"""Integer/byte codecs: zigzag, varint, sign bitmaps, DEFLATE wrappers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding import (
+    decode_sign_bitmap,
+    deflate,
+    encode_sign_bitmap,
+    inflate,
+    read_varint,
+    write_varint,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestZigzag:
+    def test_small_values_interleave(self):
+        v = np.array([0, -1, 1, -2, 2], dtype=np.int64)
+        np.testing.assert_array_equal(zigzag_encode(v), [0, 1, 2, 3, 4])
+
+    def test_extremes(self):
+        v = np.array([np.iinfo(np.int64).min, np.iinfo(np.int64).max], dtype=np.int64)
+        np.testing.assert_array_equal(zigzag_decode(zigzag_encode(v)), v)
+
+    @given(st.lists(st.integers(-(2**63), 2**63 - 1), max_size=100))
+    def test_property_roundtrip(self, raw):
+        v = np.array(raw, dtype=np.int64)
+        np.testing.assert_array_equal(zigzag_decode(zigzag_encode(v)), v)
+
+    def test_encode_tracks_magnitude(self):
+        v = np.array([0, 1, -1, 5, -5, 100], dtype=np.int64)
+        enc = zigzag_encode(v).astype(np.int64)
+        # 2|v|-1 <= enc <= 2|v|: small magnitudes stay small.
+        assert (enc <= 2 * np.abs(v)).all()
+        assert (enc >= 2 * np.abs(v) - 1).all()
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**63])
+    def test_roundtrip(self, value):
+        blob = write_varint(value)
+        out, pos = read_varint(blob)
+        assert out == value
+        assert pos == len(blob)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            write_varint(-1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            read_varint(b"\x80")
+
+    def test_sequence_with_offsets(self):
+        blob = write_varint(5) + write_varint(1000)
+        v1, pos = read_varint(blob)
+        v2, pos = read_varint(blob, pos)
+        assert (v1, v2) == (5, 1000)
+
+
+class TestSignBitmap:
+    def test_all_nonnegative_skips_payload(self):
+        flag, payload = encode_sign_bitmap(np.array([0.0, 1.0, 2.0], dtype=np.float32))
+        assert flag is True
+        assert payload == b""
+        assert not decode_sign_bitmap(True, b"", 3).any()
+
+    def test_mixed_signs_roundtrip(self):
+        data = np.array([1.0, -2.0, 0.0, -0.5, 3.0], dtype=np.float32)
+        flag, payload = encode_sign_bitmap(data)
+        assert flag is False
+        negatives = decode_sign_bitmap(flag, payload, data.size)
+        np.testing.assert_array_equal(negatives, [False, True, False, True, False])
+
+    def test_negative_zero_counts_as_negative(self):
+        flag, payload = encode_sign_bitmap(np.array([-0.0, 1.0], dtype=np.float64))
+        assert flag is False
+        assert decode_sign_bitmap(flag, payload, 2)[0]
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    def test_property_roundtrip(self, negs):
+        data = np.where(np.array(negs), -1.0, 1.0).astype(np.float32)
+        flag, payload = encode_sign_bitmap(data)
+        out = decode_sign_bitmap(flag, payload, data.size)
+        np.testing.assert_array_equal(out, np.array(negs))
+
+
+class TestDeflate:
+    def test_roundtrip(self):
+        payload = b"abc" * 1000
+        squeezed = deflate(payload)
+        assert len(squeezed) < len(payload)
+        assert inflate(squeezed) == payload
+
+    def test_empty(self):
+        assert inflate(deflate(b"")) == b""

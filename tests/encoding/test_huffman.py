@@ -1,0 +1,123 @@
+"""Canonical Huffman codec: optimality basics, limits, parallel decode."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding import HuffmanCodec
+from repro.encoding.huffman import huffman_code_lengths
+
+
+class TestCodeLengths:
+    def test_uniform_counts_balanced_tree(self):
+        lengths = huffman_code_lengths(np.array([10, 10, 10, 10]))
+        assert lengths.tolist() == [2, 2, 2, 2]
+
+    def test_skewed_counts_short_code_for_frequent(self):
+        lengths = huffman_code_lengths(np.array([1000, 1, 1, 1]))
+        assert lengths[0] == 1
+        assert lengths[1:].max() <= 3
+
+    def test_zero_count_symbols_get_no_code(self):
+        lengths = huffman_code_lengths(np.array([5, 0, 5]))
+        assert lengths[1] == 0
+        assert lengths[0] > 0 and lengths[2] > 0
+
+    def test_single_symbol_gets_one_bit(self):
+        lengths = huffman_code_lengths(np.array([0, 42, 0]))
+        assert lengths.tolist() == [0, 1, 0]
+
+    def test_all_zero_counts(self):
+        assert huffman_code_lengths(np.zeros(4, dtype=np.int64)).tolist() == [0] * 4
+
+    def test_length_limit_enforced(self):
+        # Fibonacci-like counts force a deep optimal tree.
+        counts = np.array([1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377,
+                           610, 987, 1597, 2584, 4181, 6765])
+        lengths = huffman_code_lengths(counts, length_limit=8)
+        assert lengths.max() <= 8
+        # Kraft inequality must still hold (codes remain decodable).
+        kraft = sum(2.0 ** -int(l) for l in lengths if l)
+        assert kraft <= 1.0 + 1e-12
+
+    def test_kraft_equality_for_optimal_tree(self):
+        rng = np.random.default_rng(0)
+        counts = rng.integers(1, 1000, size=50)
+        lengths = huffman_code_lengths(counts)
+        assert sum(2.0 ** -int(l) for l in lengths) == pytest.approx(1.0)
+
+
+class TestRoundtrip:
+    def test_empty(self):
+        codec = HuffmanCodec()
+        assert codec.decode(codec.encode(np.zeros(0, dtype=np.int64))).size == 0
+
+    def test_single_distinct_symbol(self):
+        codec = HuffmanCodec()
+        syms = np.full(1000, 7, dtype=np.int64)
+        np.testing.assert_array_equal(codec.decode(codec.encode(syms)), syms)
+
+    def test_two_symbols(self):
+        codec = HuffmanCodec(chunk_size=16)
+        syms = np.array([0, 1] * 100, dtype=np.int64)
+        np.testing.assert_array_equal(codec.decode(codec.encode(syms)), syms)
+
+    def test_skewed_distribution_compresses(self):
+        rng = np.random.default_rng(1)
+        syms = np.where(rng.random(100_000) < 0.95, 5, rng.integers(0, 64, 100_000))
+        codec = HuffmanCodec()
+        blob = codec.encode(syms)
+        assert len(blob) < syms.size  # well under 8 bits/symbol
+        np.testing.assert_array_equal(codec.decode(blob), syms)
+
+    def test_large_alphabet(self):
+        rng = np.random.default_rng(2)
+        syms = rng.integers(0, 60_000, size=50_000)
+        codec = HuffmanCodec()
+        np.testing.assert_array_equal(codec.decode(codec.encode(syms)), syms)
+
+    def test_long_code_fallback_path(self):
+        # Force codes longer than the 14-bit first-level table: a huge
+        # alphabet of equally-rare symbols plus one dominant one.
+        syms = np.concatenate([
+            np.zeros(1 << 18, dtype=np.int64),
+            np.arange(1, 40_000, dtype=np.int64),
+        ])
+        codec = HuffmanCodec()
+        np.testing.assert_array_equal(codec.decode(codec.encode(syms)), syms)
+
+    def test_chunk_boundary_sizes(self):
+        codec = HuffmanCodec(chunk_size=64)
+        rng = np.random.default_rng(3)
+        for n in (1, 63, 64, 65, 128, 129):
+            syms = rng.integers(0, 7, size=n)
+            np.testing.assert_array_equal(codec.decode(codec.encode(syms)), syms)
+
+    def test_negative_symbols_rejected(self):
+        with pytest.raises(ValueError):
+            HuffmanCodec().encode(np.array([-1], dtype=np.int64))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            HuffmanCodec(chunk_size=0)
+        with pytest.raises(ValueError):
+            HuffmanCodec(length_limit=1)
+
+    @given(
+        st.lists(st.integers(0, 300), min_size=1, max_size=2000),
+        st.sampled_from([7, 64, 4096]),
+    )
+    def test_property_roundtrip(self, raw, chunk):
+        syms = np.array(raw, dtype=np.int64)
+        codec = HuffmanCodec(chunk_size=chunk)
+        np.testing.assert_array_equal(codec.decode(codec.encode(syms)), syms)
+
+    def test_rate_close_to_entropy(self):
+        rng = np.random.default_rng(4)
+        probs = np.array([0.5, 0.25, 0.125, 0.0625, 0.0625])
+        syms = rng.choice(5, size=200_000, p=probs)
+        blob = HuffmanCodec().encode(syms)
+        entropy = -(probs * np.log2(probs)).sum()
+        bits_per_symbol = 8 * len(blob) / syms.size
+        assert bits_per_symbol < entropy * 1.1 + 0.1  # dyadic probs: ~optimal

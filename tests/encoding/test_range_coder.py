@@ -1,0 +1,106 @@
+"""Adaptive chunk-parallel range coder."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding import RangeCodec
+
+
+class TestRoundtrip:
+    def test_empty(self):
+        codec = RangeCodec(16)
+        assert codec.decode(codec.encode(np.zeros(0, dtype=np.int64))).size == 0
+
+    def test_single_symbol(self):
+        codec = RangeCodec(4)
+        syms = np.array([3], dtype=np.int64)
+        np.testing.assert_array_equal(codec.decode(codec.encode(syms)), syms)
+
+    def test_constant_stream_compresses_hard(self):
+        codec = RangeCodec(64)
+        syms = np.full(100_000, 17, dtype=np.int64)
+        blob = codec.encode(syms)
+        np.testing.assert_array_equal(codec.decode(blob), syms)
+        assert 8 * len(blob) / syms.size < 0.2  # far below 1 bit/symbol
+
+    def test_uniform_stream_near_log2(self):
+        rng = np.random.default_rng(0)
+        codec = RangeCodec(32)
+        syms = rng.integers(0, 32, size=100_000)
+        blob = codec.encode(syms)
+        np.testing.assert_array_equal(codec.decode(blob), syms)
+        assert 8 * len(blob) / syms.size < 5.0 * 1.05  # ~log2(32) bits
+
+    def test_skewed_stream_near_entropy(self):
+        rng = np.random.default_rng(1)
+        probs = np.exp(-0.5 * np.arange(16))
+        probs /= probs.sum()
+        syms = rng.choice(16, size=150_000, p=probs)
+        codec = RangeCodec(16)
+        blob = codec.encode(syms)
+        np.testing.assert_array_equal(codec.decode(blob), syms)
+        entropy = -(probs * np.log2(probs)).sum()
+        assert 8 * len(blob) / syms.size < entropy * 1.08 + 0.1
+
+    def test_chunk_boundaries(self):
+        rng = np.random.default_rng(2)
+        codec = RangeCodec(8, chunk_size=64)
+        for n in (1, 63, 64, 65, 129, 1000):
+            syms = rng.integers(0, 8, size=n)
+            np.testing.assert_array_equal(codec.decode(codec.encode(syms)), syms)
+
+    @given(
+        st.lists(st.integers(0, 15), max_size=600),
+        st.sampled_from([16, 256, 4096]),
+    )
+    def test_property_roundtrip(self, raw, chunk):
+        syms = np.array(raw, dtype=np.int64)
+        codec = RangeCodec(16, chunk_size=chunk)
+        np.testing.assert_array_equal(codec.decode(codec.encode(syms)), syms)
+
+    def test_adversarial_alternation(self):
+        # Rapid alternation stresses renormalization and model updates.
+        syms = np.tile(np.array([0, 15, 7, 15, 0, 3], dtype=np.int64), 5000)
+        codec = RangeCodec(16, chunk_size=256)
+        np.testing.assert_array_equal(codec.decode(codec.encode(syms)), syms)
+
+
+class TestAdaptivity:
+    def test_beats_huffman_on_drifting_distribution(self):
+        """Two regimes with different dominant symbols: the adaptive model
+        tracks the drift, a single static Huffman table cannot."""
+        from repro.encoding import HuffmanCodec
+
+        rng = np.random.default_rng(3)
+        a = rng.choice(16, size=100_000, p=_peaked(16, 0))
+        b = rng.choice(16, size=100_000, p=_peaked(16, 8))
+        syms = np.concatenate([a, b])
+        blob_range = RangeCodec(16).encode(syms)
+        blob_huff = HuffmanCodec().encode(syms)
+        np.testing.assert_array_equal(RangeCodec(16).decode(blob_range), syms)
+        assert len(blob_range) < len(blob_huff)
+
+
+class TestValidation:
+    def test_alphabet_bounds(self):
+        with pytest.raises(ValueError):
+            RangeCodec(1)
+        with pytest.raises(ValueError):
+            RangeCodec(300)
+        with pytest.raises(ValueError):
+            RangeCodec(8, chunk_size=0)
+
+    def test_out_of_range_symbols_rejected(self):
+        codec = RangeCodec(4)
+        with pytest.raises(ValueError):
+            codec.encode(np.array([4], dtype=np.int64))
+        with pytest.raises(ValueError):
+            codec.encode(np.array([-1], dtype=np.int64))
+
+
+def _peaked(n, center):
+    p = np.full(n, 0.01)
+    p[center] = 1.0
+    return p / p.sum()

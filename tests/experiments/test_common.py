@@ -1,0 +1,91 @@
+"""Experiment plumbing: tables, bound mapping, ZFP_P tuning, sweeps."""
+
+import numpy as np
+import pytest
+
+from repro import get_compressor
+from repro.experiments.common import (
+    PAPER_BOUNDS,
+    PWR_COMPRESSORS,
+    Table,
+    compress_for_relbound,
+    sweep_records,
+    tune_zfp_precision,
+)
+from repro.metrics import bounded_fraction
+
+
+class TestTable:
+    def test_format_contains_all_cells(self):
+        t = Table("demo", ["a", "b"])
+        t.add("x", 1.5)
+        t.add("longer", 2.0)
+        text = t.format()
+        assert "demo" in text and "longer" in text and "1.5" in text
+
+    def test_row_width_checked(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add("only-one")
+
+    def test_csv(self):
+        t = Table("demo", ["a", "b"])
+        t.add("x", 2)
+        lines = t.to_csv().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "x,2"
+
+    def test_notes_rendered(self):
+        t = Table("demo", ["a"])
+        t.notes.append("hello note")
+        assert "hello note" in t.format()
+
+
+class TestBoundMapping:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(0)
+        return np.exp(rng.normal(0, 2, size=(16, 16, 16))).astype(np.float32)
+
+    @pytest.mark.parametrize("name", PWR_COMPRESSORS)
+    def test_every_compressor_respects_its_mapping(self, data, name):
+        br = 1e-2
+        blob, setting = compress_for_relbound(name, data, br)
+        recon = get_compressor(name).decompress(blob)
+        stats = bounded_fraction(data, recon, br)
+        assert stats.strictly_bounded, f"{name} ({setting}) not bounded"
+
+    def test_fpzip_setting_string(self, data):
+        _, setting = compress_for_relbound("FPZIP", data, 1e-3)
+        assert setting == "-p 19"
+
+    def test_zfp_p_tuning_hits_target(self, data):
+        br = 1e-2
+        p = tune_zfp_precision(data, br, target=0.999)
+        comp = get_compressor("ZFP_P")
+        from repro.compressors import PrecisionBound
+
+        blob = comp.compress(data, PrecisionBound(p))
+        stats = bounded_fraction(data, comp.decompress(blob), br)
+        assert stats.bounded_fraction >= 0.999
+        if p > 5:
+            blob_lo = comp.compress(data, PrecisionBound(p - 1))
+            stats_lo = bounded_fraction(data, comp.decompress(blob_lo), br)
+            assert stats_lo.bounded_fraction < 0.999  # p is minimal
+
+
+class TestSweep:
+    def test_small_sweep_structure(self):
+        records = sweep_records(
+            apps=("NYX",),
+            compressors=("SZ_T", "FPZIP"),
+            bounds=(1e-2,),
+            scale=0.25,
+            fields_per_app=2,
+        )
+        assert len(records) == 4
+        for r in records:
+            assert r.ratio > 0.5
+            assert r.compress_mbs > 0 and r.decompress_mbs > 0
+            assert r.bounded == 1.0
+        assert PAPER_BOUNDS == (1e-4, 1e-3, 1e-2, 1e-1)

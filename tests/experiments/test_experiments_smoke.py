@@ -1,0 +1,200 @@
+"""End-to-end experiment smoke tests at tiny scale.
+
+Each experiment must run, produce its table(s), and satisfy the paper's
+*qualitative* claims even on quarter-scale synthetic data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENT_NAMES
+from repro.experiments import (
+    errordist,
+    extensions,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    intro,
+    roundoff,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.common import sweep_records
+
+SCALE = 0.25
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    return sweep_records(scale=SCALE, bounds=(1e-3, 1e-2), fields_per_app=2)
+
+
+class TestTable2:
+    def test_base_invariance(self):
+        t = table2.run(scale=SCALE, bounds=(1e-3, 1e-1))
+        assert len(t.rows) == 4
+        for row in t.rows:
+            spread = row[-1]
+            assert spread < 10.0  # per-base CR spread stays small (%)
+
+
+class TestFig1:
+    def test_base_curves_coincide(self):
+        """Bases shift points *along* one rate-distortion curve (the paper
+        notes the bit-plane cutoff moves with the base) -- so all bases'
+        (bit-rate, PSNR) points must lie on a common line."""
+        t = fig1.run(scale=SCALE, bounds=(1e-3, 1e-2, 1e-1))
+        by_field = {}
+        for field, base, br, rate, psnr in t.rows:
+            by_field.setdefault(field, []).append((rate, psnr))
+        for field, pts in by_field.items():
+            rates = np.array([p[0] for p in pts])
+            psnrs = np.array([p[1] for p in pts])
+            slope, intercept = np.polyfit(rates, psnrs, 1)
+            residuals = psnrs - (slope * rates + intercept)
+            assert np.abs(residuals).max() < 3.0, field
+
+
+class TestTable3:
+    def test_rows_and_positive_times(self):
+        t = table3.run(scale=SCALE, repeats=1)
+        assert len(t.rows) == 6
+        for _, base, pre, post in t.rows:
+            assert pre > 0 and post > 0
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return table4.run(scale=SCALE, bounds=(1e-2,))
+
+    def test_transformed_compressors_strictly_bounded(self, table):
+        for row in table.rows:
+            name, bounded = row[3], row[5]
+            if name in ("SZ_T", "ZFP_T", "FPZIP"):
+                assert bounded == "100%", row
+
+    def test_zfp_p_not_bounded(self, table):
+        rows = [r for r in table.rows if r[3] == "ZFP_P"]
+        assert rows
+        for row in rows:
+            assert row[5] != "100%"
+            assert row[7] > 1e-2  # Max E exceeds the bound
+
+    def test_sz_t_best_ratio_among_bounded(self, table):
+        for field in {r[0] for r in table.rows}:
+            rows = {r[3]: r for r in table.rows if r[0] == field}
+            bounded_crs = {
+                n: r[8] for n, r in rows.items() if r[5] == "100%" and n != "ZFP_T"
+            }
+            assert max(bounded_crs, key=bounded_crs.get) == "SZ_T", field
+
+
+class TestFig2:
+    def test_sz_t_wins_nearly_everywhere(self, tiny_sweep):
+        t = fig2.run(records=tiny_sweep)
+        winners = [row[-1] for row in t.rows]
+        assert winners.count("SZ_T") >= len(winners) * 0.6
+
+    def test_isabela_flat_and_low(self, tiny_sweep):
+        ratios = fig2.aggregate_ratio(tiny_sweep)
+        isabela = [v for (app, c, br), v in ratios.items() if c == "ISABELA"]
+        assert max(isabela) < 4.0
+
+
+class TestFig3:
+    def test_tables_and_isabela_slowest(self, tiny_sweep):
+        tables = fig3.run(records=tiny_sweep)
+        assert len(tables) == 2
+        rates = fig3.aggregate_rates(tiny_sweep)
+        by_comp = {}
+        for (app, comp, br), (c_mbs, d_mbs) in rates.items():
+            by_comp.setdefault(comp, []).append(c_mbs)
+        mean = {c: float(np.mean(v)) for c, v in by_comp.items()}
+        assert mean["ISABELA"] < mean["FPZIP"]
+
+
+class TestFig4:
+    def test_runs_and_sz_t_has_tightest_equivalent_bound(self, tmp_path):
+        t = fig4.run(scale=SCALE, out_dir=str(tmp_path), target=5.0)
+        rows = {r[0]: r for r in t.rows}
+        assert set(rows) == {"SZ_ABS", "FPZIP", "SZ_T"}
+        # every compressor roughly hit the ratio target
+        for r in t.rows:
+            assert r[1] >= 4.0
+        # SZ_T's max relative error beats FPZIP's at equal ratio
+        assert rows["SZ_T"][3] < rows["FPZIP"][3]
+        assert (tmp_path / "fig4_SZ_T.pgm").exists()
+        assert (tmp_path / "fig4_original_zoom.pgm").exists()
+
+
+class TestFig5:
+    def test_runs_and_sz_t_skews_least(self, tmp_path):
+        t = fig5.run(scale=0.125, out_dir=str(tmp_path), target=6.0)
+        rows = {r[0]: r for r in t.rows}
+        # SZ_T skews least of the three at the common ratio (Fig. 5).
+        assert rows["SZ_T"][3] < rows["SZ_ABS"][3]
+        assert rows["SZ_T"][3] < rows["FPZIP"][3]
+        # The absolute bound produces the worst tail cells.
+        assert rows["SZ_ABS"][4] > rows["SZ_T"][4]
+        assert (tmp_path / "fig5_SZ_ABS.pgm").exists()
+
+
+class TestFig6:
+    def test_sz_t_speedup_grows_with_scale(self):
+        t = fig6.run(scale=SCALE, rank_counts=(1024, 4096))
+        sz_t_rows = [r for r in t.rows if r[1] == "SZ_T"]
+        assert len(sz_t_rows) == 2
+        dump_speedups = [r[-2] for r in sz_t_rows]
+        assert all(s > 1.0 for s in dump_speedups)
+        assert dump_speedups[1] >= dump_speedups[0]
+
+
+class TestRoundoff:
+    def test_lemma2_prevents_all_violations(self):
+        t = roundoff.run(scale=SCALE, bounds=(1e-4,))
+        for row in t.rows:
+            assert row[2] == 0  # with Lemma 2: zero violations
+
+
+class TestIntro:
+    def test_lossless_ceiling_vs_lossy(self):
+        t = intro.run(scale=SCALE)
+        for app, gzip_cr, shuf_cr, fpz_cr, sz_t_cr in t.rows:
+            assert gzip_cr < 2.0  # the paper's "no more than 2:1"
+            assert sz_t_cr > gzip_cr
+
+
+class TestErrorDist:
+    def test_sz_uniform_zfp_normal(self):
+        t = errordist.run(scale=SCALE)
+        rows = {(r[0], r[1]): r for r in t.rows}
+        # temperature is the clean positive smooth field: textbook shapes
+        assert rows[("temperature", "SZ_ABS")][7] == "uniform"
+        assert rows[("temperature", "ZFP_A")][7] == "normal-ish"
+        # ZFP over-preserves: its budget fill is far below SZ's
+        assert rows[("temperature", "ZFP_A")][8] < 0.5 * rows[("temperature", "SZ_ABS")][8]
+
+
+class TestExtensions:
+    def test_transformed_successors_stay_bounded_and_ranked(self):
+        t = extensions.run(scale=SCALE, bounds=(1e-2,))
+        assert len(t.rows) == 4  # one per application
+        for row in t.rows:
+            ratios = row[2:6]
+            assert all(r > 1.0 for r in ratios)
+            # ZFP_T (over-preserving) never wins the ratio contest
+            assert row[-1] != "ZFP_T"
+
+
+class TestRegistryCompleteness:
+    def test_experiment_list_matches_modules(self):
+        assert set(EXPERIMENT_NAMES) == {
+            "intro", "table2", "fig1", "table3", "table4", "fig2",
+            "fig3", "fig4", "fig5", "fig6", "roundoff", "errordist",
+            "extensions",
+        }

@@ -1,0 +1,63 @@
+"""Angle-skew metric (Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import blockwise_mean_skew, skew_angles
+
+
+def triple(vx, vy, vz):
+    return (np.asarray(vx, float), np.asarray(vy, float), np.asarray(vz, float))
+
+
+class TestSkewAngles:
+    def test_identical_velocities_zero_skew(self):
+        v = triple([1.0, 2.0], [0.5, -1.0], [3.0, 0.1])
+        np.testing.assert_allclose(skew_angles(v, v), 0.0, atol=1e-6)
+
+    def test_orthogonal_is_90_degrees(self):
+        v = triple([1.0], [0.0], [0.0])
+        w = triple([0.0], [1.0], [0.0])
+        assert skew_angles(v, w)[0] == pytest.approx(90.0)
+
+    def test_opposite_is_180_degrees(self):
+        v = triple([1.0], [0.0], [0.0])
+        w = triple([-1.0], [0.0], [0.0])
+        assert skew_angles(v, w)[0] == pytest.approx(180.0)
+
+    def test_scaling_does_not_skew(self):
+        v = triple([1.0, -2.0], [2.0, 1.0], [3.0, 0.0])
+        w = tuple(2.5 * c for c in v)
+        np.testing.assert_allclose(skew_angles(v, w), 0.0, atol=1e-6)
+
+    def test_zero_vector_counts_as_unskewed(self):
+        v = triple([0.0], [0.0], [0.0])
+        assert skew_angles(v, v)[0] == 0.0
+
+    def test_small_relative_error_small_angle(self):
+        rng = np.random.default_rng(0)
+        v = tuple(rng.normal(0, 1000, 500) for _ in range(3))
+        w = tuple(c * (1 + 0.001 * rng.standard_normal(500)) for c in v)
+        angles = skew_angles(v, w)
+        assert angles.max() < 0.5  # ~0.1% error -> well under a degree
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            skew_angles(triple([1.0], [1.0], [1.0]), triple([1, 2], [1, 2], [1, 2]))
+
+
+class TestBlockwiseMean:
+    def test_cell_means(self):
+        angles = np.array([1.0, 3.0, 5.0, 7.0])
+        np.testing.assert_allclose(blockwise_mean_skew(angles, 2), [2.0, 6.0])
+
+    def test_truncates_tail(self):
+        angles = np.arange(10, dtype=float)
+        out = blockwise_mean_skew(angles, 3)  # uses first 9 values
+        np.testing.assert_allclose(out, [1.0, 4.0, 7.0])
+
+    def test_invalid_cells(self):
+        with pytest.raises(ValueError):
+            blockwise_mean_skew(np.ones(4), 0)
+        with pytest.raises(ValueError):
+            blockwise_mean_skew(np.ones(4), 5)

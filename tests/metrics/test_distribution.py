@@ -1,0 +1,92 @@
+"""Error-distribution characterization."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.distribution import ErrorDistribution, error_distribution
+
+
+class TestErrorDistribution:
+    def test_uniform_errors_detected(self):
+        rng = np.random.default_rng(0)
+        x = np.zeros(50_000)
+        recon = rng.uniform(-1e-3, 1e-3, size=x.size)
+        dist = error_distribution(x, recon, 1e-3)
+        assert dist.looks_uniform
+        assert dist.std == pytest.approx(1 / np.sqrt(3), rel=0.05)
+        assert dist.excess_kurtosis == pytest.approx(-1.2, abs=0.1)
+        assert dist.fill == pytest.approx(1.0, abs=0.01)
+
+    def test_gaussian_errors_detected(self):
+        rng = np.random.default_rng(1)
+        x = np.zeros(50_000)
+        recon = np.clip(rng.normal(0, 2e-4, size=x.size), -1e-3, 1e-3)
+        dist = error_distribution(x, recon, 1e-3)
+        assert dist.looks_normal
+        assert dist.fill < 1.01
+
+    def test_exact_reconstruction_degenerate(self):
+        x = np.arange(100, dtype=np.float64)
+        dist = error_distribution(x, x, 1e-3)
+        assert dist == ErrorDistribution(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_bias_visible_in_mean(self):
+        x = np.zeros(1000)
+        recon = np.full(1000, 5e-4) + np.random.default_rng(2).uniform(-1e-4, 1e-4, 1000)
+        dist = error_distribution(x, recon, 1e-3)
+        assert dist.mean > 0.3  # one-sided error shows up as bias
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            error_distribution(np.zeros(100), np.zeros(100), 0.0)
+        with pytest.raises(ValueError):
+            error_distribution(np.zeros(3), np.zeros(3), 1.0)
+
+    def test_autocorrelation_white_vs_correlated(self, smooth_positive_3d):
+        from repro.compressors import AbsoluteBound, SZCompressor, ZFPCompressor
+        from repro.metrics.distribution import error_autocorrelation
+
+        eb = float(smooth_positive_3d.max()) * 1e-3
+        sz = SZCompressor()
+        zfp = ZFPCompressor("accuracy")
+        ac_sz = error_autocorrelation(
+            smooth_positive_3d,
+            sz.decompress(sz.compress(smooth_positive_3d, AbsoluteBound(eb))),
+            4,
+        )
+        ac_zfp = error_autocorrelation(
+            smooth_positive_3d,
+            zfp.decompress(zfp.compress(smooth_positive_3d, AbsoluteBound(eb))),
+            4,
+        )
+        assert np.abs(ac_sz).max() < 0.05  # quantization noise is white
+        assert np.abs(ac_zfp).max() > 0.1  # transform errors correlate
+
+    def test_autocorrelation_validation(self):
+        from repro.metrics.distribution import error_autocorrelation
+
+        with pytest.raises(ValueError):
+            error_autocorrelation(np.zeros(10), np.zeros(10), 0)
+        with pytest.raises(ValueError):
+            error_autocorrelation(np.zeros(10), np.zeros(10), 10)
+        # exact reconstruction: zero correlation by convention
+        out = error_autocorrelation(np.arange(10.0), np.arange(10.0), 3)
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_sz_errors_are_uniform_zfp_bell_shaped(self, smooth_positive_3d):
+        """The library-level reproduction of the paper's reference [7]."""
+        from repro.compressors import AbsoluteBound, SZCompressor, ZFPCompressor
+
+        eb = float(smooth_positive_3d.max()) * 1e-3
+        sz = SZCompressor()
+        zfp = ZFPCompressor("accuracy")
+        d_sz = error_distribution(
+            smooth_positive_3d, sz.decompress(sz.compress(smooth_positive_3d, AbsoluteBound(eb))), eb
+        )
+        d_zfp = error_distribution(
+            smooth_positive_3d, zfp.decompress(zfp.compress(smooth_positive_3d, AbsoluteBound(eb))), eb
+        )
+        assert d_sz.looks_uniform
+        assert d_sz.fill > 0.9
+        assert d_zfp.looks_normal
+        assert d_zfp.fill < 0.6  # over-preservation

@@ -1,0 +1,72 @@
+"""Error statistics (Table IV columns)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import bounded_fraction, relative_errors
+
+
+class TestRelativeErrors:
+    def test_excludes_zeros(self):
+        x = np.array([0.0, 2.0, -4.0])
+        xd = np.array([0.5, 2.2, -4.4])
+        rel = relative_errors(x, xd)
+        np.testing.assert_allclose(rel, [0.1, 0.1])
+
+    def test_exact_reconstruction(self):
+        x = np.array([1.0, 2.0])
+        assert relative_errors(x, x).max() == 0.0
+
+
+class TestBoundedFraction:
+    def test_all_bounded(self):
+        x = np.array([1.0, -2.0, 4.0])
+        xd = x * 1.0005
+        stats = bounded_fraction(x, xd, 1e-3)
+        assert stats.strictly_bounded
+        assert stats.bounded_label() == "100%"
+        assert stats.max_rel == pytest.approx(5e-4)
+        assert stats.n == 3
+
+    def test_partial_violation(self):
+        x = np.ones(1000)
+        xd = x.copy()
+        xd[0] = 1.5
+        stats = bounded_fraction(x, xd, 1e-2)
+        assert stats.bounded_fraction == pytest.approx(0.999)
+        assert not stats.strictly_bounded
+        assert stats.bounded_label() == "99.90%"
+
+    def test_nearly_bounded_label(self):
+        x = np.ones(100_000)
+        xd = x.copy()
+        xd[0] = 1.5
+        assert bounded_fraction(x, xd, 1e-2).bounded_label() == "~100%"
+
+    def test_modified_zero_marker(self):
+        x = np.array([0.0, 1.0])
+        xd = np.array([1e-9, 1.0])
+        stats = bounded_fraction(x, xd, 1e-2)
+        assert stats.zeros_modified == 1
+        assert stats.bounded_label().endswith("*")
+        assert stats.bounded_fraction == 0.5
+
+    def test_preserved_zero_counts_as_bounded(self):
+        x = np.array([0.0, 1.0])
+        stats = bounded_fraction(x, x, 1e-3)
+        assert stats.strictly_bounded
+        assert stats.zeros_modified == 0
+
+    def test_avg_excludes_zeros(self):
+        x = np.array([0.0, 2.0])
+        xd = np.array([0.0, 2.02])
+        assert bounded_fraction(x, xd, 0.5).avg_rel == pytest.approx(0.01)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            bounded_fraction(np.ones(3), np.ones(4), 0.1)
+
+    def test_max_abs(self):
+        x = np.array([10.0, -5.0])
+        xd = np.array([10.5, -5.0])
+        assert bounded_fraction(x, xd, 0.9).max_abs == pytest.approx(0.5)

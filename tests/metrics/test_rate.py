@@ -1,0 +1,66 @@
+"""Rate metrics: CR, bit-rate, PSNR flavours."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import bit_rate, compression_ratio, psnr, relative_psnr
+
+
+class TestRatio:
+    def test_basic(self):
+        assert compression_ratio(1000, 100) == 10.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            compression_ratio(10, 0)
+
+
+class TestBitRate:
+    def test_float32_uncompressed_is_32bits(self):
+        assert bit_rate(4 * 1000, 1000) == 32.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bit_rate(10, 0)
+
+
+class TestPsnr:
+    def test_known_value(self):
+        x = np.array([0.0, 1.0])
+        xd = np.array([0.1, 1.0])
+        # range 1, mse = 0.005
+        assert psnr(x, xd) == pytest.approx(-10 * math.log10(0.005))
+
+    def test_exact_is_infinite(self):
+        x = np.array([0.0, 1.0])
+        assert psnr(x, x) == math.inf
+
+    def test_constant_data_rejected(self):
+        with pytest.raises(ValueError):
+            psnr(np.ones(4), np.zeros(4))
+
+
+class TestRelativePsnr:
+    def test_uniform_relative_error(self):
+        x = np.array([1.0, 100.0, 1e6])
+        xd = x * 1.01
+        assert relative_psnr(x, xd) == pytest.approx(-20 * math.log10(0.01))
+
+    def test_zeros_excluded(self):
+        x = np.array([0.0, 2.0])
+        xd = np.array([0.0, 2.02])
+        assert relative_psnr(x, xd) == pytest.approx(-20 * math.log10(0.01))
+
+    def test_scale_invariance(self):
+        """The paper's metric judges relative fidelity: rescaling the data
+        must not move it (unlike classic PSNR)."""
+        rng = np.random.default_rng(0)
+        x = np.exp(rng.normal(0, 1, 100))
+        xd = x * (1 + 0.001 * rng.standard_normal(100))
+        assert relative_psnr(x, xd) == pytest.approx(relative_psnr(1e6 * x, 1e6 * xd))
+
+    def test_exact_is_infinite(self):
+        x = np.array([3.0])
+        assert relative_psnr(x, x) == math.inf

@@ -1,0 +1,86 @@
+"""Simulated cluster: profiles, dump/load arithmetic, Figure-6 shape."""
+
+import numpy as np
+import pytest
+
+from repro import AbsoluteBound, SZCompressor
+from repro.parallel import (
+    CompressorProfile,
+    GPFSModel,
+    SimulatedCluster,
+    measure_profile,
+)
+
+
+class TestProfile:
+    def test_measure_real_compressor(self, smooth_positive_3d):
+        prof = measure_profile(SZCompressor(), smooth_positive_3d, AbsoluteBound(1e-3))
+        assert prof.name == "SZ_ABS"
+        assert prof.compress_rate > 0 and prof.decompress_rate > 0
+        assert prof.ratio > 1.0
+
+    def test_repeats_validation(self, smooth_positive_3d):
+        with pytest.raises(ValueError):
+            measure_profile(SZCompressor(), smooth_positive_3d, AbsoluteBound(1e-3), repeats=0)
+
+    def test_scaled_preserves_ratio(self):
+        prof = CompressorProfile("X", 1e6, 2e6, 5.0)
+        s = prof.scaled(10.0)
+        assert s.compress_rate == 1e7 and s.decompress_rate == 2e7
+        assert s.ratio == 5.0
+
+    def test_scaled_validation(self):
+        with pytest.raises(ValueError):
+            CompressorProfile("X", 1e6, 1e6, 2.0).scaled(0.0)
+
+
+class TestDumpLoad:
+    def setup_method(self):
+        self.cluster = SimulatedCluster()
+        self.fast_good = CompressorProfile("good", 2e8, 2e8, 10.0)
+        self.fast_poor = CompressorProfile("poor", 4e8, 4e8, 2.0)
+
+    def test_breakdown_arithmetic(self):
+        b = self.cluster.dump_load(self.fast_good, 3e9, 1024)
+        assert b.dump_s == pytest.approx(b.compress_s + b.write_s)
+        assert b.load_s == pytest.approx(b.read_s + b.decompress_s)
+        assert b.compress_s == pytest.approx(3e9 / 2e8)
+
+    def test_ratio_wins_at_scale(self):
+        """Figure 6's mechanism: once aggregate bandwidth saturates, the
+        higher-ratio compressor dumps faster despite slower compute."""
+        good = self.cluster.dump_load(self.fast_good, 3e9, 4096)
+        poor = self.cluster.dump_load(self.fast_poor, 3e9, 4096)
+        assert good.dump_s < poor.dump_s
+        assert good.load_s < poor.load_s
+
+    def test_advantage_grows_with_scale(self):
+        speedups = []
+        for ranks in (1024, 2048, 4096):
+            good = self.cluster.dump_load(self.fast_good, 3e9, ranks)
+            poor = self.cluster.dump_load(self.fast_poor, 3e9, ranks)
+            speedups.append(poor.dump_s / good.dump_s)
+        assert speedups[0] <= speedups[1] <= speedups[2]
+
+    def test_rank_bounds(self):
+        with pytest.raises(ValueError):
+            self.cluster.dump_load(self.fast_good, 1e9, 0)
+        with pytest.raises(ValueError):
+            self.cluster.dump_load(self.fast_good, 1e9, 10_000)
+
+    def test_bytes_validation(self):
+        with pytest.raises(ValueError):
+            self.cluster.dump_load(self.fast_good, 0, 1024)
+
+    def test_uncompressed_baseline(self):
+        dump, load = self.cluster.uncompressed_dump_load(3e9, 4096)
+        b = self.cluster.dump_load(self.fast_good, 3e9, 4096)
+        assert b.dump_s < dump and b.load_s < load
+
+    def test_custom_fs(self):
+        slow = SimulatedCluster(fs=GPFSModel(aggregate_write_bw=1e8, aggregate_read_bw=1e8))
+        fast = SimulatedCluster()
+        assert (
+            slow.dump_load(self.fast_good, 3e9, 1024).write_s
+            > fast.dump_load(self.fast_good, 3e9, 1024).write_s
+        )

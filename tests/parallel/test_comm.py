@@ -1,0 +1,106 @@
+"""SPMD communicator shim: collectives, synchronization, error paths."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import FakeComm, run_spmd
+
+
+class TestBasics:
+    def test_rank_and_size(self):
+        out = run_spmd(4, lambda comm: (comm.Get_rank(), comm.Get_size()))
+        assert out == [(0, 4), (1, 4), (2, 4), (3, 4)]
+
+    def test_single_rank(self):
+        assert run_spmd(1, lambda comm: comm.Get_rank()) == [0]
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda comm: None)
+
+    def test_exception_propagates(self):
+        def fn(comm):
+            if comm.Get_rank() == 2:
+                raise RuntimeError("rank 2 exploded")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="rank 2"):
+            run_spmd(4, fn)
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def fn(comm):
+            data = {"n": 42} if comm.Get_rank() == 0 else None
+            return comm.bcast(data, root=0)
+
+        assert run_spmd(3, fn) == [{"n": 42}] * 3
+
+    def test_scatter_gather_roundtrip(self):
+        def fn(comm):
+            rank = comm.Get_rank()
+            send = list(range(comm.Get_size())) if rank == 0 else None
+            mine = comm.scatter(send, root=0)
+            return comm.gather(mine * 10, root=0)
+
+        out = run_spmd(4, fn)
+        assert out[0] == [0, 10, 20, 30]
+        assert out[1:] == [None, None, None]
+
+    def test_scatter_wrong_length(self):
+        def fn(comm):
+            send = [1, 2] if comm.Get_rank() == 0 else None
+            return comm.scatter(send, root=0)
+
+        with pytest.raises(ValueError):
+            run_spmd(3, fn)
+
+    def test_allgather(self):
+        out = run_spmd(3, lambda comm: comm.allgather(comm.Get_rank() ** 2))
+        assert out == [[0, 1, 4]] * 3
+
+    def test_allreduce_default_sum(self):
+        out = run_spmd(4, lambda comm: comm.allreduce(comm.Get_rank()))
+        assert out == [6, 6, 6, 6]
+
+    def test_allreduce_custom_op(self):
+        out = run_spmd(4, lambda comm: comm.allreduce(comm.Get_rank() + 1, op=max))
+        assert out == [4] * 4
+
+    def test_numpy_payloads(self):
+        def fn(comm):
+            arr = np.full(8, comm.Get_rank(), dtype=np.float64)
+            total = comm.allreduce(arr)
+            return float(total.sum())
+
+        assert run_spmd(3, fn) == [8 * 3.0] * 3
+
+    def test_repeated_collectives_stay_synchronized(self):
+        def fn(comm):
+            acc = 0
+            for i in range(10):
+                acc += comm.allreduce(comm.Get_rank() + i)
+            return acc
+
+        out = run_spmd(2, fn)
+        assert out[0] == out[1] == sum((0 + i) + (1 + i) for i in range(10))
+
+
+class TestMpiStyleWorkflow:
+    def test_compress_shards_spmd(self, smooth_positive_3d):
+        """The library's intended MPI pattern: scatter shards, compress
+        locally, gather compressed sizes."""
+        from repro import AbsoluteBound, SZCompressor
+
+        shards = np.array_split(smooth_positive_3d.ravel(), 3)
+
+        def fn(comm):
+            rank = comm.Get_rank()
+            shard = comm.scatter(shards if rank == 0 else None, root=0)
+            blob = SZCompressor().compress(shard, AbsoluteBound(1e-3))
+            sizes = comm.gather(len(blob), root=0)
+            return sizes
+
+        out = run_spmd(3, fn)
+        assert out[0] is not None and len(out[0]) == 3
+        assert all(s > 0 for s in out[0])

@@ -1,0 +1,50 @@
+"""GPFS contention model: regimes, anchoring against the paper."""
+
+import pytest
+
+from repro.parallel import GPFSModel
+
+
+class TestRegimes:
+    def test_few_ranks_link_limited(self):
+        fs = GPFSModel(aggregate_write_bw=100e9, per_process_bw=1e9)
+        assert fs.effective_write_bw(4) == 1e9
+
+    def test_many_ranks_share_aggregate(self):
+        fs = GPFSModel(aggregate_write_bw=1.2e9, per_process_bw=1e9)
+        assert fs.effective_write_bw(4096) == pytest.approx(1.2e9 / 4096)
+
+    def test_crossover_monotone(self):
+        fs = GPFSModel()
+        bws = [fs.effective_write_bw(r) for r in (1, 16, 256, 4096)]
+        assert all(a >= b for a, b in zip(bws, bws[1:]))
+
+    def test_read_slower_than_write_by_default(self):
+        fs = GPFSModel()
+        assert fs.effective_read_bw(4096) < fs.effective_write_bw(4096)
+
+
+class TestTimes:
+    def test_write_time_scales_with_bytes(self):
+        fs = GPFSModel(metadata_overhead_s=0.0)
+        assert fs.write_time(2e9, 1024) == pytest.approx(2 * fs.write_time(1e9, 1024))
+
+    def test_paper_anchor_uncompressed_dump(self):
+        """3 TB over 1024 ranks should take about the paper's 0.7 h."""
+        fs = GPFSModel()
+        hours = fs.write_time(3e9, 1024) / 3600
+        assert 0.5 <= hours <= 1.0
+
+    def test_paper_anchor_uncompressed_load(self):
+        """12 TB read at 4096 ranks: about the paper's 4 h."""
+        fs = GPFSModel()
+        hours = fs.read_time(3e9, 4096) / 3600
+        assert 3.0 <= hours <= 5.0
+
+    def test_invalid_ranks(self):
+        with pytest.raises(ValueError):
+            GPFSModel().write_time(1e9, 0)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            GPFSModel(aggregate_write_bw=0.0)

@@ -1,0 +1,52 @@
+"""Real file-per-process dump/load."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import RelativeBound, get_compressor
+from repro.parallel import dump_file_per_process, load_file_per_process
+
+
+@pytest.fixture()
+def shards(smooth_positive_3d):
+    flat = smooth_positive_3d.ravel()
+    return [np.ascontiguousarray(s) for s in np.array_split(flat, 3)]
+
+
+class TestDumpLoad:
+    def test_roundtrip(self, shards, tmp_path):
+        comp = get_compressor("SZ_T")
+        dump = dump_file_per_process(shards, comp, RelativeBound(1e-2), str(tmp_path))
+        assert len(dump.timings) == 3
+        for r in range(3):
+            assert os.path.exists(tmp_path / f"rank_{r}.rpz")
+        assert dump.ratio > 1.5
+
+        out, load = load_file_per_process(str(tmp_path), 3)
+        assert len(out) == 3
+        for shard, recon in zip(shards, out):
+            rel = np.abs(recon.astype(np.float64) - shard.astype(np.float64))
+            rel /= np.abs(shard.astype(np.float64))
+            assert rel.max() <= 1e-2
+        assert load.total_bytes_out == sum(s.nbytes for s in shards)
+
+    def test_timings_populated(self, shards, tmp_path):
+        comp = get_compressor("ZFP_T")
+        dump = dump_file_per_process(shards, comp, RelativeBound(1e-1), str(tmp_path))
+        assert dump.wall_compute_s > 0
+        assert dump.wall_io_s >= 0
+        assert dump.total_bytes_in == sum(s.nbytes for s in shards)
+
+    def test_empty_shards_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            dump_file_per_process([], get_compressor("SZ_T"), RelativeBound(1e-2), str(tmp_path))
+
+    def test_load_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_file_per_process(str(tmp_path), 0)
+
+    def test_missing_files_raise(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_file_per_process(str(tmp_path), 2)

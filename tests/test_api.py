@@ -1,0 +1,44 @@
+"""Top-level public API: compress/decompress, dispatch, docs example."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import RelativeBound, compress, decompress
+
+
+class TestPublicApi:
+    def test_readme_quickstart(self):
+        data = np.random.default_rng(0).lognormal(size=(16, 16, 16)).astype(np.float32)
+        blob = compress(data, RelativeBound(1e-2))
+        recon = decompress(blob)
+        assert np.all(np.abs(recon - data) <= 1e-2 * np.abs(data))
+
+    def test_default_compressor_is_sz_t(self):
+        data = np.ones((8, 8), dtype=np.float32)
+        blob = compress(data, RelativeBound(1e-3))
+        assert repro.Container.from_bytes(blob).codec == "SZ_T"
+
+    def test_named_compressor(self):
+        data = np.abs(np.random.default_rng(1).normal(1, 0.1, (8, 8))).astype(np.float32)
+        blob = compress(data, RelativeBound(1e-2), compressor="ZFP_T")
+        assert repro.Container.from_bytes(blob).codec == "ZFP_T"
+        recon = decompress(blob)
+        assert np.abs(recon - data).max() <= 1e-2 * np.abs(data).min() * 10
+
+    def test_compressor_instance(self):
+        data = np.ones((8, 8), dtype=np.float32) * 5
+        comp = repro.make_sz_t()
+        blob = compress(data, RelativeBound(1e-3), compressor=comp)
+        np.testing.assert_allclose(decompress(blob), data, rtol=1e-3)
+
+    def test_decompress_garbage_rejected(self):
+        with pytest.raises(Exception):
+            decompress(b"not a stream")
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

@@ -1,0 +1,58 @@
+"""Multi-field archive API."""
+
+import numpy as np
+import pytest
+
+from repro import AbsoluteBound, RelativeBound
+from repro.archive import archive_manifest, compress_dataset, decompress_dataset
+
+
+@pytest.fixture()
+def fields(smooth_positive_3d, signed_2d):
+    return {"density": smooth_positive_3d, "velocity": signed_2d}
+
+
+class TestArchive:
+    def test_roundtrip_uniform_settings(self, fields):
+        blob = compress_dataset(fields, RelativeBound(1e-2))
+        out = decompress_dataset(blob)
+        assert list(out) == ["density", "velocity"]
+        for name, data in fields.items():
+            x = data.astype(np.float64)
+            xd = out[name].astype(np.float64)
+            nz = x != 0
+            assert (np.abs(xd[nz] - x[nz]) / np.abs(x[nz])).max() <= 1e-2
+
+    def test_per_field_settings(self, fields):
+        blob = compress_dataset(
+            fields,
+            bound={"density": RelativeBound(1e-3),
+                   "velocity": AbsoluteBound(1.0)},
+            compressor={"density": "SZ_T", "velocity": "ZFP_A"},
+        )
+        manifest = archive_manifest(blob)
+        assert manifest["density"]["codec"] == "SZ_T"
+        assert manifest["velocity"]["codec"] == "ZFP_A"
+        out = decompress_dataset(blob)
+        assert np.abs(out["velocity"].astype(np.float64)
+                      - fields["velocity"].astype(np.float64)).max() <= 1.0
+
+    def test_manifest_metadata(self, fields):
+        blob = compress_dataset(fields, RelativeBound(1e-2))
+        manifest = archive_manifest(blob)
+        assert manifest["density"]["shape"] == fields["density"].shape
+        assert manifest["density"]["dtype"] == "float32"
+        assert manifest["density"]["nbytes"] > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compress_dataset({}, RelativeBound(1e-2))
+
+    def test_non_archive_stream_rejected(self, fields):
+        from repro import compress
+
+        plain = compress(fields["density"], RelativeBound(1e-2))
+        with pytest.raises(ValueError, match="archive"):
+            decompress_dataset(plain)
+        with pytest.raises(ValueError, match="archive"):
+            archive_manifest(plain)

@@ -1,0 +1,75 @@
+"""File-level CLI (repro-compress) end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data.io import load_array, write_raw
+
+
+@pytest.fixture()
+def field(tmp_path):
+    data = np.exp(np.random.default_rng(0).normal(0, 2, size=(16, 16, 16))).astype(np.float32)
+    path = str(tmp_path / "field.f32")
+    write_raw(path, data)
+    return path, data
+
+
+class TestCompressCommand:
+    def test_roundtrip_rel_bound(self, field, tmp_path, capsys):
+        path, data = field
+        out = str(tmp_path / "field.rpz")
+        back = str(tmp_path / "back.f32")
+        assert main(["compress", path, out, "--shape", "16,16,16",
+                     "--rel-bound", "1e-2"]) == 0
+        assert "bounded 100%" in capsys.readouterr().out
+        assert main(["decompress", out, back]) == 0
+        recon = load_array(back, (16, 16, 16))
+        assert np.all(np.abs(recon - data) <= 1e-2 * np.abs(data))
+
+    def test_abs_bound_and_named_compressor(self, field, tmp_path):
+        path, data = field
+        out = str(tmp_path / "f.rpz")
+        assert main(["compress", path, out, "--shape", "16,16,16",
+                     "--abs-bound", "0.5", "--compressor", "ZFP_A"]) == 0
+
+    def test_precision_compressor(self, field, tmp_path):
+        path, _ = field
+        out = str(tmp_path / "f.rpz")
+        assert main(["compress", path, out, "--shape", "16,16,16",
+                     "--precision", "19", "--compressor", "FPZIP"]) == 0
+
+    def test_exactly_one_bound_required(self, field, tmp_path):
+        path, _ = field
+        out = str(tmp_path / "f.rpz")
+        with pytest.raises(SystemExit):
+            main(["compress", path, out, "--shape", "16,16,16"])
+        with pytest.raises(SystemExit):
+            main(["compress", path, out, "--shape", "16,16,16",
+                  "--rel-bound", "1e-2", "--abs-bound", "1.0"])
+
+    def test_npy_input_no_shape_needed(self, tmp_path):
+        data = np.abs(np.random.default_rng(1).normal(1, 0.1, (8, 8))).astype(np.float32)
+        src = str(tmp_path / "f.npy")
+        np.save(src, data)
+        out = str(tmp_path / "f.rpz")
+        assert main(["compress", src, out, "--rel-bound", "1e-2"]) == 0
+
+    def test_bad_shape_rejected(self, field, tmp_path):
+        path, _ = field
+        with pytest.raises(SystemExit):
+            main(["compress", path, str(tmp_path / "o"), "--shape", "16,x",
+                  "--rel-bound", "1e-2"])
+
+
+class TestInfoCommand:
+    def test_describes_stream(self, field, tmp_path, capsys):
+        path, _ = field
+        out = str(tmp_path / "f.rpz")
+        main(["compress", path, out, "--shape", "16,16,16", "--rel-bound", "1e-2"])
+        capsys.readouterr()
+        assert main(["info", out]) == 0
+        text = capsys.readouterr().out
+        assert "SZ_T" in text
+        assert "(16, 16, 16)" in text
+        assert "float32" in text

@@ -1,0 +1,40 @@
+"""The runnable examples must stay runnable (fast subset, in-process)."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name: str, monkeypatch, argv=None):
+    monkeypatch.setattr(sys, "argv", [name] + (argv or []))
+    return runpy.run_path(os.path.join(EXAMPLES, name), run_name="__main__")
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        run_example("quickstart.py", monkeypatch)
+        out = capsys.readouterr().out
+        assert "bounded =   100%" in out
+
+    def test_custom_compressor(self, monkeypatch, capsys):
+        run_example("custom_compressor.py", monkeypatch)
+        out = capsys.readouterr().out
+        assert "bounded 100%" in out
+        assert "zeros preserved exactly" in out
+
+    @pytest.mark.slow
+    def test_hacc_velocity_angles(self, monkeypatch, capsys):
+        run_example("hacc_velocity_angles.py", monkeypatch)
+        out = capsys.readouterr().out
+        assert "SZ_T" in out
+
+    def test_every_example_file_compiles(self):
+        import py_compile
+
+        for fname in sorted(os.listdir(EXAMPLES)):
+            if fname.endswith(".py"):
+                py_compile.compile(os.path.join(EXAMPLES, fname), doraise=True)

@@ -1,0 +1,66 @@
+"""Quality-report assembly."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import AbsoluteBound, RelativeBound, compress
+from repro.report import quality_report
+
+
+class TestQualityReport:
+    def test_relative_codec_report(self, smooth_positive_3d):
+        blob = compress(smooth_positive_3d, RelativeBound(1e-2))
+        rep = quality_report(smooth_positive_3d, blob)
+        assert rep.codec == "SZ_T"
+        assert rep.bound_kind == "rel"
+        assert rep.bound_value == 1e-2
+        assert rep.errors.strictly_bounded
+        assert rep.errors.max_rel <= 1e-2
+        assert rep.ratio > 1
+        assert rep.bits_per_value == pytest.approx(
+            8 * rep.compressed_nbytes / smooth_positive_3d.size
+        )
+        assert rep.distribution is not None and rep.distribution.looks_uniform
+
+    def test_absolute_codec_report(self, signed_2d):
+        blob = compress(signed_2d, AbsoluteBound(0.5), compressor="SZ_ABS")
+        rep = quality_report(signed_2d, blob)
+        assert rep.bound_kind == "abs"
+        assert rep.errors.max_abs <= 0.5
+        assert rep.errors.bounded_fraction == 1.0
+
+    def test_unknown_bound_codec_still_reports_rates(self, smooth_positive_3d):
+        from repro import PrecisionBound
+
+        blob = compress(smooth_positive_3d, PrecisionBound(19), compressor="FPZIP")
+        rep = quality_report(smooth_positive_3d, blob)
+        assert rep.bound_kind is None
+        assert rep.errors is None
+        assert math.isfinite(rep.psnr_db)
+
+    def test_format_is_human_readable(self, smooth_positive_3d):
+        blob = compress(smooth_positive_3d, RelativeBound(1e-2))
+        text = quality_report(smooth_positive_3d, blob).format()
+        assert "SZ_T" in text
+        assert "bounded: 100%" in text
+        assert "bits/value" in text
+        assert "error shape" in text
+
+    def test_shape_mismatch_rejected(self, smooth_positive_3d):
+        blob = compress(smooth_positive_3d, RelativeBound(1e-2))
+        with pytest.raises(ValueError, match="shape"):
+            quality_report(smooth_positive_3d.ravel(), blob)
+
+    def test_cli_report_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.data.io import write_raw
+
+        data = np.exp(np.random.default_rng(0).normal(0, 1, (16, 16))).astype(np.float32)
+        src = str(tmp_path / "f.f32")
+        write_raw(src, data)
+        main(["compress", src, str(tmp_path / "f.rpz"), "--shape", "16,16",
+              "--rel-bound", "1e-2", "--report"])
+        out = capsys.readouterr().out
+        assert "error shape" in out and "PSNR" in out

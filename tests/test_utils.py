@@ -1,0 +1,63 @@
+"""Blocking utilities and timers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, block_merge, block_partition, pad_to_blocks
+
+
+class TestPadding:
+    def test_exact_multiple_untouched(self):
+        a = np.arange(16).reshape(4, 4)
+        assert pad_to_blocks(a, 4) is a
+
+    def test_edge_padding(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        p = pad_to_blocks(a, 3)
+        assert p.shape == (3, 3)
+        assert p[2, 2] == 4.0  # edge-replicated
+
+    def test_invalid_block(self):
+        with pytest.raises(ValueError):
+            pad_to_blocks(np.ones(4), 0)
+
+
+class TestPartitionMerge:
+    @pytest.mark.parametrize("shape,block", [((17,), 4), ((9, 10), 4), ((5, 6, 7), 4), ((8, 8), 8)])
+    def test_roundtrip(self, shape, block):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=shape)
+        tiles, padded = block_partition(a, block)
+        assert tiles.shape[1:] == (block,) * len(shape)
+        back = block_merge(tiles, padded, block, shape)
+        np.testing.assert_array_equal(back, a)
+
+    def test_block_ordering_is_c_style(self):
+        a = np.arange(16, dtype=np.float64).reshape(4, 4)
+        tiles, _ = block_partition(a, 2)
+        np.testing.assert_array_equal(tiles[0], [[0, 1], [4, 5]])
+        np.testing.assert_array_equal(tiles[1], [[2, 3], [6, 7]])
+
+    def test_tiles_are_contiguous(self):
+        a = np.ones((8, 8))
+        tiles, _ = block_partition(a, 4)
+        assert tiles.flags["C_CONTIGUOUS"]
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            pass
+        with t:
+            pass
+        assert t.entries == 2
+        assert t.seconds >= 0
+
+    def test_rate(self):
+        t = Timer()
+        t.seconds = 2.0
+        assert t.rate_mbs(4_000_000) == pytest.approx(2.0)
+
+    def test_rate_of_zero_time(self):
+        assert Timer().rate_mbs(100) == float("inf")

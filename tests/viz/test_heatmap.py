@@ -1,0 +1,56 @@
+"""Grayscale renderers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import ascii_heatmap, save_pgm, to_gray
+
+
+class TestToGray:
+    def test_full_range_mapping(self):
+        a = np.array([[0.0, 0.5], [1.0, 0.25]])
+        g = to_gray(a)
+        assert g.dtype == np.uint8
+        assert g[0, 0] == 0 and g[1, 0] == 255
+
+    def test_clipping(self):
+        a = np.array([[-1.0, 2.0]])
+        g = to_gray(a, vmin=0.0, vmax=1.0)
+        assert g[0, 0] == 0 and g[0, 1] == 255
+
+    def test_constant_input(self):
+        g = to_gray(np.ones((3, 3)))
+        np.testing.assert_array_equal(g, 0)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            to_gray(np.zeros(5))
+
+
+class TestPgm:
+    def test_writes_valid_header(self, tmp_path):
+        path = tmp_path / "img.pgm"
+        save_pgm(str(path), np.arange(12, dtype=np.uint8).reshape(3, 4))
+        raw = path.read_bytes()
+        assert raw.startswith(b"P5\n4 3\n255\n")
+        assert len(raw) == len(b"P5\n4 3\n255\n") + 12
+
+    def test_rejects_non_2d(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_pgm(str(tmp_path / "x.pgm"), np.zeros(4, dtype=np.uint8))
+
+
+class TestAscii:
+    def test_produces_rows(self):
+        rng = np.random.default_rng(0)
+        art = ascii_heatmap(rng.random((64, 64)), width=16)
+        lines = art.splitlines()
+        assert len(lines) >= 2
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_dark_and_bright_distinct(self):
+        img = np.zeros((32, 32))
+        img[:, 16:] = 1.0
+        art = ascii_heatmap(img, width=16)
+        first_row = art.splitlines()[0]
+        assert first_row[0] != first_row[-1]
