@@ -1,0 +1,103 @@
+"""Chunked pipeline bench: compress throughput vs. workers and chunk size.
+
+The paper's headline claim is throughput -- the transform adds negligible
+overhead, so dump/load speed is gated on how fast the inner codec runs.
+``ChunkedCompressor`` turns the monolithic pass into a block decomposition
+that scales with worker processes.  This bench reports:
+
+* compress throughput at 1/2/4 workers on a >= 64 MB float32 field
+  (process executor; asserts the >= 2x 4-vs-1 speedup whenever the host
+  actually has >= 4 usable cores),
+* throughput and ratio across chunk sizes 1-16 MB,
+* decompress throughput at 1/2/4 workers,
+
+while checking that every chunked stream still satisfies the point-wise
+relative bound with an empty patch channel (Lemma 2 holding per chunk).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import ChunkedCompressor, RelativeBound
+from repro.core.chunked import chunk_patch_total
+
+BOUND = 1e-3
+MB = 2**20
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def big_field() -> np.ndarray:
+    """64 MB float32: smooth positive field with mild multi-scale structure."""
+    n = 64 * MB // 4
+    x = np.linspace(0.0, 200.0 * np.pi, n)
+    data = 2.0 + np.sin(x) + 0.1 * np.sin(7.3 * x) + 0.01 * np.cos(131.7 * x)
+    return data.astype(np.float32).reshape(4096, -1)
+
+
+def _check_stream(blob: bytes, data: np.ndarray) -> None:
+    recon = ChunkedCompressor(executor="serial").decompress(blob)
+    assert np.all(np.abs(recon - data) <= BOUND * np.abs(data))
+    assert chunk_patch_total(blob) == 0  # Lemma 2 held in every chunk
+
+
+@pytest.mark.benchmark(group="chunked-worker-scaling", min_rounds=1)
+def test_compress_worker_scaling(benchmark, big_field):
+    times: dict[int, float] = {}
+    blob = b""
+    for workers in (1, 2, 4):
+        comp = ChunkedCompressor(
+            "SZ_T", chunk_bytes=4 * MB, workers=workers, executor="process"
+        )
+        t0 = time.perf_counter()
+        blob = comp.compress(big_field, RelativeBound(BOUND))
+        times[workers] = time.perf_counter() - t0
+        benchmark.extra_info[f"MBps_w{workers}"] = round(
+            big_field.nbytes / MB / times[workers], 2
+        )
+    _check_stream(blob, big_field)
+    speedup = times[1] / times[4]
+    benchmark.extra_info["speedup_4v1"] = round(speedup, 2)
+    benchmark.extra_info["cpus"] = _usable_cpus()
+    benchmark.extra_info["ratio"] = round(big_field.nbytes / len(blob), 2)
+
+    comp = ChunkedCompressor("SZ_T", chunk_bytes=4 * MB, workers=4, executor="process")
+    benchmark.pedantic(
+        comp.compress, args=(big_field, RelativeBound(BOUND)), rounds=1, iterations=1
+    )
+    if _usable_cpus() >= 4:
+        assert speedup >= 2.0, f"4-worker speedup only {speedup:.2f}x"
+
+
+@pytest.mark.benchmark(group="chunked-chunk-size", min_rounds=1)
+@pytest.mark.parametrize("chunk_mb", [1, 4, 16])
+def test_compress_chunk_size(benchmark, big_field, chunk_mb):
+    comp = ChunkedCompressor("SZ_T", chunk_bytes=chunk_mb * MB, executor="process")
+    blob = benchmark.pedantic(
+        comp.compress, args=(big_field, RelativeBound(BOUND)), rounds=1, iterations=1
+    )
+    _check_stream(blob, big_field)
+    benchmark.extra_info["chunks"] = comp.last_chunk_count
+    benchmark.extra_info["ratio"] = round(big_field.nbytes / len(blob), 2)
+
+
+@pytest.mark.benchmark(group="chunked-decompress-scaling", min_rounds=1)
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_decompress_worker_scaling(benchmark, big_field, workers):
+    blob = ChunkedCompressor("SZ_T", chunk_bytes=4 * MB, executor="process").compress(
+        big_field, RelativeBound(BOUND)
+    )
+    comp = ChunkedCompressor(workers=workers, executor="process")
+    recon = benchmark.pedantic(comp.decompress, args=(blob,), rounds=1, iterations=1)
+    assert np.all(np.abs(recon - big_field) <= BOUND * np.abs(big_field))

@@ -43,13 +43,20 @@ from repro.compressors import (
     register_compressor,
 )
 from repro.compressors.lossless import LosslessDeflate
-from repro.core import LogTransform, TransformedCompressor, make_sz_t, make_zfp_t
+from repro.core import (
+    ChunkedCompressor,
+    LogTransform,
+    TransformedCompressor,
+    make_sz_t,
+    make_zfp_t,
+)
 from repro.encoding.container import Container
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AbsoluteBound",
+    "ChunkedCompressor",
     "Compressor",
     "Container",
     "ErrorBound",
@@ -97,6 +104,10 @@ register_compressor(
     "SZ3_T", lambda: TransformedCompressor(SZ3Compressor())
 )
 register_compressor("ZFP_T", make_zfp_t)
+# Thread executor: registry instances serve generic decompress() dispatch,
+# which may run inside worker threads where forking a process pool is
+# unsafe.  Chunk streams decode identically under any executor.
+register_compressor("CHUNKED", lambda: ChunkedCompressor(executor="thread"))
 
 
 def compress(

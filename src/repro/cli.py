@@ -44,6 +44,29 @@ def _parse_shape(text: str) -> tuple[int, ...]:
     return dims
 
 
+def _parse_size(text: str) -> int:
+    """Byte count with optional K/M/G suffix (binary units): '8M' -> 8 MiB."""
+    scale = {"K": 2**10, "M": 2**20, "G": 2**30}.get(text[-1:].upper(), 1)
+    digits = text[:-1] if scale != 1 else text
+    try:
+        value = int(digits) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad size {text!r}; expected e.g. 4M, 512K, 1048576")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"size must be positive: {text!r}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive: {text!r}")
+    return value
+
+
 def _bound_from(args) -> AbsoluteBound | RelativeBound | PrecisionBound:
     chosen = [
         b for b in (
@@ -82,6 +105,12 @@ def main(argv: list[str] | None = None) -> int:
                       help="bit precision (FPZIP / ZFP_P)")
     comp.add_argument("--report", action="store_true",
                       help="print a full quality report after compressing")
+    comp.add_argument("--chunk-size", type=_parse_size, default=None, metavar="SIZE",
+                      help="split into chunks of SIZE bytes (K/M/G suffix allowed) "
+                           "and compress them in parallel")
+    comp.add_argument("--workers", type=_positive_int, default=None, metavar="N",
+                      help="parallel chunk workers (default: all available CPUs; "
+                           "implies --chunk-size 4M when set alone)")
 
     dec = sub.add_parser("decompress", help="reconstruct a compressed stream")
     dec.add_argument("input")
@@ -95,12 +124,28 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "compress":
         data = load_array(args.input, args.shape, np.dtype(args.dtype))
         bound = _bound_from(args)
-        blob = compress(data, bound, compressor=args.compressor)
+        label = args.compressor
+        if args.chunk_size is not None or args.workers is not None:
+            from repro.core.chunked import ChunkedCompressor
+
+            kwargs = {}
+            if args.chunk_size is not None:
+                kwargs["chunk_bytes"] = args.chunk_size
+            if args.workers is not None:
+                kwargs["workers"] = args.workers
+            chunked = ChunkedCompressor(args.compressor, **kwargs)
+            blob = compress(data, bound, compressor=chunked)
+            label = (
+                f"{args.compressor} ({chunked.last_chunk_count} chunks x "
+                f"{chunked.workers} workers)"
+            )
+        else:
+            blob = compress(data, bound, compressor=args.compressor)
         with open(args.output, "wb") as fh:
             fh.write(blob)
         line = (
             f"{args.input}: {data.nbytes} -> {len(blob)} bytes "
-            f"({data.nbytes / len(blob):.2f}x) with {args.compressor}"
+            f"({data.nbytes / len(blob):.2f}x) with {label}"
         )
         if isinstance(bound, RelativeBound):
             stats = bounded_fraction(data, decompress(blob), bound.value)
@@ -127,6 +172,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"shape:  {box.get_shape('shape')}")
     print(f"dtype:  {box.get_dtype('dtype').name}")
     print(f"bytes:  {len(blob)}")
+    if box.codec == "CHUNKED":
+        print(f"inner:  {box.get_str('inner_codec')}")
+        print(f"chunks: {box.get_u64('n_chunks')}")
     for key in box.keys():
         print(f"  section {key:12s} {len(box.get(key)):10d} B")
     return 0

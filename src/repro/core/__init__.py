@@ -10,20 +10,26 @@ problem into an *absolute*-error-bounded one:
 * :mod:`repro.core.pwr` -- :class:`TransformedCompressor`, which wraps any
   absolute-error-bounded compressor (``SZ_T``, ``ZFP_T`` factories
   included);
+* :mod:`repro.core.chunked` -- :class:`ChunkedCompressor`, the block
+  decomposition running any inner compressor chunk-parallel;
 * :mod:`repro.core.theory` -- executable forms of the paper's theorems
   (mapping uniqueness, Theorem-3 quantization-index deviation bounds,
   Lemma-4 decorrelation/coding-gain invariance).
 """
 
+from repro.core.chunked import ChunkedCompressor, chunk_patch_total, iter_chunk_blobs
 from repro.core.error_bounds import abs_bound_for, adjusted_abs_bound, rel_bound_from_abs
 from repro.core.pwr import TransformedCompressor, make_sz_t, make_zfp_t
 from repro.core.transform import LogTransform
 
 __all__ = [
+    "ChunkedCompressor",
     "LogTransform",
     "TransformedCompressor",
     "abs_bound_for",
     "adjusted_abs_bound",
+    "chunk_patch_total",
+    "iter_chunk_blobs",
     "make_sz_t",
     "make_zfp_t",
     "rel_bound_from_abs",

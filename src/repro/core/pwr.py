@@ -20,6 +20,8 @@ compressor:
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.compressors.base import (
@@ -83,9 +85,11 @@ class TransformedCompressor(Compressor):
 
     def compress(self, data: np.ndarray, bound: ErrorBound) -> bytes:
         self._check_bound(bound)
-        data = self._check_input(data)
         br = float(bound.value)
         tf = self.transform
+        if np.asarray(data).size == 0:
+            return self._compress_empty(np.asarray(data), br)
+        data = self._check_input(data)
 
         magnitudes = np.abs(data)
         all_nonneg, sign_payload = encode_sign_bitmap(data)
@@ -132,17 +136,41 @@ class TransformedCompressor(Compressor):
         box.put_u64("n_patch", patch_idx.size)
         return box.to_bytes()
 
+    def _compress_empty(self, data: np.ndarray, br: float) -> bytes:
+        """Zero-element stream: no magnitudes, no inner payload to run.
+
+        ``max_log_magnitude`` over nothing is 0, so the Lemma-2 adjustment
+        degenerates to the plain Theorem-2 bound, which is what gets
+        recorded for the (vacuously satisfied) guarantee.
+        """
+        if data.dtype not in (np.float32, np.float64):
+            raise TypeError(f"expected float32/float64 data, got {data.dtype}")
+        if data.ndim not in (1, 2, 3):
+            raise ValueError(f"expected 1-D/2-D/3-D data, got ndim={data.ndim}")
+        box = self._new_container(self.name, data)
+        box.put_f64("br", br)
+        box.put_f64("ba", abs_bound_for(br, self.transform.base))
+        box.put_f64("base", self.transform.base)
+        box.put_u64("all_nonneg", 1)
+        box.put("signs", b"")
+        box.put("inner", b"")
+        self.last_patch_count = 0
+        box.put("patch_idx", deflate(b""))
+        box.put("patch_val", deflate(b""))
+        box.put_u64("n_patch", 0)
+        return box.to_bytes()
+
     # -- decompression -----------------------------------------------------
 
     def decompress(self, blob: bytes) -> np.ndarray:
         box, shape, dtype = self._open_container(blob, self.name)
+        if math.prod(shape) == 0:
+            return np.zeros(shape, dtype=dtype)
         ba = box.get_f64("ba")
         base = box.get_f64("base")
-        if base != self.transform.base:
-            raise ValueError(
-                f"stream was produced with base {base}, decompressor uses "
-                f"{self.transform.base}"
-            )
+        # The stream records its own base, so a decompressor configured
+        # with a different one can still decode it faithfully.
+        tf = self.transform if base == self.transform.base else LogTransform(base)
         recon = self._reconstruct(
             box.get("inner"),
             ba,
@@ -150,6 +178,7 @@ class TransformedCompressor(Compressor):
             dtype,
             bool(box.get_u64("all_nonneg")),
             box.get("signs"),
+            transform=tf,
         )
         patch_idx = np.frombuffer(inflate(box.get("patch_idx")), dtype=np.uint64)
         patch_val = np.frombuffer(inflate(box.get("patch_val")), dtype=dtype)
@@ -167,10 +196,12 @@ class TransformedCompressor(Compressor):
         dtype: np.dtype,
         all_nonneg: bool,
         sign_payload: bytes,
+        transform: LogTransform | None = None,
     ) -> np.ndarray:
         """Inner decompress -> inverse log map -> sign restoration."""
+        tf = transform if transform is not None else self.transform
         d_rec = self.inner.decompress(inner_blob)
-        magnitudes = self.transform.inverse(d_rec, ba, dtype)
+        magnitudes = tf.inverse(d_rec, ba, dtype)
         if all_nonneg:
             return magnitudes.reshape(shape)
         negatives = decode_sign_bitmap(False, sign_payload, magnitudes.size)

@@ -77,20 +77,40 @@ class LogTransform:
                 d = np.log2(x) / np.asarray(math.log2(self.base), dtype=x.dtype)
         return np.where(x == 0, sentinel, d)
 
+    def max_finite_log(self, dtype: np.dtype) -> float:
+        """``log_base`` of the largest finite value of ``dtype``."""
+        return float(np.log2(np.finfo(np.dtype(dtype)).max)) / math.log2(self.base)
+
     def inverse(self, logs: np.ndarray, abs_bound: float, dtype: np.dtype) -> np.ndarray:
-        """Map reconstructed log values back to magnitudes (with zeros)."""
+        """Map reconstructed log values back to magnitudes (with zeros).
+
+        Reconstructed logs are clipped to ``log_base(finfo(dtype).max)``:
+        for magnitudes near the format's maximum, an inner-compressor error
+        of ``+b_a`` would otherwise push ``exp2`` past the exponent range
+        and decode to ``inf``.  The clip keeps the result at ``finfo.max``,
+        still within the relative bound of any in-range original.
+        """
         d = np.asarray(logs)
         threshold = self.zero_threshold(abs_bound, dtype)
-        if self.base == 2.0:
-            x = np.exp2(d)
-        elif self.base == math.e:
-            x = np.exp(d)
-        elif self.base == 10.0:
-            x = np.power(np.asarray(10.0, dtype=d.dtype), d)
-        else:
-            x = np.exp2(d * np.asarray(math.log2(self.base), dtype=d.dtype))
+        with np.errstate(over="ignore"):
+            if self.base == 2.0:
+                x = np.exp2(d)
+            elif self.base == math.e:
+                x = np.exp(d)
+            elif self.base == 10.0:
+                x = np.power(np.asarray(10.0, dtype=d.dtype), d)
+            else:
+                x = np.exp2(d * np.asarray(math.log2(self.base), dtype=d.dtype))
+        cap = np.asarray(np.finfo(np.dtype(dtype)).max, dtype=x.dtype)
+        x = np.minimum(x, cap)
         return np.where(d <= threshold, np.asarray(0, dtype=dtype), x.astype(dtype))
 
     def max_log_magnitude(self, logs: np.ndarray) -> float:
-        """``max |log_base x|`` over the mapped data (input to Lemma 2)."""
+        """``max |log_base x|`` over the mapped data (input to Lemma 2).
+
+        An empty mapping has no round-off to absorb, so it contributes 0.
+        """
+        logs = np.asarray(logs)
+        if logs.size == 0:
+            return 0.0
         return float(np.abs(logs).max())

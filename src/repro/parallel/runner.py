@@ -68,10 +68,28 @@ def dump_file_per_process(
     compressor: Compressor,
     bound: ErrorBound,
     out_dir: str,
+    chunk_bytes: int | None = None,
+    workers: int | None = None,
 ) -> DumpSummary:
-    """Compress and write one file per rank (rank count = ``len(shards)``)."""
+    """Compress and write one file per rank (rank count = ``len(shards)``).
+
+    ``chunk_bytes`` enables per-rank chunking: each rank runs its shard
+    through a :class:`ChunkedCompressor` wrapping ``compressor``, with
+    ``workers`` thread-pool jobs per rank (thread executor -- ranks are
+    already threads here, and forking from a threaded process is unsafe;
+    swap in real MPI ranks for process-level parallelism).
+    """
     if not shards:
         raise ValueError("need at least one shard")
+    if chunk_bytes is not None:
+        from repro.core.chunked import ChunkedCompressor
+
+        compressor = ChunkedCompressor(
+            compressor,
+            chunk_bytes=chunk_bytes,
+            workers=workers if workers is not None else 1,
+            executor="thread",
+        )
     os.makedirs(out_dir, exist_ok=True)
 
     def rank_main(comm: FakeComm) -> RankTiming:

@@ -9,7 +9,37 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["pad_to_blocks", "block_partition", "block_merge"]
+__all__ = ["pad_to_blocks", "block_partition", "block_merge", "chunk_spans"]
+
+
+def chunk_spans(n_items: int, item_bytes: int, chunk_bytes: int) -> list[tuple[int, int]]:
+    """Split ``n_items`` consecutive items into near-equal byte-bounded spans.
+
+    Returns ``[(start, stop), ...]`` half-open ranges covering
+    ``range(n_items)`` such that every span holds at most ``chunk_bytes``
+    worth of items (but always at least one item, even when a single item
+    exceeds the budget).  Spans are balanced: their sizes differ by at most
+    one item, which keeps parallel workers evenly loaded instead of leaving
+    a runt chunk at the tail.
+    """
+    if n_items < 0:
+        raise ValueError(f"n_items must be non-negative, got {n_items}")
+    if item_bytes <= 0 or chunk_bytes <= 0:
+        raise ValueError(
+            f"item_bytes and chunk_bytes must be positive, got {item_bytes}, {chunk_bytes}"
+        )
+    if n_items == 0:
+        return []
+    per_chunk = max(1, chunk_bytes // item_bytes)
+    n_chunks = -(-n_items // per_chunk)  # ceil
+    base, extra = divmod(n_items, n_chunks)
+    spans = []
+    start = 0
+    for i in range(n_chunks):
+        stop = start + base + (1 if i < extra else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans
 
 
 def pad_to_blocks(data: np.ndarray, block: int) -> np.ndarray:

@@ -74,6 +74,34 @@ class TestBoundGuarantee:
         recon = comp.decompress(comp.compress(data, RelativeBound(1e-3)))
         np.testing.assert_array_equal(recon, data)
 
+    @pytest.mark.parametrize("shape", [(0,), (0, 5), (3, 0, 2)])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_empty_array_roundtrip(self, shape, dtype):
+        comp = make_sz_t()
+        blob = comp.compress(np.zeros(shape, dtype=dtype), RelativeBound(1e-3))
+        recon = comp.decompress(blob)
+        assert recon.shape == shape and recon.dtype == dtype
+        assert comp.last_patch_count == 0
+        np.testing.assert_array_equal(decompress(blob), recon)
+
+    def test_near_max_magnitudes_decode_finite_without_verify(self):
+        """exp2 overflow at the exponent-range edge is clipped, so even
+        verify=False streams cannot decode to inf."""
+        fi = np.finfo(np.float32)
+        data = np.full(512, fi.max, dtype=np.float32)
+        data[1::2] = fi.max * np.float32(0.999)
+        comp = make_sz_t(verify=False)
+        recon = comp.decompress(comp.compress(data, RelativeBound(1e-2)))
+        assert np.isfinite(recon).all()
+        assert rel_errors(data, recon).max() <= 1e-2
+
+    def test_negative_zero_sign_preserved(self):
+        data = np.array([1.0, -0.0, 0.0, -2.5, -0.0], dtype=np.float32)
+        comp = make_sz_t()
+        recon = comp.decompress(comp.compress(data, RelativeBound(1e-3)))
+        np.testing.assert_array_equal(recon == 0, data == 0)
+        np.testing.assert_array_equal(np.signbit(recon), np.signbit(data))
+
     def test_float64_data(self, wide_range_3d):
         comp = make_sz_t()
         recon = comp.decompress(comp.compress(wide_range_3d, RelativeBound(1e-5)))
@@ -97,10 +125,13 @@ class TestBases:
         recon = comp.decompress(comp.compress(smooth_positive_3d, RelativeBound(1e-3)))
         assert rel_errors(smooth_positive_3d, recon).max() <= 1e-3
 
-    def test_base_mismatch_on_decode_rejected(self, smooth_positive_3d):
+    def test_base_mismatch_decodes_with_stream_base(self, smooth_positive_3d):
+        """The base is recorded in the stream, so a differently-configured
+        decompressor decodes with the stream's base instead of raising."""
         blob = make_sz_t(base=2.0).compress(smooth_positive_3d, RelativeBound(1e-2))
-        with pytest.raises(ValueError, match="base"):
-            make_sz_t(base=10.0).decompress(blob)
+        recon = make_sz_t(base=10.0).decompress(blob)
+        assert rel_errors(smooth_positive_3d, recon).max() <= 1e-2
+        np.testing.assert_array_equal(recon, make_sz_t(base=2.0).decompress(blob))
 
     def test_base_choice_barely_affects_ratio(self, smooth_positive_3d):
         """Lemma 3 consequence: CR differences across bases stay small."""

@@ -87,3 +87,27 @@ class TestZeroSentinel:
         tf = LogTransform(2.0)
         d = np.array([-10.0, 5.0, 0.5])
         assert tf.max_log_magnitude(d) == 10.0
+
+    def test_max_log_magnitude_empty(self):
+        assert LogTransform(2.0).max_log_magnitude(np.zeros(0)) == 0.0
+
+
+class TestExponentRangeClip:
+    @pytest.mark.parametrize("base", [2.0, math.e, 10.0, 3.7])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_overflowing_logs_clip_to_finite_max(self, base, dtype):
+        """A +ba perturbation of log(finfo.max) must not decode to inf."""
+        tf = LogTransform(base)
+        ba = 0.01
+        top = tf.max_finite_log(dtype)
+        d = np.array([top, top + ba, top + 4 * ba], dtype=dtype)
+        back = tf.inverse(d, ba, dtype)
+        assert np.isfinite(back).all()
+        assert (back <= np.finfo(dtype).max).all()
+        assert back[0] > 0
+
+    def test_in_range_values_unaffected_by_clip(self):
+        tf = LogTransform(2.0)
+        x = np.array([1e-3, 1.0, 1e30], dtype=np.float64)
+        back = tf.inverse(tf.forward(x, 1e-3), 1e-3, np.float64)
+        np.testing.assert_allclose(back, x, rtol=1e-12)

@@ -39,6 +39,25 @@ class TestDumpLoad:
         assert dump.wall_io_s >= 0
         assert dump.total_bytes_in == sum(s.nbytes for s in shards)
 
+    def test_chunked_per_rank_roundtrip(self, shards, tmp_path):
+        """Per-rank chunking (Fig. 6 dump/load model) preserves the bound
+        and produces CHUNKED rank files that generic load decodes."""
+        from repro.encoding import Container
+
+        comp = get_compressor("SZ_T")
+        dump = dump_file_per_process(
+            shards, comp, RelativeBound(1e-2), str(tmp_path),
+            chunk_bytes=8 * 1024, workers=2,
+        )
+        assert dump.total_bytes_in == sum(s.nbytes for s in shards)
+        with open(tmp_path / "rank_0.rpz", "rb") as fh:
+            assert Container.from_bytes(fh.read()).codec == "CHUNKED"
+        out, _ = load_file_per_process(str(tmp_path), 3)
+        for shard, recon in zip(shards, out):
+            rel = np.abs(recon.astype(np.float64) - shard.astype(np.float64))
+            rel /= np.abs(shard.astype(np.float64))
+            assert rel.max() <= 1e-2
+
     def test_empty_shards_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             dump_file_per_process([], get_compressor("SZ_T"), RelativeBound(1e-2), str(tmp_path))

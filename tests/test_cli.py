@@ -48,6 +48,24 @@ class TestCompressCommand:
             main(["compress", path, out, "--shape", "16,16,16",
                   "--rel-bound", "1e-2", "--abs-bound", "1.0"])
 
+    def test_chunked_flags_roundtrip(self, field, tmp_path, capsys):
+        path, data = field
+        out = str(tmp_path / "f.rpz")
+        back = str(tmp_path / "b.f32")
+        assert main(["compress", path, out, "--shape", "16,16,16",
+                     "--rel-bound", "1e-2", "--chunk-size", "4K",
+                     "--workers", "2"]) == 0
+        assert "chunks" in capsys.readouterr().out
+        assert main(["decompress", out, back]) == 0
+        recon = load_array(back, (16, 16, 16))
+        assert np.all(np.abs(recon - data) <= 1e-2 * np.abs(data))
+
+    def test_bad_chunk_size_rejected(self, field, tmp_path):
+        path, _ = field
+        with pytest.raises(SystemExit):
+            main(["compress", path, str(tmp_path / "o"), "--shape", "16,16,16",
+                  "--rel-bound", "1e-2", "--chunk-size", "huge"])
+
     def test_npy_input_no_shape_needed(self, tmp_path):
         data = np.abs(np.random.default_rng(1).normal(1, 0.1, (8, 8))).astype(np.float32)
         src = str(tmp_path / "f.npy")

@@ -3,7 +3,41 @@
 import numpy as np
 import pytest
 
-from repro.utils import Timer, block_merge, block_partition, pad_to_blocks
+from repro.utils import Timer, block_merge, block_partition, chunk_spans, pad_to_blocks
+
+
+class TestChunkSpans:
+    def test_covers_range_without_overlap(self):
+        spans = chunk_spans(1000, 4, 128)
+        assert spans[0][0] == 0 and spans[-1][1] == 1000
+        for (a, b), (c, d) in zip(spans, spans[1:]):
+            assert b == c and a < b
+
+    def test_respects_byte_budget(self):
+        for n, item, budget in [(1000, 4, 128), (7, 8, 64), (100, 3, 10)]:
+            for a, b in chunk_spans(n, item, budget):
+                assert (b - a) * item <= budget
+
+    def test_balanced_sizes(self):
+        sizes = [b - a for a, b in chunk_spans(100, 1, 30)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_oversized_item_gets_own_span(self):
+        assert chunk_spans(3, 100, 10) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_single_span_when_all_fits(self):
+        assert chunk_spans(10, 4, 1000) == [(0, 10)]
+
+    def test_empty(self):
+        assert chunk_spans(0, 4, 128) == []
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            chunk_spans(-1, 4, 128)
+        with pytest.raises(ValueError):
+            chunk_spans(10, 0, 128)
+        with pytest.raises(ValueError):
+            chunk_spans(10, 4, 0)
 
 
 class TestPadding:
