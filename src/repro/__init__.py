@@ -45,20 +45,32 @@ from repro.compressors import (
 from repro.compressors.lossless import LosslessDeflate
 from repro.core import (
     ChunkedCompressor,
+    ChunkFailure,
     LogTransform,
+    RecoveryReport,
     TransformedCompressor,
     make_sz_t,
     make_zfp_t,
+    recover_array,
 )
-from repro.encoding.container import Container
+from repro.encoding.container import (
+    ChecksumError,
+    Container,
+    ContainerError,
+    StreamError,
+    TruncatedStreamError,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AbsoluteBound",
+    "ChecksumError",
+    "ChunkFailure",
     "ChunkedCompressor",
     "Compressor",
     "Container",
+    "ContainerError",
     "ErrorBound",
     "FpzipCompressor",
     "IsabelaCompressor",
@@ -66,7 +78,10 @@ __all__ = [
     "LosslessDeflate",
     "PrecisionBound",
     "RateBound",
+    "RecoveryReport",
     "RelativeBound",
+    "StreamError",
+    "TruncatedStreamError",
     "SZ2Compressor",
     "SZ3Compressor",
     "SZCompressor",
@@ -81,7 +96,9 @@ __all__ = [
     "get_compressor",
     "make_sz_t",
     "make_zfp_t",
+    "recover_array",
     "register_compressor",
+    "verify_stream",
 ]
 
 # -- registry ---------------------------------------------------------------
@@ -128,7 +145,25 @@ def decompress(blob: bytes) -> np.ndarray:
     """Reconstruct an array from any stream produced by :func:`compress`.
 
     The codec is dispatched from the container header, so callers do not
-    need to remember which compressor produced the bytes.
+    need to remember which compressor produced the bytes.  Corrupt or
+    truncated streams raise :class:`StreamError` subclasses; v2 streams
+    are checksum-verified before any decoding happens.
     """
     codec = Container.from_bytes(blob).codec
-    return get_compressor(codec).decompress(blob)
+    try:
+        compressor = get_compressor(codec)
+    except KeyError:
+        raise ContainerError(
+            f"stream names unknown codec {codec!r} (corrupt header?)"
+        ) from None
+    return compressor.decompress(blob)
+
+
+def verify_stream(blob: bytes):
+    """Checksum + structural verification without decompression.
+
+    Convenience re-export of :func:`repro.integrity.verify_stream`.
+    """
+    from repro.integrity import verify_stream as _verify
+
+    return _verify(blob)

@@ -6,10 +6,17 @@ Mirrors the ergonomics of the SZ/ZFP command-line utilities::
         --rel-bound 1e-3 --compressor SZ_T
     repro-compress decompress field.rpz field.out.f32
     repro-compress info field.rpz
+    repro-compress verify field.rpz
+    repro-compress faults bit-flip field.rpz damaged.rpz --seed 3
 
 Raw binaries need ``--shape`` (and ``--dtype`` when not float32); ``.npy``
 inputs are self-describing.  ``compress`` verifies and reports the achieved
 ratio and maximum point-wise relative error.
+
+Corrupt or unreadable inputs never produce a traceback: every command
+prints a one-line diagnostic to stderr and exits with status 2, so shell
+pipelines and batch schedulers can distinguish "bad data" (2) from "bad
+usage" (argparse's 2 on stderr with usage) and crashes (anything else).
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from repro import (
     Container,
     PrecisionBound,
     RelativeBound,
+    StreamError,
     available_compressors,
     compress,
     decompress,
@@ -67,6 +75,16 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _parse_keep(text: str) -> int | float:
+    """Truncation point: plain int = byte count, value with '.' = fraction."""
+    try:
+        return float(text) if "." in text else int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad keep {text!r}; expected a byte count (1024) or fraction (0.5)"
+        )
+
+
 def _bound_from(args) -> AbsoluteBound | RelativeBound | PrecisionBound:
     chosen = [
         b for b in (
@@ -81,6 +99,119 @@ def _bound_from(args) -> AbsoluteBound | RelativeBound | PrecisionBound:
     if kind == "abs":
         return AbsoluteBound(value)
     return PrecisionBound(value)
+
+
+def _read_blob(path: str) -> bytes:
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+# -- commands ----------------------------------------------------------------
+
+
+def _cmd_compress(args) -> int:
+    data = load_array(args.input, args.shape, np.dtype(args.dtype))
+    bound = _bound_from(args)
+    label = args.compressor
+    if args.chunk_size is not None or args.workers is not None:
+        from repro.core.chunked import ChunkedCompressor
+
+        kwargs = {}
+        if args.chunk_size is not None:
+            kwargs["chunk_bytes"] = args.chunk_size
+        if args.workers is not None:
+            kwargs["workers"] = args.workers
+        chunked = ChunkedCompressor(args.compressor, **kwargs)
+        blob = compress(data, bound, compressor=chunked)
+        label = (
+            f"{args.compressor} ({chunked.last_chunk_count} chunks x "
+            f"{chunked.workers} workers)"
+        )
+    else:
+        blob = compress(data, bound, compressor=args.compressor)
+    with open(args.output, "wb") as fh:
+        fh.write(blob)
+    line = (
+        f"{args.input}: {data.nbytes} -> {len(blob)} bytes "
+        f"({data.nbytes / len(blob):.2f}x) with {label}"
+    )
+    if isinstance(bound, RelativeBound):
+        stats = bounded_fraction(data, decompress(blob), bound.value)
+        line += f", bounded {stats.bounded_label()}, max rel err {stats.max_rel:.3e}"
+    print(line)
+    if args.report:
+        from repro.report import quality_report
+
+        print(quality_report(data, blob).format())
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    blob = _read_blob(args.input)
+    if args.tolerate_corruption:
+        from repro.core.chunked import recover_array
+
+        recon, report = recover_array(blob)
+        if recon is None:
+            print(f"error: {args.input}: unrecoverable: {report.failures[0].error}",
+                  file=sys.stderr)
+            return 2
+        if report is not None:
+            print(f"{args.input}: {report.summary()}", file=sys.stderr)
+    else:
+        recon = decompress(blob)
+    save_array(args.output, recon)
+    print(f"{args.output}: {recon.shape} {recon.dtype}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    blob = _read_blob(args.input)
+    box = Container.from_bytes(blob)
+    print(f"codec:  {box.codec}")
+    print(f"shape:  {box.get_shape('shape')}")
+    print(f"dtype:  {box.get_dtype('dtype').name}")
+    print(f"bytes:  {len(blob)}")
+    print(f"format: v{box.version}" + (" (checksummed)" if box.checksummed else ""))
+    if box.codec == "CHUNKED":
+        print(f"inner:  {box.get_str('inner_codec')}")
+        print(f"chunks: {box.get_u64('n_chunks')}")
+    for key in box.keys():
+        print(f"  section {key:12s} {len(box.get(key)):10d} B")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.integrity import verify_stream
+
+    report = verify_stream(_read_blob(args.input))
+    print(f"{args.input}: {report.summary()}")
+    for note in report.notes:
+        print(f"  note: {note}")
+    return 0 if report.ok else 2
+
+
+def _cmd_faults(args) -> int:
+    from repro.testing import faults
+
+    blob = _read_blob(args.input)
+    if args.mode == "bit-flip":
+        out = faults.flip_random_bits(blob, n=args.count, seed=args.seed)
+    elif args.mode == "truncate":
+        out = faults.truncate(blob, args.keep)
+    elif args.mode == "drop-section":
+        out = faults.drop_section(blob, args.key)
+    elif args.mode == "corrupt-section":
+        out = faults.corrupt_section(blob, args.key, n_bits=args.count, seed=args.seed)
+    else:  # corrupt-chunk
+        out = faults.corrupt_chunk(blob, args.index, n_bits=args.count, seed=args.seed)
+    with open(args.output, "wb") as fh:
+        fh.write(out)
+    print(f"{args.output}: {args.mode} applied, {len(blob)} -> {len(out)} bytes")
+    return 0
+
+
+# -- entry point -------------------------------------------------------------
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -115,69 +246,58 @@ def main(argv: list[str] | None = None) -> int:
     dec = sub.add_parser("decompress", help="reconstruct a compressed stream")
     dec.add_argument("input")
     dec.add_argument("output")
+    dec.add_argument("--tolerate-corruption", action="store_true",
+                     help="recover intact chunks of a damaged stream, filling "
+                          "lost spans with NaN (report goes to stderr)")
 
     info = sub.add_parser("info", help="describe a compressed stream")
     info.add_argument("input")
 
+    ver = sub.add_parser(
+        "verify",
+        help="check checksums and structure without decompressing "
+             "(exit 0 = intact, 2 = damaged)",
+    )
+    ver.add_argument("input")
+
+    flt = sub.add_parser(
+        "faults",
+        help="inject a deterministic fault into a stream (testing/repro)",
+    )
+    flt.add_argument("mode", choices=[
+        "bit-flip", "truncate", "drop-section", "corrupt-section", "corrupt-chunk",
+    ])
+    flt.add_argument("input")
+    flt.add_argument("output")
+    flt.add_argument("--seed", type=int, default=0,
+                     help="RNG seed for the random-bit modes (default 0)")
+    flt.add_argument("--count", type=_positive_int, default=1, metavar="N",
+                     help="number of bits to flip (default 1)")
+    flt.add_argument("--keep", type=_parse_keep, default=0.5,
+                     help="truncate: bytes to keep (int) or fraction (float, "
+                          "default 0.5)")
+    flt.add_argument("--key", default="payload",
+                     help="section name for drop-section / corrupt-section "
+                          "(default 'payload')")
+    flt.add_argument("--index", type=int, default=0,
+                     help="chunk index for corrupt-chunk (default 0)")
+
     args = parser.parse_args(argv)
-
-    if args.command == "compress":
-        data = load_array(args.input, args.shape, np.dtype(args.dtype))
-        bound = _bound_from(args)
-        label = args.compressor
-        if args.chunk_size is not None or args.workers is not None:
-            from repro.core.chunked import ChunkedCompressor
-
-            kwargs = {}
-            if args.chunk_size is not None:
-                kwargs["chunk_bytes"] = args.chunk_size
-            if args.workers is not None:
-                kwargs["workers"] = args.workers
-            chunked = ChunkedCompressor(args.compressor, **kwargs)
-            blob = compress(data, bound, compressor=chunked)
-            label = (
-                f"{args.compressor} ({chunked.last_chunk_count} chunks x "
-                f"{chunked.workers} workers)"
-            )
-        else:
-            blob = compress(data, bound, compressor=args.compressor)
-        with open(args.output, "wb") as fh:
-            fh.write(blob)
-        line = (
-            f"{args.input}: {data.nbytes} -> {len(blob)} bytes "
-            f"({data.nbytes / len(blob):.2f}x) with {label}"
-        )
-        if isinstance(bound, RelativeBound):
-            stats = bounded_fraction(data, decompress(blob), bound.value)
-            line += f", bounded {stats.bounded_label()}, max rel err {stats.max_rel:.3e}"
-        print(line)
-        if args.report:
-            from repro.report import quality_report
-
-            print(quality_report(data, blob).format())
-        return 0
-
-    if args.command == "decompress":
-        with open(args.input, "rb") as fh:
-            blob = fh.read()
-        recon = decompress(blob)
-        save_array(args.output, recon)
-        print(f"{args.output}: {recon.shape} {recon.dtype}")
-        return 0
-
-    with open(args.input, "rb") as fh:
-        blob = fh.read()
-    box = Container.from_bytes(blob)
-    print(f"codec:  {box.codec}")
-    print(f"shape:  {box.get_shape('shape')}")
-    print(f"dtype:  {box.get_dtype('dtype').name}")
-    print(f"bytes:  {len(blob)}")
-    if box.codec == "CHUNKED":
-        print(f"inner:  {box.get_str('inner_codec')}")
-        print(f"chunks: {box.get_u64('n_chunks')}")
-    for key in box.keys():
-        print(f"  section {key:12s} {len(box.get(key)):10d} B")
-    return 0
+    handler = {
+        "compress": _cmd_compress,
+        "decompress": _cmd_decompress,
+        "info": _cmd_info,
+        "verify": _cmd_verify,
+        "faults": _cmd_faults,
+    }[args.command]
+    try:
+        return handler(args)
+    except StreamError as exc:
+        print(f"error: {getattr(args, 'input', '?')}: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _entry() -> int:  # pragma: no cover - thin wrapper for console_scripts

@@ -18,11 +18,14 @@ Three bound flavours exist, mirroring the paper's terminology:
 from __future__ import annotations
 
 import abc
+import functools
+import struct
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.encoding.container import Container
+from repro.encoding.container import Container, ContainerError, StreamError
 
 __all__ = [
     "ErrorBound",
@@ -105,15 +108,65 @@ class PrecisionBound(ErrorBound):
         return int(self.value)
 
 
+# Exceptions a decoder fed corrupt bytes can stumble into before noticing
+# the damage: numpy shape/indexing errors, struct/zlib parse failures,
+# exhausted bit streams, dict lookups on corrupt metadata, and pathological
+# allocations from corrupt sizes.  Anything in this tuple leaking from a
+# ``decompress`` is translated to :class:`ContainerError` so callers deal
+# with one ``StreamError`` hierarchy instead of numpy internals.
+_DECODE_LEAKS = (
+    ValueError,
+    TypeError,
+    KeyError,
+    IndexError,
+    AttributeError,
+    OverflowError,
+    ZeroDivisionError,
+    EOFError,
+    MemoryError,
+    struct.error,
+    zlib.error,
+)
+
+
+def _translate_decode_errors(fn):
+    """Wrap a ``decompress`` so corrupt streams raise only ``StreamError``s."""
+
+    @functools.wraps(fn)
+    def wrapper(self, blob, *args, **kwargs):
+        try:
+            return fn(self, blob, *args, **kwargs)
+        except StreamError:
+            raise
+        except UnsupportedBound:
+            raise
+        except _DECODE_LEAKS as exc:
+            raise ContainerError(
+                f"corrupt {self.name} stream: {type(exc).__name__}: {exc}"
+            ) from exc
+
+    wrapper.__decode_guard__ = True
+    return wrapper
+
+
 class Compressor(abc.ABC):
     """Abstract error-bounded lossy compressor.
 
     Subclasses set :attr:`name` (the identifier used in experiment tables)
-    and :attr:`supported_bounds` (tuple of bound classes).
+    and :attr:`supported_bounds` (tuple of bound classes).  Every concrete
+    ``decompress`` is automatically guarded so that feeding it corrupt
+    bytes raises a :class:`repro.encoding.StreamError` subclass rather
+    than leaking numpy/zlib internals.
     """
 
     name: str = "abstract"
     supported_bounds: tuple[type, ...] = ()
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        fn = cls.__dict__.get("decompress")
+        if fn is not None and not getattr(fn, "__decode_guard__", False):
+            cls.decompress = _translate_decode_errors(fn)
 
     @abc.abstractmethod
     def compress(self, data: np.ndarray, bound: ErrorBound) -> bytes:
@@ -141,9 +194,15 @@ class Compressor(abc.ABC):
             raise ValueError(f"expected 1-D/2-D/3-D data, got ndim={data.ndim}")
         if data.size == 0:
             raise ValueError("cannot compress an empty array")
-        if not np.isfinite(data).all():
-            raise ValueError("data contains NaN or Inf; error-bounded lossy "
-                             "compression of non-finite values is undefined")
+        finite = np.isfinite(data)
+        if not finite.all():
+            n_nan = int(np.isnan(data).sum())
+            n_inf = int(data.size - int(finite.sum()) - n_nan)
+            raise ValueError(
+                f"data contains {n_nan} NaN and {n_inf} Inf values "
+                f"(of {data.size}); error-bounded lossy compression of "
+                "non-finite values is undefined"
+            )
         return np.ascontiguousarray(data)
 
     @staticmethod
@@ -157,7 +216,9 @@ class Compressor(abc.ABC):
     def _open_container(blob: bytes, codec: str) -> tuple[Container, tuple[int, ...], np.dtype]:
         box = Container.from_bytes(blob)
         if box.codec != codec:
-            raise ValueError(f"stream was produced by {box.codec!r}, expected {codec!r}")
+            raise ContainerError(
+                f"stream was produced by {box.codec!r}, expected {codec!r}"
+            )
         return box, box.get_shape("shape"), box.get_dtype("dtype")
 
 

@@ -17,14 +17,23 @@ problem into an *absolute*-error-bounded one:
   Lemma-4 decorrelation/coding-gain invariance).
 """
 
-from repro.core.chunked import ChunkedCompressor, chunk_patch_total, iter_chunk_blobs
+from repro.core.chunked import (
+    ChunkedCompressor,
+    ChunkFailure,
+    RecoveryReport,
+    chunk_patch_total,
+    iter_chunk_blobs,
+    recover_array,
+)
 from repro.core.error_bounds import abs_bound_for, adjusted_abs_bound, rel_bound_from_abs
 from repro.core.pwr import TransformedCompressor, make_sz_t, make_zfp_t
 from repro.core.transform import LogTransform
 
 __all__ = [
+    "ChunkFailure",
     "ChunkedCompressor",
     "LogTransform",
+    "RecoveryReport",
     "TransformedCompressor",
     "abs_bound_for",
     "adjusted_abs_bound",
@@ -32,5 +41,6 @@ __all__ = [
     "iter_chunk_blobs",
     "make_sz_t",
     "make_zfp_t",
+    "recover_array",
     "rel_bound_from_abs",
 ]

@@ -32,15 +32,28 @@ from __future__ import annotations
 import math
 import os
 from collections.abc import Iterator
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.compressors.base import Compressor, ErrorBound
-from repro.encoding.container import Container
+from repro.encoding.container import (
+    ChecksumError,
+    Container,
+    ContainerError,
+    StreamError,
+)
 from repro.utils.blocking import chunk_spans
 
-__all__ = ["ChunkedCompressor", "iter_chunk_blobs", "chunk_patch_total"]
+__all__ = [
+    "ChunkFailure",
+    "ChunkedCompressor",
+    "RecoveryReport",
+    "chunk_patch_total",
+    "iter_chunk_blobs",
+    "recover_array",
+]
 
 #: Default chunk budget: 4 MB sits in the paper-motivated 1-16 MB window.
 DEFAULT_CHUNK_BYTES = 4 * 2**20
@@ -66,6 +79,64 @@ def _decompress_chunk(blob: bytes) -> np.ndarray:
     return decompress(blob)
 
 
+@dataclass(frozen=True)
+class ChunkFailure:
+    """One damaged chunk (or whole stream) skipped during recovery.
+
+    ``index`` is the chunk position, or None when the whole stream was
+    unusable; ``span`` is the half-open flat-element range that could not
+    be reconstructed (None when even the geometry was unreadable).
+    """
+
+    index: int | None
+    span: tuple[int, int] | None
+    error: str
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Outcome of a damage-tolerant decompression.
+
+    ``total_elements`` counts the array's elements; every element inside a
+    failure span was filled with the caller's fill value instead of real
+    data.  An empty ``failures`` tuple means the stream decoded fully.
+    """
+
+    n_chunks: int
+    total_elements: int
+    failures: tuple[ChunkFailure, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
+
+    @property
+    def n_lost_chunks(self) -> int:
+        return len(self.failures)
+
+    @property
+    def lost_elements(self) -> int:
+        if any(f.span is None for f in self.failures):
+            return self.total_elements
+        return sum(stop - start for f in self.failures for start, stop in [f.span])
+
+    @property
+    def recovered_elements(self) -> int:
+        return self.total_elements - self.lost_elements
+
+    def summary(self) -> str:
+        if self.complete:
+            return f"all {self.n_chunks} chunks intact"
+        return (
+            f"lost {self.n_lost_chunks}/{self.n_chunks} chunks "
+            f"({self.lost_elements}/{self.total_elements} elements): "
+            + "; ".join(
+                f"chunk {f.index if f.index is not None else '?'}: {f.error}"
+                for f in self.failures
+            )
+        )
+
+
 class ChunkedCompressor(Compressor):
     """Block-decomposed wrapper running ``inner`` on ~``chunk_bytes`` spans.
 
@@ -84,7 +155,15 @@ class ChunkedCompressor(Compressor):
         process.
     executor:
         ``"auto"`` (process pool when ``workers > 1``), ``"serial"``,
-        ``"thread"`` or ``"process"``.
+        ``"thread"`` or ``"process"``.  A callable ``f(nworkers) ->
+        Executor`` is also accepted -- the hook fault-injection tests use
+        to wrap a pool with crash injectors.
+
+    A worker failure that is not a :class:`StreamError` (a crashed
+    process pool, a transient executor fault) does not fail the array:
+    the affected chunks are re-run serially in the parent process, and
+    :attr:`last_retried_chunks` reports how many needed that.  The bytes
+    produced are identical either way.
     """
 
     name = "CHUNKED"
@@ -100,7 +179,7 @@ class ChunkedCompressor(Compressor):
             raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
         if workers is not None and workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
-        if executor not in _EXECUTORS:
+        if not callable(executor) and executor not in _EXECUTORS:
             raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
         self._inner = inner
         self.chunk_bytes = int(chunk_bytes)
@@ -108,6 +187,9 @@ class ChunkedCompressor(Compressor):
         self.executor = executor
         #: Chunk count of the most recent compress() call.
         self.last_chunk_count = 0
+        #: Chunks the most recent _map had to re-run serially after a
+        #: worker/executor failure.
+        self.last_retried_chunks = 0
 
     # -- configuration -------------------------------------------------------
 
@@ -127,6 +209,8 @@ class ChunkedCompressor(Compressor):
     def _make_pool(self, njobs: int) -> Executor | None:
         """An executor for ``njobs`` chunk tasks, or None to run serially."""
         nworkers = min(self.workers, njobs)
+        if callable(self.executor):
+            return self.executor(nworkers)
         mode = self.executor
         if mode == "auto":
             mode = "process" if nworkers > 1 else "serial"
@@ -137,11 +221,40 @@ class ChunkedCompressor(Compressor):
         return ProcessPoolExecutor(max_workers=nworkers)
 
     def _map(self, fn, jobs: list) -> list:
+        """Run ``fn(*job)`` for every job, retrying worker failures serially.
+
+        A :class:`StreamError` from a worker is deterministic (corrupt
+        chunk bytes) and propagates immediately.  Anything else -- a
+        ``BrokenProcessPool`` after a worker crash, a flaky executor, a
+        pickling failure -- marks the affected jobs for a serial re-run in
+        this process, so one lost worker never fails the whole array.
+        """
+        self.last_retried_chunks = 0
         pool = self._make_pool(len(jobs))
         if pool is None:
             return [fn(*job) for job in jobs]
+        results: list = [None] * len(jobs)
+        done = [False] * len(jobs)
+        futures: dict[int, Future] = {}
         with pool:
-            return list(pool.map(fn, *zip(*jobs)))
+            try:
+                for i, job in enumerate(jobs):
+                    futures[i] = pool.submit(fn, *job)
+            except Exception:
+                pass  # pool died mid-submit; unsubmitted jobs retry below
+            for i, fut in futures.items():
+                try:
+                    results[i] = fut.result()
+                    done[i] = True
+                except StreamError:
+                    raise
+                except Exception:
+                    pass  # worker lost; retry serially below
+        pending = [i for i in range(len(jobs)) if not done[i]]
+        self.last_retried_chunks = len(pending)
+        for i in pending:
+            results[i] = fn(*jobs[i])
+        return results
 
     # -- chunk geometry ------------------------------------------------------
 
@@ -187,6 +300,31 @@ class ChunkedCompressor(Compressor):
 
     # -- decompression -------------------------------------------------------
 
+    @staticmethod
+    def _read_chunk_table(
+        box: Container, shape: tuple[int, ...]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Validated (offs, lens, elems) of a CHUNKED container.
+
+        Raises :class:`ContainerError` on any internal inconsistency;
+        ``payload`` length is *not* checked here so the partial-recovery
+        path can work on truncated payloads.
+        """
+        n = box.get_u64("n_chunks")
+        offs = box.get_array("offs").astype(np.int64)
+        lens = box.get_array("lens").astype(np.int64)
+        elems = box.get_array("elems").astype(np.int64)
+        if not (offs.size == lens.size == elems.size == n):
+            raise ContainerError("corrupt CHUNKED stream: chunk table size mismatch")
+        if n and (
+            (lens < 0).any()
+            or (offs != np.concatenate([[0], np.cumsum(lens)[:-1]])).any()
+        ):
+            raise ContainerError("corrupt CHUNKED stream: offsets not cumulative")
+        if (elems <= 0).any() or int(elems.sum()) != math.prod(shape):
+            raise ContainerError("corrupt CHUNKED stream: element count mismatch")
+        return offs, lens, elems
+
     def decompress(self, blob: bytes) -> np.ndarray:
         codec = Container.from_bytes(blob).codec
         if codec != self.name:
@@ -196,25 +334,67 @@ class ChunkedCompressor(Compressor):
         n = box.get_u64("n_chunks")
         if n == 0:
             if math.prod(shape) != 0:
-                raise ValueError("corrupt CHUNKED stream: no chunks for non-empty shape")
+                raise ContainerError("corrupt CHUNKED stream: no chunks for non-empty shape")
             return np.zeros(shape, dtype=dtype)
-        offs = box.get_array("offs").astype(np.int64)
-        lens = box.get_array("lens").astype(np.int64)
-        elems = box.get_array("elems").astype(np.int64)
+        offs, lens, elems = self._read_chunk_table(box, shape)
         payload = box.get("payload")
-        if not (offs.size == lens.size == elems.size == n):
-            raise ValueError("corrupt CHUNKED stream: chunk table size mismatch")
         if offs[-1] + lens[-1] != len(payload):
-            raise ValueError("corrupt CHUNKED stream: payload length mismatch")
-        if int(elems.sum()) != math.prod(shape):
-            raise ValueError("corrupt CHUNKED stream: element count mismatch")
+            raise ContainerError("corrupt CHUNKED stream: payload length mismatch")
         jobs = [(payload[o : o + ln],) for o, ln in zip(offs, lens)]
         parts = self._map(_decompress_chunk, jobs)
         for part, want in zip(parts, elems):
             if part.size != want:
-                raise ValueError("corrupt CHUNKED stream: chunk element mismatch")
+                raise ContainerError("corrupt CHUNKED stream: chunk element mismatch")
         flat = np.concatenate([p.ravel() for p in parts])
         return flat.astype(dtype, copy=False).reshape(shape)
+
+    def decompress_partial(
+        self, blob: bytes, fill: float = float("nan")
+    ) -> tuple[np.ndarray, RecoveryReport]:
+        """Decode every intact chunk of a damaged CHUNKED stream.
+
+        Chunks whose bytes fail their own checksums (or decode to the
+        wrong element count) are replaced by ``fill`` across their span
+        and reported in the returned :class:`RecoveryReport`.  Raises
+        :class:`StreamError` only when the stream's *geometry* (shape,
+        dtype, chunk table) is itself unreadable -- without it there is
+        nothing to recover into.
+        """
+        box = Container.from_bytes(blob, verify_checksums=False, partial=True)
+        if box.codec != self.name:
+            raise ContainerError(
+                f"stream was produced by {box.codec!r}, expected {self.name!r}"
+            )
+        # The metadata sections must be individually intact; their CRCs
+        # are still trustworthy even when the stream CRC is not.
+        for key in ("dtype", "shape", "inner_codec", "n_chunks", "offs", "lens", "elems"):
+            if key in box and not box.check_section(key):
+                raise ChecksumError(f"CHUNKED metadata section {key!r} is corrupt")
+        shape = box.get_shape("shape")
+        dtype = box.get_dtype("dtype")
+        total = math.prod(shape)
+        n = box.get_u64("n_chunks")
+        if n == 0:
+            if total != 0:
+                raise ContainerError("corrupt CHUNKED stream: no chunks for non-empty shape")
+            return np.zeros(shape, dtype=dtype), RecoveryReport(0, 0)
+        offs, lens, elems = self._read_chunk_table(box, shape)
+        payload = box.get("payload") if "payload" in box else b""
+        starts = np.concatenate([[0], np.cumsum(elems)])
+        out = np.full(total, fill, dtype=dtype)
+        failures: list[ChunkFailure] = []
+        for i, (o, ln) in enumerate(zip(offs, lens)):
+            span = (int(starts[i]), int(starts[i + 1]))
+            try:
+                if o + ln > len(payload):
+                    raise ContainerError("chunk bytes missing (truncated payload)")
+                part = _decompress_chunk(payload[o : o + ln])
+                if part.size != elems[i]:
+                    raise ContainerError("chunk decoded to the wrong element count")
+                out[span[0] : span[1]] = part.ravel().astype(dtype, copy=False)
+            except StreamError as exc:
+                failures.append(ChunkFailure(i, span, str(exc)))
+        return out.reshape(shape), RecoveryReport(int(n), total, tuple(failures))
 
 
 # -- stream introspection ----------------------------------------------------
@@ -240,3 +420,37 @@ def chunk_patch_total(blob: bytes) -> int:
         if "n_patch" in box:
             total += box.get_u64("n_patch")
     return total
+
+
+# -- damage-tolerant loading -------------------------------------------------
+
+
+def recover_array(
+    blob: bytes, fill: float = float("nan")
+) -> tuple[np.ndarray | None, RecoveryReport | None]:
+    """Best-effort decode of any stream: ``(array, report)``.
+
+    Clean streams return ``(array, None)``.  Damaged CHUNKED streams
+    recover their intact chunks via :meth:`ChunkedCompressor.decompress_partial`.
+    Damaged monolithic streams whose shape/dtype header is still readable
+    return a fully ``fill``-ed array; when even the geometry is gone the
+    array is None.  Never raises on corrupt bytes.
+    """
+    from repro import decompress
+
+    try:
+        return decompress(blob), None
+    except StreamError as exc:
+        cause = f"{type(exc).__name__}: {exc}"
+    try:
+        box = Container.from_bytes(blob, verify_checksums=False, partial=True)
+        if box.codec == ChunkedCompressor.name:
+            return ChunkedCompressor(executor="serial").decompress_partial(blob, fill)
+        shape = box.get_shape("shape")
+        dtype = box.get_dtype("dtype")
+        report = RecoveryReport(
+            1, math.prod(shape), (ChunkFailure(None, (0, math.prod(shape)), cause),)
+        )
+        return np.full(shape, fill, dtype=dtype), report
+    except ValueError:  # StreamError, or np.full of a corrupt non-float dtype
+        return None, RecoveryReport(0, 0, (ChunkFailure(None, None, cause),))

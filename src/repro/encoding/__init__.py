@@ -31,19 +31,32 @@ from repro.encoding.codecs import (
     zigzag_decode,
     zigzag_encode,
 )
-from repro.encoding.container import Container, ContainerError
+from repro.encoding.container import (
+    ChecksumError,
+    Container,
+    ContainerError,
+    StreamError,
+    TruncatedStreamError,
+    section_byte_ranges,
+)
+from repro.encoding.crc import crc32c
 from repro.encoding.huffman import HuffmanCodec
 from repro.encoding.range_coder import RangeCodec
 
 __all__ = [
     "BitReader",
     "BitWriter",
+    "ChecksumError",
     "Container",
     "ContainerError",
+    "StreamError",
+    "TruncatedStreamError",
     "HuffmanCodec",
     "RangeCodec",
+    "crc32c",
     "decode_sign_bitmap",
     "deflate",
+    "section_byte_ranges",
     "encode_sign_bitmap",
     "inflate",
     "pack_fixed_width",

@@ -4,18 +4,26 @@ Every compressor in the library serializes to a :class:`Container` so the
 compression ratios reported by the experiment harness are measured on real
 byte streams, not on in-memory object sizes.
 
-Layout::
+Version-2 layout (written by default)::
 
     magic  b"RPRC"                 4 bytes
-    version                        1 byte
+    version                        1 byte (0x02)
     codec name length + utf-8      varint + bytes
     n_sections                     varint
     repeat n_sections times:
         key length + utf-8 key     varint + bytes
         payload length + payload   varint + bytes
+        payload CRC-32C            4 bytes little-endian
+    stream CRC-32C                 4 bytes little-endian (all prior bytes)
 
-Sections preserve insertion order.  Metadata convenience accessors store
-small scalars as UTF-8/struct-packed sections.
+Version-1 streams (no checksums, no trailer) still parse; checksum
+verification is simply skipped for them.  Sections preserve insertion
+order.  Metadata convenience accessors store small scalars as
+UTF-8/struct-packed sections.
+
+Parsing raises the :class:`StreamError` hierarchy: :class:`ContainerError`
+for malformed structure, :class:`TruncatedStreamError` when the bytes end
+early, :class:`ChecksumError` when stored CRCs disagree with the data.
 """
 
 from __future__ import annotations
@@ -27,11 +35,20 @@ from collections.abc import Iterator
 import numpy as np
 
 from repro.encoding.codecs import read_varint, write_varint
+from repro.encoding.crc import crc32c
 
-__all__ = ["Container", "ContainerError"]
+__all__ = [
+    "Container",
+    "ContainerError",
+    "ChecksumError",
+    "StreamError",
+    "TruncatedStreamError",
+    "section_byte_ranges",
+]
 
 _MAGIC = b"RPRC"
-_VERSION = 1
+_VERSION = 2
+_CRC_BYTES = 4
 
 # dtype tokens are fixed so streams are portable across numpy versions.
 _DTYPE_TOKENS = {
@@ -47,8 +64,24 @@ _DTYPE_TOKENS = {
 _TOKEN_DTYPES = {v: np.dtype(k) for k, v in _DTYPE_TOKENS.items()}
 
 
-class ContainerError(ValueError):
+class StreamError(ValueError):
+    """Base class for every defect a compressed stream can exhibit.
+
+    Subclasses ``ValueError`` so pre-hierarchy callers that caught
+    ``ValueError`` keep working.
+    """
+
+
+class ContainerError(StreamError):
     """Raised for malformed container bytes."""
+
+
+class TruncatedStreamError(ContainerError):
+    """Raised when the byte stream ends before its structure is complete."""
+
+
+class ChecksumError(StreamError):
+    """Raised when a stored CRC-32C disagrees with the bytes it covers."""
 
 
 class Container:
@@ -59,6 +92,15 @@ class Container:
             raise ValueError("codec name must be non-empty")
         self.codec = codec
         self._sections: OrderedDict[str, bytes] = OrderedDict()
+        #: Format version this container was parsed from (or will be
+        #: written as).  Version 1 streams carry no checksums.
+        self.version = _VERSION
+        #: CRCs recorded while parsing a v2 stream, for per-section
+        #: re-verification (see :meth:`check_section`).
+        self._section_crcs: dict[str, int] = {}
+        #: Key of the section whose payload was cut short during a
+        #: ``partial=True`` parse, if any.
+        self.truncated_key: str | None = None
 
     # -- raw sections ------------------------------------------------------
 
@@ -146,12 +188,37 @@ class Container:
         dtype = _TOKEN_DTYPES.get(data[:2])
         if dtype is None:
             raise ContainerError(f"unknown dtype token {data[:2]!r}")
+        if (len(data) - 2) % dtype.itemsize:
+            raise ContainerError(f"section {key!r} is not a whole number of {dtype.name}s")
         return np.frombuffer(data[2:], dtype=dtype.newbyteorder("<")).astype(dtype)
+
+    # -- checksums ---------------------------------------------------------
+
+    @property
+    def checksummed(self) -> bool:
+        """True when this container carries (or will be written with) CRCs."""
+        return self.version >= 2
+
+    def check_section(self, key: str) -> bool:
+        """Re-verify one section against the CRC recorded at parse time.
+
+        Returns True for sections of v1 streams (no checksum to check) and
+        for sections added locally after parsing.  Used by partial-recovery
+        paths to localize damage without trusting the whole-stream CRC.
+        """
+        if key == self.truncated_key:
+            return False
+        recorded = self._section_crcs.get(key)
+        if recorded is None:
+            return True
+        return crc32c(self.get(key)) == recorded
 
     # -- serialization -----------------------------------------------------
 
-    def to_bytes(self) -> bytes:
-        parts = [_MAGIC, bytes([_VERSION])]
+    def to_bytes(self, checksums: bool = True) -> bytes:
+        """Serialize; ``checksums=False`` emits the legacy v1 framing."""
+        version = _VERSION if checksums else 1
+        parts = [_MAGIC, bytes([version])]
         codec = self.codec.encode("utf-8")
         parts.append(write_varint(len(codec)))
         parts.append(codec)
@@ -162,32 +229,144 @@ class Container:
             parts.append(k)
             parts.append(write_varint(len(payload)))
             parts.append(payload)
+            if checksums:
+                parts.append(struct.pack("<I", crc32c(payload)))
+        if checksums:
+            running = 0
+            for part in parts:
+                running = crc32c(part, running)
+            parts.append(struct.pack("<I", running))
         return b"".join(parts)
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "Container":
+    def from_bytes(
+        cls,
+        data: bytes,
+        verify_checksums: bool = True,
+        partial: bool = False,
+    ) -> "Container":
+        """Parse container bytes.
+
+        ``verify_checksums`` (default on) checks the whole-stream CRC of v2
+        streams before anything else, so any single corrupted bit raises
+        :class:`ChecksumError` instead of decoding wrong data; v1 streams
+        have no checksums and skip the check.  ``partial=True`` is the
+        damage-tolerant mode used for recovery: checksums are not enforced,
+        parsing keeps whatever sections (or section prefix) the bytes still
+        contain, and the cut section is flagged in ``truncated_key``.
+        """
+        if len(data) < 5:
+            if data[: len(data)] == _MAGIC[: len(data)]:
+                raise TruncatedStreamError("stream shorter than the 5-byte header")
+            raise ContainerError("bad magic: not a repro compressed stream")
         if data[:4] != _MAGIC:
             raise ContainerError("bad magic: not a repro compressed stream")
-        if data[4] != _VERSION:
-            raise ContainerError(f"unsupported container version {data[4]}")
+        version = data[4]
+        if version not in (1, 2):
+            raise ContainerError(f"unsupported container version {version}")
+        if version >= 2 and verify_checksums and not partial:
+            if len(data) < 5 + _CRC_BYTES:
+                raise TruncatedStreamError("v2 stream shorter than its CRC trailer")
+            (stored,) = struct.unpack("<I", data[-_CRC_BYTES:])
+            actual = crc32c(data[:-_CRC_BYTES])
+            if stored != actual:
+                raise ChecksumError(
+                    f"stream checksum mismatch (corrupted or truncated bytes): "
+                    f"stored {stored:#010x}, computed {actual:#010x}"
+                )
+        # In partial mode the cut can fall anywhere, so no byte is assumed
+        # to be the trailer; complete v2 streams end in a 4-byte stream CRC.
+        body_end = len(data) - _CRC_BYTES if version >= 2 and not partial else len(data)
+        return cls._parse_body(data, version, body_end, partial)
+
+    @classmethod
+    def _parse_body(
+        cls, data: bytes, version: int, body_end: int, partial: bool
+    ) -> "Container":
+        def varint(pos: int) -> tuple[int, int]:
+            try:
+                return read_varint(data[:body_end], pos)
+            except ValueError as exc:
+                raise TruncatedStreamError(str(exc)) from None
+
+        def text(raw: bytes, what: str) -> str:
+            try:
+                return raw.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise ContainerError(f"corrupt {what}: {exc}") from None
+
         pos = 5
-        n, pos = read_varint(data, pos)
-        codec = data[pos : pos + n].decode("utf-8")
+        n, pos = varint(pos)
+        if pos + n > body_end:
+            raise TruncatedStreamError("truncated codec name")
+        codec = text(data[pos : pos + n], "codec name")
         pos += n
-        nsec, pos = read_varint(data, pos)
+        nsec, pos = varint(pos)
         out = cls(codec)
-        for _ in range(nsec):
-            n, pos = read_varint(data, pos)
-            key = data[pos : pos + n].decode("utf-8")
-            pos += n
-            n, pos = read_varint(data, pos)
-            if pos + n > len(data):
-                raise ContainerError(f"truncated section {key!r}")
-            out.put(key, data[pos : pos + n])
-            pos += n
+        out.version = version
+        try:
+            for _ in range(nsec):
+                n, pos = varint(pos)
+                if pos + n > body_end:
+                    raise TruncatedStreamError("truncated section key")
+                key = text(data[pos : pos + n], "section key")
+                pos += n
+                n, pos = varint(pos)
+                if pos + n > body_end:
+                    if partial and version >= 2:
+                        # Mid-write cut: keep the readable payload prefix so
+                        # chunk-level recovery can salvage what is intact.
+                        out.put(key, data[pos:])
+                        out.truncated_key = key
+                        return out
+                    raise TruncatedStreamError(f"truncated section {key!r}")
+                out.put(key, data[pos : pos + n])
+                pos += n
+                if version >= 2:
+                    if pos + _CRC_BYTES > len(data):
+                        if partial:
+                            out.truncated_key = key
+                            return out
+                        raise TruncatedStreamError(f"truncated checksum of {key!r}")
+                    (out._section_crcs[key],) = struct.unpack(
+                        "<I", data[pos : pos + _CRC_BYTES]
+                    )
+                    pos += _CRC_BYTES
+        except TruncatedStreamError:
+            if partial:
+                return out
+            raise
+        if not partial and pos != body_end:
+            raise ContainerError(
+                f"{body_end - pos} trailing bytes after the last section"
+            )
         return out
 
     @property
     def nbytes(self) -> int:
         """Serialized size in bytes."""
         return len(self.to_bytes())
+
+
+def section_byte_ranges(data: bytes) -> dict[str, tuple[int, int]]:
+    """Byte range ``[start, stop)`` of every section payload in ``data``.
+
+    Fault injectors use this to aim corruption at a named section of a
+    serialized stream; ``repro.integrity`` uses it to localize damage.
+    """
+    box = Container.from_bytes(data, verify_checksums=False)
+    ranges: dict[str, tuple[int, int]] = {}
+    pos = 5
+    n, pos = read_varint(data, pos)
+    pos += n  # codec
+    nsec, pos = read_varint(data, pos)
+    for _ in range(nsec):
+        n, pos = read_varint(data, pos)
+        key = data[pos : pos + n].decode("utf-8")
+        pos += n
+        n, pos = read_varint(data, pos)
+        ranges[key] = (pos, pos + n)
+        pos += n
+        if box.version >= 2:
+            pos += _CRC_BYTES
+    return ranges

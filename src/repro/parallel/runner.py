@@ -22,7 +22,13 @@ import numpy as np
 from repro.compressors.base import Compressor, ErrorBound
 from repro.parallel.comm import FakeComm, run_spmd
 
-__all__ = ["RankTiming", "DumpSummary", "dump_file_per_process", "load_file_per_process"]
+__all__ = [
+    "RankTiming",
+    "DumpSummary",
+    "atomic_write_bytes",
+    "dump_file_per_process",
+    "load_file_per_process",
+]
 
 
 @dataclass(frozen=True)
@@ -63,6 +69,36 @@ def _rank_path(out_dir: str, rank: int) -> str:
     return os.path.join(out_dir, f"rank_{rank}.rpz")
 
 
+def atomic_write_bytes(
+    path: str,
+    blob: bytes,
+    retries: int = 3,
+    backoff_s: float = 0.05,
+    _sleep=time.sleep,
+) -> None:
+    """Write ``blob`` to ``path`` atomically, retrying transient failures.
+
+    The bytes land in ``path + ".tmp"`` first, are fsynced, then renamed
+    over ``path`` -- a mid-write crash can leave a stale temp file but
+    never a truncated ``path``.  Transient ``OSError``s (full/flaky
+    filesystem, NFS hiccups) are retried with exponential backoff before
+    the last error propagates.
+    """
+    tmp = path + ".tmp"
+    for attempt in range(retries + 1):
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+            return
+        except OSError:
+            if attempt == retries:
+                raise
+            _sleep(backoff_s * 2**attempt)
+
+
 def dump_file_per_process(
     shards: list[np.ndarray],
     compressor: Compressor,
@@ -70,6 +106,8 @@ def dump_file_per_process(
     out_dir: str,
     chunk_bytes: int | None = None,
     workers: int | None = None,
+    io_retries: int = 3,
+    io_backoff_s: float = 0.05,
 ) -> DumpSummary:
     """Compress and write one file per rank (rank count = ``len(shards)``).
 
@@ -78,6 +116,10 @@ def dump_file_per_process(
     ``workers`` thread-pool jobs per rank (thread executor -- ranks are
     already threads here, and forking from a threaded process is unsafe;
     swap in real MPI ranks for process-level parallelism).
+
+    Writes are atomic (temp file + fsync + rename) and transient
+    ``OSError``s are retried ``io_retries`` times with exponential
+    backoff starting at ``io_backoff_s`` -- see :func:`atomic_write_bytes`.
     """
     if not shards:
         raise ValueError("need at least one shard")
@@ -98,10 +140,9 @@ def dump_file_per_process(
         t0 = time.perf_counter()
         blob = compressor.compress(shard, bound)
         t1 = time.perf_counter()
-        with open(_rank_path(out_dir, rank), "wb") as fh:
-            fh.write(blob)
-            fh.flush()
-            os.fsync(fh.fileno())
+        atomic_write_bytes(
+            _rank_path(out_dir, rank), blob, retries=io_retries, backoff_s=io_backoff_s
+        )
         t2 = time.perf_counter()
         return RankTiming(rank, t1 - t0, t2 - t1, shard.nbytes, len(blob))
 
@@ -109,24 +150,45 @@ def dump_file_per_process(
 
 
 def load_file_per_process(
-    out_dir: str, nranks: int
-) -> tuple[list[np.ndarray], DumpSummary]:
-    """Read and decompress every rank file; returns (shards, summary)."""
+    out_dir: str,
+    nranks: int,
+    tolerate_corruption: bool = False,
+    fill: float = float("nan"),
+):
+    """Read and decompress every rank file.
+
+    Returns ``(shards, summary)``; corrupt files raise ``StreamError``.
+
+    With ``tolerate_corruption=True`` the return is ``(shards, summary,
+    reports)``: a damaged rank file no longer fails the load -- intact
+    chunks are recovered (:func:`repro.core.chunked.recover_array`),
+    damaged spans are filled with ``fill``, and ``reports[rank]`` is the
+    :class:`~repro.core.chunked.RecoveryReport` (None for clean ranks).
+    A rank whose geometry is unreadable yields a ``None`` shard.
+    """
     from repro import decompress
+    from repro.core.chunked import recover_array
 
     if nranks <= 0:
         raise ValueError("nranks must be positive")
 
-    def rank_main(comm: FakeComm) -> tuple[np.ndarray, RankTiming]:
+    def rank_main(comm: FakeComm):
         rank = comm.Get_rank()
         t0 = time.perf_counter()
         with open(_rank_path(out_dir, rank), "rb") as fh:
             blob = fh.read()
         t1 = time.perf_counter()
-        shard = decompress(blob)
+        if tolerate_corruption:
+            shard, report = recover_array(blob, fill)
+        else:
+            shard, report = decompress(blob), None
         t2 = time.perf_counter()
-        return shard, RankTiming(rank, t2 - t1, t1 - t0, len(blob), shard.nbytes)
+        nbytes = shard.nbytes if shard is not None else 0
+        return shard, RankTiming(rank, t2 - t1, t1 - t0, len(blob), nbytes), report
 
     results = run_spmd(nranks, rank_main)
     shards = [r[0] for r in results]
-    return shards, DumpSummary(tuple(r[1] for r in results))
+    summary = DumpSummary(tuple(r[1] for r in results))
+    if tolerate_corruption:
+        return shards, summary, [r[2] for r in results]
+    return shards, summary

@@ -1,0 +1,29 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` provides the deterministic fault injectors
+(bit flips, truncation, section drops, flaky-filesystem shim, crashing
+executor) behind the corruption/fault test suites and the
+``repro-compress faults`` CLI.
+"""
+
+from repro.testing.faults import (
+    CrashingExecutor,
+    FlakyFilesystem,
+    corrupt_chunk,
+    corrupt_section,
+    drop_section,
+    flip_bit,
+    flip_random_bits,
+    truncate,
+)
+
+__all__ = [
+    "CrashingExecutor",
+    "FlakyFilesystem",
+    "corrupt_chunk",
+    "corrupt_section",
+    "drop_section",
+    "flip_bit",
+    "flip_random_bits",
+    "truncate",
+]

@@ -1,0 +1,195 @@
+"""Deterministic, seedable fault injectors for stream and I/O robustness.
+
+Every injector is a pure function of its inputs (bytes in, bytes out, a
+seed where randomness is involved), so a failing corruption test can be
+reproduced exactly from its seed -- including from the command line via
+``repro-compress faults``.  The two stateful shims
+(:class:`FlakyFilesystem`, :class:`CrashingExecutor`) fail a *configured,
+counted* number of times, never randomly.
+
+Injector catalogue:
+
+* :func:`flip_bit` / :func:`flip_random_bits` -- bit-level corruption,
+* :func:`truncate` -- mid-write cuts,
+* :func:`drop_section` -- a container section vanishes (re-serialized
+  with valid checksums, exercising structural validation),
+* :func:`corrupt_section` / :func:`corrupt_chunk` -- damage aimed at a
+  named section or a single chunk of a CHUNKED stream,
+* :class:`FlakyFilesystem` -- ``open()`` for writing fails N times,
+* :class:`CrashingExecutor` -- the Nth submitted chunk task dies like a
+  crashed process-pool worker.
+"""
+
+from __future__ import annotations
+
+import builtins
+from concurrent.futures import Executor, Future
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+
+from repro.encoding.container import Container, ContainerError, section_byte_ranges
+
+__all__ = [
+    "CrashingExecutor",
+    "FlakyFilesystem",
+    "corrupt_chunk",
+    "corrupt_section",
+    "drop_section",
+    "flip_bit",
+    "flip_random_bits",
+    "truncate",
+]
+
+
+# -- byte-stream injectors ---------------------------------------------------
+
+
+def flip_bit(blob: bytes, bit_index: int) -> bytes:
+    """Flip exactly one bit; ``bit_index`` counts MSB-first from byte 0."""
+    if not 0 <= bit_index < 8 * len(blob):
+        raise ValueError(f"bit_index {bit_index} outside stream of {len(blob)} bytes")
+    out = bytearray(blob)
+    out[bit_index // 8] ^= 0x80 >> (bit_index % 8)
+    return bytes(out)
+
+
+def flip_random_bits(
+    blob: bytes, n: int = 1, seed: int = 0, start: int = 0, stop: int | None = None
+) -> bytes:
+    """Flip ``n`` distinct random bits within ``blob[start:stop]``."""
+    stop = len(blob) if stop is None else stop
+    nbits = 8 * (stop - start)
+    if n > nbits:
+        raise ValueError(f"cannot flip {n} distinct bits in {nbits} available")
+    rng = np.random.default_rng(seed)
+    out = blob
+    for bit in rng.choice(nbits, size=n, replace=False):
+        out = flip_bit(out, 8 * start + int(bit))
+    return out
+
+
+def truncate(blob: bytes, keep: int | float) -> bytes:
+    """Cut the stream: ``keep`` is a byte count (int) or a fraction (float)."""
+    if isinstance(keep, float):
+        if not 0.0 <= keep <= 1.0:
+            raise ValueError(f"fractional keep must be in [0, 1], got {keep}")
+        keep = int(len(blob) * keep)
+    if not 0 <= keep <= len(blob):
+        raise ValueError(f"keep {keep} outside stream of {len(blob)} bytes")
+    return blob[:keep]
+
+
+def drop_section(blob: bytes, key: str) -> bytes:
+    """Remove a named section and re-serialize (checksums made valid again).
+
+    Models a buggy writer rather than wire damage: the resulting stream
+    is self-consistent, so only structural validation can reject it.
+    """
+    box = Container.from_bytes(blob, verify_checksums=False)
+    if key not in box:
+        raise ContainerError(f"stream has no section {key!r} to drop")
+    out = Container(box.codec)
+    out.version = box.version
+    for k in box.keys():
+        if k != key:
+            out.put(k, box.get(k))
+    return out.to_bytes(checksums=box.version >= 2)
+
+
+def corrupt_section(blob: bytes, key: str, n_bits: int = 1, seed: int = 0) -> bytes:
+    """Flip ``n_bits`` random bits inside the named section's payload."""
+    ranges = section_byte_ranges(blob)
+    if key not in ranges:
+        raise ContainerError(f"stream has no section {key!r} to corrupt")
+    start, stop = ranges[key]
+    if stop == start:
+        raise ValueError(f"section {key!r} is empty; nothing to corrupt")
+    return flip_random_bits(blob, n=n_bits, seed=seed, start=start, stop=stop)
+
+
+def corrupt_chunk(blob: bytes, index: int, n_bits: int = 1, seed: int = 0) -> bytes:
+    """Flip ``n_bits`` random bits inside chunk ``index`` of a CHUNKED stream."""
+    box = Container.from_bytes(blob, verify_checksums=False)
+    if box.codec != "CHUNKED":
+        raise ContainerError(f"stream is {box.codec!r}, not CHUNKED")
+    offs = box.get_array("offs").astype(np.int64)
+    lens = box.get_array("lens").astype(np.int64)
+    if not 0 <= index < offs.size:
+        raise ValueError(f"chunk index {index} outside table of {offs.size} chunks")
+    pstart, _ = section_byte_ranges(blob)["payload"]
+    start = pstart + int(offs[index])
+    return flip_random_bits(
+        blob, n=n_bits, seed=seed, start=start, stop=start + int(lens[index])
+    )
+
+
+# -- environment shims -------------------------------------------------------
+
+
+class FlakyFilesystem:
+    """Context manager: the first ``failures`` writable ``open()`` calls fail.
+
+    Patches :func:`builtins.open` for the duration of the ``with`` block;
+    opens with a write/append mode raise ``OSError`` until the failure
+    budget is spent, then behave normally.  Reads are never touched.
+    Thread-safe enough for the SPMD runner's rank threads: the counter
+    decrement is guarded by the GIL.
+    """
+
+    def __init__(self, failures: int = 1, message: str = "injected filesystem fault"):
+        if failures < 0:
+            raise ValueError(f"failures must be >= 0, got {failures}")
+        self.failures = failures
+        self.message = message
+        self.calls = 0
+        self._real_open = None
+
+    def __enter__(self) -> "FlakyFilesystem":
+        self._real_open = builtins.open
+
+        def flaky_open(file, mode="r", *args, **kwargs):
+            if any(c in str(mode) for c in "wax+"):
+                self.calls += 1
+                if self.failures > 0:
+                    self.failures -= 1
+                    raise OSError(f"{self.message}: open({file!r}, {mode!r})")
+            return self._real_open(file, mode, *args, **kwargs)
+
+        builtins.open = flaky_open
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        builtins.open = self._real_open
+
+
+class _FailedFuture(Future):
+    def __init__(self, exc: BaseException) -> None:
+        super().__init__()
+        self.set_exception(exc)
+
+
+class CrashingExecutor(Executor):
+    """Executor wrapper whose ``crash_on``-th submitted task dies.
+
+    The doomed task's future raises ``BrokenProcessPool`` -- exactly what
+    callers observe when a real process-pool worker is OOM-killed -- while
+    every other task runs on the wrapped executor.  ``crash_on`` counts
+    from 1; pass a collection to kill several tasks.
+    """
+
+    def __init__(self, inner: Executor, crash_on: int | tuple[int, ...] = 1):
+        self.inner = inner
+        self.crash_on = (crash_on,) if isinstance(crash_on, int) else tuple(crash_on)
+        self.submitted = 0
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        self.submitted += 1
+        if self.submitted in self.crash_on:
+            return _FailedFuture(
+                BrokenProcessPool(f"injected worker crash on task {self.submitted}")
+            )
+        return self.inner.submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True, **kwargs) -> None:
+        self.inner.shutdown(wait=wait, **kwargs)

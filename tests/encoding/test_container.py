@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.encoding import Container, ContainerError
+from repro.encoding import (
+    ChecksumError,
+    Container,
+    ContainerError,
+    StreamError,
+    TruncatedStreamError,
+    section_byte_ranges,
+)
 
 
 class TestSections:
@@ -87,12 +94,26 @@ class TestCorruption:
         with pytest.raises(ContainerError, match="version"):
             Container.from_bytes(bytes(blob))
 
-    def test_truncated_section(self):
+    def test_truncated_section_v1(self):
+        box = Container("T")
+        box.put("a", b"0123456789")
+        blob = box.to_bytes(checksums=False)[:-5]
+        with pytest.raises(ContainerError, match="truncated"):
+            Container.from_bytes(blob)
+
+    def test_truncated_v2_fails_checksum(self):
         box = Container("T")
         box.put("a", b"0123456789")
         blob = box.to_bytes()[:-5]
-        with pytest.raises(ContainerError, match="truncated"):
+        with pytest.raises(ChecksumError):
             Container.from_bytes(blob)
+
+    def test_truncated_v2_structural_without_verification(self):
+        box = Container("T")
+        box.put("a", b"0123456789")
+        blob = box.to_bytes()[:-5]
+        with pytest.raises(TruncatedStreamError):
+            Container.from_bytes(blob, verify_checksums=False)
 
     def test_nbytes_matches_serialization(self):
         box = Container("T")

@@ -91,3 +91,100 @@ class TestInfoCommand:
         assert "SZ_T" in text
         assert "(16, 16, 16)" in text
         assert "float32" in text
+        assert "checksummed" in text
+
+
+@pytest.fixture()
+def stream(field, tmp_path):
+    """A compressed CHUNKED stream on disk, plus its source array."""
+    path, data = field
+    out = str(tmp_path / "field.rpz")
+    assert main(["compress", path, out, "--shape", "16,16,16",
+                 "--rel-bound", "1e-2", "--chunk-size", "4K"]) == 0
+    return out, data
+
+
+class TestExitCodes:
+    """Corrupt/unreadable inputs: one-line stderr diagnostic, exit 2."""
+
+    def test_decompress_corrupt_stream_exits_2(self, stream, tmp_path, capsys):
+        out, _ = stream
+        with open(out, "r+b") as fh:
+            fh.seek(100)
+            byte = fh.read(1)
+            fh.seek(100)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        capsys.readouterr()
+        assert main(["decompress", out, str(tmp_path / "b.f32")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "checksum" in err
+        assert "Traceback" not in err
+
+    def test_decompress_truncated_stream_exits_2(self, stream, tmp_path, capsys):
+        out, _ = stream
+        with open(out, "rb") as fh:
+            blob = fh.read()
+        cut = str(tmp_path / "cut.rpz")
+        with open(cut, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        assert main(["decompress", cut, str(tmp_path / "b.f32")]) == 2
+
+    def test_missing_input_exits_2(self, tmp_path, capsys):
+        assert main(["decompress", str(tmp_path / "nope.rpz"),
+                     str(tmp_path / "b.f32")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_info_on_garbage_exits_2(self, tmp_path, capsys):
+        bad = str(tmp_path / "garbage.rpz")
+        with open(bad, "wb") as fh:
+            fh.write(b"this is not a compressed stream")
+        assert main(["info", bad]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestVerifyCommand:
+    def test_clean_stream_verifies(self, stream, capsys):
+        out, _ = stream
+        assert main(["verify", out]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_damaged_stream_exits_2_with_localized_report(self, stream, tmp_path, capsys):
+        out, _ = stream
+        bad = str(tmp_path / "bad.rpz")
+        assert main(["faults", "corrupt-chunk", out, bad, "--index", "1"]) == 0
+        capsys.readouterr()
+        assert main(["verify", bad]) == 2
+        text = capsys.readouterr().out
+        assert "problem" in text
+        assert "chunk 1" in text
+
+
+class TestFaultsCommand:
+    def test_bit_flip_then_tolerant_decompress(self, stream, tmp_path, capsys):
+        out, data = stream
+        bad = str(tmp_path / "bad.rpz")
+        back = str(tmp_path / "back.npy")
+        assert main(["faults", "corrupt-chunk", out, bad, "--index", "0",
+                     "--seed", "3"]) == 0
+        assert main(["decompress", bad, back]) == 2
+        assert main(["decompress", bad, back, "--tolerate-corruption"]) == 0
+        recon = np.load(back).reshape(-1)
+        err = capsys.readouterr().err
+        assert "lost 1/" in err
+        good = ~np.isnan(recon)
+        assert good.any() and not good.all()
+        flat = data.reshape(-1)
+        assert np.all(np.abs(recon[good] - flat[good]) <= 1e-2 * np.abs(flat[good]))
+
+    def test_truncate_fraction(self, stream, tmp_path):
+        out, _ = stream
+        cut = str(tmp_path / "cut.rpz")
+        assert main(["faults", "truncate", out, cut, "--keep", "0.25"]) == 0
+        assert main(["verify", cut]) == 2
+
+    def test_drop_section(self, stream, tmp_path):
+        out, _ = stream
+        bad = str(tmp_path / "bad.rpz")
+        assert main(["faults", "drop-section", out, bad, "--key", "lens"]) == 0
+        assert main(["decompress", bad, str(tmp_path / "b.npy")]) == 2
