@@ -1,0 +1,137 @@
+"""Machine-readable benchmark reports: one ``BENCH_<name>.json`` per file.
+
+Every benchmark module in this directory feeds records into a session-wide
+buffer (the ``benchmark`` fixture override in ``conftest.py`` does it
+automatically) and ``write_reports`` -- called from ``pytest_sessionfinish``
+-- dumps one JSON file per ``bench_<name>.py`` next to the repo root, e.g.
+``BENCH_table3.json``.  CI uploads these as artifacts; the experiment
+harness and the perf-trajectory tooling diff them across commits.
+
+Report schema (version 1)::
+
+    {
+      "version": 1,
+      "bench": "table3",
+      "generated_unix": 1754524800.0,
+      "records": [
+        {
+          "test": "test_preprocessing[base2]",
+          "group": "table3-preprocessing",
+          "mean_s": 0.0123,
+          "rounds": 5,
+          "MB_per_s": 812.5,          # when the test declares nbytes
+          "ratio": 2.35,              # when the test declares out_bytes
+          "spans": [...],             # when the test captures a trace
+          ...extra_info keys...
+        }
+      ]
+    }
+
+Throughput uses ``extra_info["nbytes"]`` (bytes processed per round) and
+ratio uses ``extra_info["out_bytes"]``; tests that already publish a
+``ratio``/``compression_ratio`` keep theirs.  Rates are 0.0 -- never
+``inf`` -- when no time was recorded, so the files stay JSON-clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+_RECORDS: dict[str, list[dict]] = {}
+
+#: Env override for where the BENCH_*.json files land (default: repo root).
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+def _default_dir() -> str:
+    override = os.environ.get(BENCH_DIR_ENV)
+    if override:
+        return override
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def record(bench: str, rec: dict) -> None:
+    """Append one record to ``BENCH_<bench>.json``'s buffer."""
+    _RECORDS.setdefault(bench, []).append(rec)
+
+
+def record_from_fixture(benchmark, request) -> None:
+    """Turn one finished pytest-benchmark fixture into a record.
+
+    Called by the ``benchmark`` fixture override after the test body ran.
+    Quietly does nothing when the test never invoked the benchmark (stats
+    absent) so mixed files of benchmarks and plain tests work.
+    """
+    stats = getattr(benchmark, "stats", None)
+    if stats is None:
+        return
+    inner = getattr(stats, "stats", stats)
+    mean = getattr(inner, "mean", None)
+    if mean is None:
+        return
+    module = request.node.module.__name__  # e.g. "bench_table3"
+    bench = module.removeprefix("bench_")
+    rec: dict = {
+        "test": request.node.name,
+        "group": getattr(stats, "group", None),
+        "mean_s": mean,
+        "rounds": getattr(inner, "rounds", None),
+    }
+    extra = dict(getattr(benchmark, "extra_info", {}) or {})
+    nbytes = extra.get("nbytes")
+    if isinstance(nbytes, (int, float)) and nbytes > 0:
+        rec["MB_per_s"] = round(nbytes / mean / 1e6, 3) if mean > 0 else 0.0
+    out_bytes = extra.get("out_bytes")
+    if (
+        isinstance(nbytes, (int, float))
+        and isinstance(out_bytes, (int, float))
+        and out_bytes > 0
+    ):
+        rec.setdefault("ratio", round(nbytes / out_bytes, 3))
+    rec.update(extra)
+    record(bench, rec)
+
+
+def trace_once(fn, *args, **kwargs):
+    """Run ``fn`` once with tracing on; return ``(result, span dicts)``.
+
+    The spans are captured into a private sink, so nothing leaks into the
+    process-global buffer and concurrent benchmarks cannot interleave.
+    """
+    from repro.observe import get_tracer
+
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    tracer.enabled = True
+    try:
+        with tracer.capture() as captured:
+            result = fn(*args, **kwargs)
+    finally:
+        tracer.enabled = was_enabled
+    return result, [sp.to_dict() for sp in captured]
+
+
+def write_reports(out_dir: str | None = None) -> list[str]:
+    """Write one ``BENCH_<name>.json`` per benchmark module with records."""
+    out_dir = out_dir or _default_dir()
+    os.makedirs(out_dir, exist_ok=True)
+    written = []
+    for bench in sorted(_RECORDS):
+        path = os.path.join(out_dir, f"BENCH_{bench}.json")
+        payload = {
+            "version": 1,
+            "bench": bench,
+            "generated_unix": time.time(),
+            "records": _RECORDS[bench],
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        written.append(path)
+    return written
+
+
+def reset() -> None:
+    _RECORDS.clear()

@@ -76,6 +76,8 @@ def test_compress_worker_scaling(benchmark, big_field):
     benchmark.pedantic(
         comp.compress, args=(big_field, RelativeBound(BOUND)), rounds=1, iterations=1
     )
+    benchmark.extra_info["nbytes"] = big_field.nbytes
+    benchmark.extra_info["out_bytes"] = len(blob)
     if _usable_cpus() >= 4:
         assert speedup >= 2.0, f"4-worker speedup only {speedup:.2f}x"
 
@@ -90,6 +92,8 @@ def test_compress_chunk_size(benchmark, big_field, chunk_mb):
     _check_stream(blob, big_field)
     benchmark.extra_info["chunks"] = comp.last_chunk_count
     benchmark.extra_info["ratio"] = round(big_field.nbytes / len(blob), 2)
+    benchmark.extra_info["nbytes"] = big_field.nbytes
+    benchmark.extra_info["out_bytes"] = len(blob)
 
 
 @pytest.mark.benchmark(group="chunked-decompress-scaling", min_rounds=1)

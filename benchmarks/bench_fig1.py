@@ -25,3 +25,5 @@ def test_zfp_t_rate_distortion_point(benchmark, nyx_dmd, base_name):
     recon = comp.decompress(blob)
     benchmark.extra_info["bit_rate"] = round(bit_rate(len(blob), nyx_dmd.size), 3)
     benchmark.extra_info["rel_psnr_db"] = round(relative_psnr(nyx_dmd, recon), 2)
+    benchmark.extra_info["nbytes"] = nyx_dmd.nbytes
+    benchmark.extra_info["out_bytes"] = len(blob)

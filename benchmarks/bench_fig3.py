@@ -20,6 +20,8 @@ BOUND = 1e-2
 def test_compression_rate(benchmark, nyx_dmd, name):
     blob, _ = benchmark(compress_for_relbound, name, nyx_dmd, BOUND)
     benchmark.extra_info["mb_processed"] = round(nyx_dmd.nbytes / 1e6, 2)
+    benchmark.extra_info["nbytes"] = nyx_dmd.nbytes
+    benchmark.extra_info["out_bytes"] = len(blob)
 
 
 @pytest.mark.benchmark(group="fig3-decompression-rate", min_rounds=3)
@@ -29,3 +31,4 @@ def test_decompression_rate(benchmark, nyx_dmd, name):
     comp = get_compressor(name)
     benchmark(comp.decompress, blob)
     benchmark.extra_info["mb_produced"] = round(nyx_dmd.nbytes / 1e6, 2)
+    benchmark.extra_info["nbytes"] = nyx_dmd.nbytes

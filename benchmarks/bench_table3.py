@@ -11,6 +11,7 @@ import math
 import numpy as np
 import pytest
 
+import _emit
 from repro.core import LogTransform, abs_bound_for
 from repro.encoding import decode_sign_bitmap, encode_sign_bitmap
 
@@ -30,6 +31,7 @@ def test_preprocessing(benchmark, nyx_vx, base_name):
         return tf.forward(magnitudes, ba)
 
     benchmark(pre)
+    benchmark.extra_info["nbytes"] = nyx_vx.nbytes
 
 
 @pytest.mark.benchmark(group="table3-postprocessing", min_rounds=5)
@@ -46,3 +48,26 @@ def test_postprocessing(benchmark, nyx_vx, base_name):
         return np.where(negatives.reshape(mags.shape), -mags, mags)
 
     benchmark(post)
+    benchmark.extra_info["nbytes"] = nyx_vx.nbytes
+
+
+@pytest.mark.benchmark(group="table3-sz_t-roundtrip", min_rounds=2)
+def test_sz_t_roundtrip_traced(benchmark, nyx_vx):
+    """SZ_T round-trip at the table's bound, with a per-stage span capture.
+
+    The spans land in ``BENCH_table3.json`` so the report shows *where*
+    pre/post-processing time goes inside a full pipeline, not just the
+    isolated transform kernels above.
+    """
+    from repro import RelativeBound, compress, decompress
+
+    def roundtrip():
+        blob = compress(nyx_vx, RelativeBound(BOUND), compressor="SZ_T")
+        decompress(blob)
+        return blob
+
+    blob = benchmark(roundtrip)
+    _, spans = _emit.trace_once(roundtrip)
+    benchmark.extra_info["nbytes"] = nyx_vx.nbytes
+    benchmark.extra_info["out_bytes"] = len(blob)
+    benchmark.extra_info["spans"] = spans

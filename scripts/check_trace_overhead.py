@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Fail CI when the tracing layer's disabled-mode overhead exceeds a budget.
+
+Usage::
+
+    python scripts/check_trace_overhead.py [--threshold 0.05] [--repeats 5]
+
+Times an SZ_T round-trip on a synthetic 64^3 field twice -- once with
+tracing enabled, once disabled -- taking the best of ``--repeats`` runs
+each (best-of defends against scheduler noise on shared CI runners).
+Exits 1 when ``enabled/disabled - 1`` exceeds the threshold, which is the
+acceptance bar for the observability layer: instrumentation must stay out
+of the hot path when ``REPRO_TRACE=off``.
+
+The enabled-mode run keeps the tracer buffer cleared between rounds so
+the measurement covers span recording, not buffer growth.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import RelativeBound, compress, decompress
+from repro.observe import enable_tracing, get_tracer
+
+
+def make_field(n: int = 64) -> np.ndarray:
+    rng = np.random.default_rng(42)
+    mags = rng.lognormal(mean=0.0, sigma=1.5, size=(n, n, n))
+    signs = rng.choice([-1.0, 1.0], size=mags.shape)
+    return (mags * signs).astype(np.float32)
+
+
+def best_roundtrip_s(data: np.ndarray, repeats: int) -> float:
+    bound = RelativeBound(1e-3)
+    best = float("inf")
+    for _ in range(repeats):
+        get_tracer().clear()
+        t0 = time.perf_counter()
+        decompress(compress(data, bound, compressor="SZ_T"))
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="max tolerated relative overhead (default 0.05 = 5%%)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="rounds per mode, best-of (default 5)")
+    args = parser.parse_args(argv)
+
+    data = make_field()
+    # Warm up caches/allocators on both code paths before measuring.
+    enable_tracing(False)
+    best_roundtrip_s(data, 1)
+    enable_tracing(True)
+    best_roundtrip_s(data, 1)
+
+    enable_tracing(False)
+    off_s = best_roundtrip_s(data, args.repeats)
+    enable_tracing(True)
+    on_s = best_roundtrip_s(data, args.repeats)
+    get_tracer().clear()
+
+    overhead = on_s / off_s - 1.0
+    print(f"round-trip best-of-{args.repeats}: "
+          f"traced {on_s * 1e3:.2f} ms, untraced {off_s * 1e3:.2f} ms, "
+          f"overhead {overhead * 100:+.2f}% (budget {args.threshold * 100:.0f}%)")
+    if overhead > args.threshold:
+        print("FAIL: tracing overhead exceeds budget", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,14 @@ Mirrors the ergonomics of the SZ/ZFP command-line utilities::
         --rel-bound 1e-3 --compressor SZ_T
     repro-compress decompress field.rpz field.out.f32
     repro-compress info field.rpz
+    repro-compress stats field.rpz
     repro-compress verify field.rpz
     repro-compress faults bit-flip field.rpz damaged.rpz --seed 3
+
+``compress``, ``decompress`` and ``stats`` accept ``--trace`` (print the
+pipeline span tree, stage times as percentages of the root) and
+``--trace-json PATH`` (write the same spans as JSON for machines); see
+``docs/observability.md``.
 
 Raw binaries need ``--shape`` (and ``--dtype`` when not float32); ``.npy``
 inputs are self-describing.  ``compress`` verifies and reports the achieved
@@ -181,6 +187,13 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    from repro.report import build_report
+
+    print(build_report(_read_blob(args.input)).format())
+    return 0
+
+
 def _cmd_verify(args) -> int:
     from repro.integrity import verify_stream
 
@@ -253,6 +266,19 @@ def main(argv: list[str] | None = None) -> int:
     info = sub.add_parser("info", help="describe a compressed stream")
     info.add_argument("input")
 
+    stats = sub.add_parser(
+        "stats",
+        help="decode a stream once and report chunk count, per-section "
+             "sizes and decode-side telemetry (CRC verification time)",
+    )
+    stats.add_argument("input")
+
+    for traceable in (comp, dec, stats):
+        traceable.add_argument("--trace", action="store_true",
+                               help="print the pipeline span tree afterwards")
+        traceable.add_argument("--trace-json", default=None, metavar="PATH",
+                               help="write the span tree as JSON to PATH")
+
     ver = sub.add_parser(
         "verify",
         help="check checksums and structure without decompressing "
@@ -287,9 +313,16 @@ def main(argv: list[str] | None = None) -> int:
         "compress": _cmd_compress,
         "decompress": _cmd_decompress,
         "info": _cmd_info,
+        "stats": _cmd_stats,
         "verify": _cmd_verify,
         "faults": _cmd_faults,
     }[args.command]
+    tracing = bool(getattr(args, "trace", False) or getattr(args, "trace_json", None))
+    if tracing:
+        from repro.observe import enable_tracing, get_tracer
+
+        enable_tracing(True)
+        get_tracer().clear()
     try:
         return handler(args)
     except StreamError as exc:
@@ -298,6 +331,16 @@ def main(argv: list[str] | None = None) -> int:
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if tracing:
+            tracer = get_tracer()
+            if args.trace_json:
+                with open(args.trace_json, "w") as fh:
+                    fh.write(tracer.to_json())
+            if args.trace:
+                rendered = tracer.render()
+                if rendered:
+                    print(rendered)
 
 
 def _entry() -> int:  # pragma: no cover - thin wrapper for console_scripts

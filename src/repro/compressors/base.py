@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.encoding.container import Container, ContainerError, StreamError
+from repro.observe.tracer import span as _span
 
 __all__ = [
     "ErrorBound",
@@ -149,6 +150,35 @@ def _translate_decode_errors(fn):
     return wrapper
 
 
+def _traced_compress(fn):
+    """Wrap a ``compress`` in a ``compress`` span carrying codec + bytes."""
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        with _span("compress", codec=self.name) as sp:
+            blob = fn(self, *args, **kwargs)
+            data = args[0] if args else kwargs.get("data")
+            sp.add_bytes(in_=getattr(data, "nbytes", 0), out=len(blob))
+        return blob
+
+    wrapper.__trace_wrapped__ = True
+    return wrapper
+
+
+def _traced_decompress(fn):
+    """Wrap a ``decompress`` in a ``decompress`` span carrying codec + bytes."""
+
+    @functools.wraps(fn)
+    def wrapper(self, blob, *args, **kwargs):
+        with _span("decompress", codec=self.name) as sp:
+            out = fn(self, blob, *args, **kwargs)
+            sp.add_bytes(in_=len(blob), out=getattr(out, "nbytes", 0))
+        return out
+
+    wrapper.__trace_wrapped__ = True
+    return wrapper
+
+
 class Compressor(abc.ABC):
     """Abstract error-bounded lossy compressor.
 
@@ -165,8 +195,15 @@ class Compressor(abc.ABC):
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
         fn = cls.__dict__.get("decompress")
-        if fn is not None and not getattr(fn, "__decode_guard__", False):
-            cls.decompress = _translate_decode_errors(fn)
+        if fn is not None:
+            if not getattr(fn, "__decode_guard__", False):
+                fn = _translate_decode_errors(fn)
+            if not getattr(fn, "__trace_wrapped__", False):
+                fn = _traced_decompress(fn)
+            cls.decompress = fn
+        fn = cls.__dict__.get("compress")
+        if fn is not None and not getattr(fn, "__trace_wrapped__", False):
+            cls.compress = _traced_compress(fn)
 
     @abc.abstractmethod
     def compress(self, data: np.ndarray, bound: ErrorBound) -> bytes:

@@ -23,6 +23,7 @@ from repro.encoding import (
     zigzag_encode,
 )
 from repro.encoding.container import Container
+from repro.observe.tracer import span
 
 __all__ = ["SZCompressor", "DEFAULT_RADIUS"]
 
@@ -72,27 +73,34 @@ class SZCompressor(Compressor):
         data = self._check_input(data)
         eb = float(bound.value)
 
-        k, risky = lattice_quantize(data, eb)
-        q = lorenzo_residual(k, data.ndim, self.order)
+        with span("quantize"):
+            k, risky = lattice_quantize(data, eb)
+        with span("predict", order=self.order):
+            q = lorenzo_residual(k, data.ndim, self.order)
 
-        escape = (np.abs(q) > self.radius) | risky
-        codes = np.where(escape, 0, q + (self.radius + 1)).ravel()
-        esc_q = q[escape]
+            escape = (np.abs(q) > self.radius) | risky
+            codes = np.where(escape, 0, q + (self.radius + 1)).ravel()
+            esc_q = q[escape]
 
         # Verify the exact reconstruction the decoder will compute and move
         # any bound violator (risky points included) to the patch channel.
-        recon = lattice_reconstruct(k, eb, data.dtype)
-        viol = np.abs(data.astype(np.float64) - recon.astype(np.float64)) > eb
-        patch = (viol | risky).ravel()
-        patch_idx = np.flatnonzero(patch).astype(np.uint64)
-        patch_val = data.ravel()[patch_idx.astype(np.int64)]
+        with span("verify"):
+            recon = lattice_reconstruct(k, eb, data.dtype)
+            viol = np.abs(data.astype(np.float64) - recon.astype(np.float64)) > eb
+            patch = (viol | risky).ravel()
+            patch_idx = np.flatnonzero(patch).astype(np.uint64)
+            patch_val = data.ravel()[patch_idx.astype(np.int64)]
 
         box = self._new_container(self.name, data)
         box.put_f64("eb", eb)
         box.put_u64("radius", self.radius)
         box.put_u64("order", self.order)
-        self._pack_payload(box, codes, esc_q, patch_idx, patch_val)
-        return box.to_bytes()
+        with span("entropy-encode"):
+            self._pack_payload(box, codes, esc_q, patch_idx, patch_val)
+        with span("serialize") as sp:
+            blob = box.to_bytes()
+            sp.add_bytes(out=len(blob))
+        return blob
 
     def _pack_payload(
         self,
@@ -123,16 +131,20 @@ class SZCompressor(Compressor):
     # -- decompression -----------------------------------------------------
 
     def decompress(self, blob: bytes) -> np.ndarray:
-        box, shape, dtype = self._open_container(blob, self.name)
+        with span("parse") as sp:
+            box, shape, dtype = self._open_container(blob, self.name)
+            sp.add_bytes(in_=len(blob))
         eb = box.get_f64("eb")
         radius = box.get_u64("radius")
         order = box.get_u64("order") if "order" in box else 1
-        q, patch_idx, patch_val = self._unpack_payload(box, dtype, radius)
-        q = q.reshape(shape)
-        k = lorenzo_reconstruct(q, len(shape), order)
-        recon = lattice_reconstruct(k, eb, dtype)
-        flat = recon.ravel()
-        flat[patch_idx.astype(np.int64)] = patch_val
+        with span("entropy-decode"):
+            q, patch_idx, patch_val = self._unpack_payload(box, dtype, radius)
+        with span("reconstruct", order=order):
+            q = q.reshape(shape)
+            k = lorenzo_reconstruct(q, len(shape), order)
+            recon = lattice_reconstruct(k, eb, dtype)
+            flat = recon.ravel()
+            flat[patch_idx.astype(np.int64)] = patch_val
         return flat.reshape(shape)
 
     def _unpack_payload(

@@ -45,6 +45,7 @@ from repro.compressors.zfp.fixedpoint import (
 )
 from repro.compressors.zfp.transform import fwd_xform, inv_xform, sequency_order
 from repro.encoding import deflate, inflate
+from repro.observe.tracer import span
 from repro.utils.blocking import block_merge, block_partition
 
 __all__ = ["ZFPCompressor", "planes_for_tolerance"]
@@ -100,60 +101,73 @@ class ZFPCompressor(Compressor):
         ndim = data.ndim
         intprec = intprec_for(data.dtype)
 
-        tiles, padded_shape = block_partition(data, _BLOCK)
-        emax = block_exponents(tiles)
-        q = quantize_blocks(tiles, emax, intprec)
-        coeffs = fwd_xform(q).reshape(q.shape[0], -1)
-        perm, _ = sequency_order(ndim)
-        nb = negabinary_encode(coeffs[:, perm])
+        with span("block-partition"):
+            tiles, padded_shape = block_partition(data, _BLOCK)
+            emax = block_exponents(tiles)
+            q = quantize_blocks(tiles, emax, intprec)
+        with span("block-transform"):
+            coeffs = fwd_xform(q).reshape(q.shape[0], -1)
+            perm, _ = sequency_order(ndim)
+            nb = negabinary_encode(coeffs[:, perm])
 
-        maxbits = None
-        if self.mode == "accuracy":
-            nplanes = planes_for_tolerance(emax, float(bound.value), ndim, intprec)
-        elif self.mode == "precision":
-            nplanes = np.where(emax == EMPTY_EMAX, 0, min(bound.bits, intprec))
-        else:
-            # Fixed rate: code every plane, hard-cap each block's bits.
-            nplanes = np.where(emax == EMPTY_EMAX, 0, intprec)
-            maxbits = max(1, round(float(bound.value) * _BLOCK**ndim))
-        payload, lens = encode_blocks(nb, nplanes, intprec, maxbits=maxbits)
+        with span("encode-planes", mode=self.mode):
+            maxbits = None
+            if self.mode == "accuracy":
+                nplanes = planes_for_tolerance(emax, float(bound.value), ndim, intprec)
+            elif self.mode == "precision":
+                nplanes = np.where(emax == EMPTY_EMAX, 0, min(bound.bits, intprec))
+            else:
+                # Fixed rate: code every plane, hard-cap each block's bits.
+                nplanes = np.where(emax == EMPTY_EMAX, 0, intprec)
+                maxbits = max(1, round(float(bound.value) * _BLOCK**ndim))
+            payload, lens = encode_blocks(nb, nplanes, intprec, maxbits=maxbits)
 
-        box = self._new_container(self.name, data)
-        box.put_f64("param", float(bound.value))
-        box.put_shape("padded", padded_shape)
-        box.put("emax", deflate(emax.astype(np.int32).tobytes()))
-        box.put("lens", deflate(lens.tobytes()))
-        box.put("payload", payload)
-        return box.to_bytes()
+        with span("serialize") as sp:
+            box = self._new_container(self.name, data)
+            box.put_f64("param", float(bound.value))
+            box.put_shape("padded", padded_shape)
+            box.put("emax", deflate(emax.astype(np.int32).tobytes()))
+            box.put("lens", deflate(lens.tobytes()))
+            box.put("payload", payload)
+            blob = box.to_bytes()
+            sp.add_bytes(out=len(blob))
+        return blob
 
     # -- decompression -----------------------------------------------------
 
     def decompress(self, blob: bytes) -> np.ndarray:
-        box, shape, dtype = self._open_container(blob, self.name)
+        with span("parse") as sp:
+            box, shape, dtype = self._open_container(blob, self.name)
+            sp.add_bytes(in_=len(blob))
         param = box.get_f64("param")
         padded_shape = box.get_shape("padded")
         ndim = len(shape)
         intprec = intprec_for(dtype)
         ncoef = _BLOCK**ndim
 
-        emax = np.frombuffer(inflate(box.get("emax")), dtype=np.int32)
-        lens = np.frombuffer(inflate(box.get("lens")), dtype=np.uint32)
-        if emax.size != lens.size:
-            raise ValueError("corrupt ZFP stream: block table size mismatch")
+        with span("decode-planes", mode=self.mode):
+            emax = np.frombuffer(inflate(box.get("emax")), dtype=np.int32)
+            lens = np.frombuffer(inflate(box.get("lens")), dtype=np.uint32)
+            if emax.size != lens.size:
+                raise ValueError("corrupt ZFP stream: block table size mismatch")
 
-        payload = box.get("payload")
-        if self.mode == "accuracy":
-            nplanes = planes_for_tolerance(emax, param, ndim, intprec)
-        elif self.mode == "precision":
-            nplanes = np.where(emax == EMPTY_EMAX, 0, min(int(param), intprec))
-        else:
-            nplanes = np.where(emax == EMPTY_EMAX, 0, intprec)
-            maxbits = max(1, round(param * ncoef))
-            payload, lens = expand_fixed_rate(payload, lens.size, maxbits, nplanes, ncoef)
+            payload = box.get("payload")
+            if self.mode == "accuracy":
+                nplanes = planes_for_tolerance(emax, param, ndim, intprec)
+            elif self.mode == "precision":
+                nplanes = np.where(emax == EMPTY_EMAX, 0, min(int(param), intprec))
+            else:
+                nplanes = np.where(emax == EMPTY_EMAX, 0, intprec)
+                maxbits = max(1, round(param * ncoef))
+                payload, lens = expand_fixed_rate(
+                    payload, lens.size, maxbits, nplanes, ncoef
+                )
 
-        nb = decode_blocks(payload, lens, nplanes, intprec, ncoef)
-        _, inv_perm = sequency_order(ndim)
-        coeffs = negabinary_decode(nb)[:, inv_perm]
-        q = inv_xform(coeffs.reshape((-1,) + (_BLOCK,) * ndim))
-        tiles = dequantize_blocks(q, emax, intprec, dtype)
-        return block_merge(tiles, padded_shape, _BLOCK, shape)
+            nb = decode_blocks(payload, lens, nplanes, intprec, ncoef)
+        with span("inverse-transform"):
+            _, inv_perm = sequency_order(ndim)
+            coeffs = negabinary_decode(nb)[:, inv_perm]
+            q = inv_xform(coeffs.reshape((-1,) + (_BLOCK,) * ndim))
+            tiles = dequantize_blocks(q, emax, intprec, dtype)
+        with span("block-merge"):
+            return block_merge(tiles, padded_shape, _BLOCK, shape)

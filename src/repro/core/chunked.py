@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from collections.abc import Iterator
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -44,6 +45,9 @@ from repro.encoding.container import (
     ContainerError,
     StreamError,
 )
+from repro.observe.metrics import metrics
+from repro.observe.propagate import absorb, run_traced
+from repro.observe.tracer import current_span, span
 from repro.utils.blocking import chunk_spans
 
 __all__ = [
@@ -228,32 +232,54 @@ class ChunkedCompressor(Compressor):
         ``BrokenProcessPool`` after a worker crash, a flaky executor, a
         pickling failure -- marks the affected jobs for a serial re-run in
         this process, so one lost worker never fails the whole array.
+
+        Every pooled job runs under :func:`repro.observe.run_traced`: the
+        worker ships its span trees and metrics delta back with the
+        result, and this thread stitches them under the open dispatching
+        span as ``chunk`` children carrying queue-wait and execute times.
         """
         self.last_retried_chunks = 0
+        reg = metrics()
         pool = self._make_pool(len(jobs))
         if pool is None:
-            return [fn(*job) for job in jobs]
+            out = []
+            for i, job in enumerate(jobs):
+                with span("chunk", index=i):
+                    out.append(fn(*job))
+            return out
+        parent = current_span()
         results: list = [None] * len(jobs)
         done = [False] * len(jobs)
         futures: dict[int, Future] = {}
+        submitted: dict[int, float] = {}
         with pool:
             try:
                 for i, job in enumerate(jobs):
-                    futures[i] = pool.submit(fn, *job)
+                    submitted[i] = time.perf_counter()
+                    futures[i] = pool.submit(run_traced, fn, *job)
             except Exception:
                 pass  # pool died mid-submit; unsubmitted jobs retry below
             for i, fut in futures.items():
                 try:
-                    results[i] = fut.result()
+                    results[i], telem = fut.result()
                     done[i] = True
                 except StreamError:
                     raise
                 except Exception:
-                    pass  # worker lost; retry serially below
+                    continue  # worker lost; retry serially below
+                wait = absorb(parent, telem, label="chunk", index=i,
+                              t_submit=submitted[i])
+                reg.histogram("chunk.exec_s").observe(telem.wall_s)
+                if wait is not None:
+                    reg.histogram("chunk.queue_wait_s").observe(wait)
         pending = [i for i in range(len(jobs)) if not done[i]]
         self.last_retried_chunks = len(pending)
+        if pending:
+            reg.counter("chunks.retried").inc(len(pending))
+            parent.set(retried=len(pending))
         for i in pending:
-            results[i] = fn(*jobs[i])
+            with span("chunk", index=i, retried=True):
+                results[i] = fn(*jobs[i])
         return results
 
     # -- chunk geometry ------------------------------------------------------
@@ -286,6 +312,8 @@ class ChunkedCompressor(Compressor):
             chunks = self._split(data)
             blobs = self._map(_compress_chunk, [(inner, c, bound) for c in chunks])
         self.last_chunk_count = len(blobs)
+        metrics().counter("chunks.compressed").inc(len(blobs))
+        current_span().set(chunks=len(blobs), workers=self.workers)
 
         box = self._new_container(self.name, data)
         box.put_str("inner_codec", inner.name)
@@ -342,6 +370,8 @@ class ChunkedCompressor(Compressor):
             raise ContainerError("corrupt CHUNKED stream: payload length mismatch")
         jobs = [(payload[o : o + ln],) for o, ln in zip(offs, lens)]
         parts = self._map(_decompress_chunk, jobs)
+        metrics().counter("chunks.decompressed").inc(len(jobs))
+        current_span().set(chunks=len(jobs), workers=self.workers)
         for part, want in zip(parts, elems):
             if part.size != want:
                 raise ContainerError("corrupt CHUNKED stream: chunk element mismatch")

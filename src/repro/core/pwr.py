@@ -33,6 +33,8 @@ from repro.compressors.base import (
 from repro.core.error_bounds import abs_bound_for, adjusted_abs_bound, machine_eps0
 from repro.core.transform import LogTransform
 from repro.encoding import decode_sign_bitmap, deflate, encode_sign_bitmap, inflate
+from repro.observe.metrics import metrics
+from repro.observe.tracer import span
 
 __all__ = ["TransformedCompressor", "make_sz_t", "make_zfp_t"]
 
@@ -90,51 +92,64 @@ class TransformedCompressor(Compressor):
         if np.asarray(data).size == 0:
             return self._compress_empty(np.asarray(data), br)
         data = self._check_input(data)
+        reg = metrics()
 
-        magnitudes = np.abs(data)
-        all_nonneg, sign_payload = encode_sign_bitmap(data)
+        with span("sign-encode") as sp:
+            magnitudes = np.abs(data)
+            all_nonneg, sign_payload = encode_sign_bitmap(data)
+            sp.add_bytes(out=len(sign_payload))
+        reg.counter("transform.sign_bitmap_bytes").inc(len(sign_payload))
 
-        # Provisional bound to break the sentinel <-> max|log| circularity:
-        # nonzero magnitudes bound their own logs; the sentinel magnitude
-        # is known analytically from the format floor.
-        ba0 = abs_bound_for(br, tf.base)
-        eps0 = machine_eps0(data.dtype)
-        logs_nz = tf.forward(magnitudes, ba0)
-        max_log = max(
-            tf.max_log_magnitude(logs_nz),
-            abs(tf.floor_log(data.dtype)) + 4.0 * ba0 + 1.0,
-        )
-        if self.apply_lemma2:
-            ba = adjusted_abs_bound(br, max_log, eps0, tf.base)
-        else:
-            ba = ba0
+        with span("log-transform", base=tf.base):
+            # Provisional bound to break the sentinel <-> max|log| circularity:
+            # nonzero magnitudes bound their own logs; the sentinel magnitude
+            # is known analytically from the format floor.
+            ba0 = abs_bound_for(br, tf.base)
+            eps0 = machine_eps0(data.dtype)
+            logs_nz = tf.forward(magnitudes, ba0)
+            max_log = max(
+                tf.max_log_magnitude(logs_nz),
+                abs(tf.floor_log(data.dtype)) + 4.0 * ba0 + 1.0,
+            )
+            if self.apply_lemma2:
+                ba = adjusted_abs_bound(br, max_log, eps0, tf.base)
+            else:
+                ba = ba0
 
-        d = tf.forward(magnitudes, ba)
+            d = tf.forward(magnitudes, ba)
+            n_zeros = int(magnitudes.size - np.count_nonzero(magnitudes))
+        reg.counter("transform.exact_zeros").inc(n_zeros)
+
         inner_blob = self.inner.compress(d, AbsoluteBound(ba))
-
-        box = self._new_container(self.name, data)
-        box.put_f64("br", br)
-        box.put_f64("ba", ba)
-        box.put_f64("base", tf.base)
-        box.put_u64("all_nonneg", int(all_nonneg))
-        box.put("signs", sign_payload)
-        box.put("inner", inner_blob)
 
         patch_idx = np.zeros(0, dtype=np.uint64)
         patch_val = np.zeros(0, dtype=data.dtype)
         if self.verify:
-            recon = self._reconstruct(
-                inner_blob, ba, data.shape, data.dtype, all_nonneg, sign_payload
-            )
-            err = np.abs(recon.astype(np.float64) - data.astype(np.float64))
-            viol = (err > br * np.abs(data.astype(np.float64))).ravel()
-            patch_idx = np.flatnonzero(viol).astype(np.uint64)
-            patch_val = data.ravel()[patch_idx.astype(np.int64)]
+            with span("verify"):
+                recon = self._reconstruct(
+                    inner_blob, ba, data.shape, data.dtype, all_nonneg, sign_payload
+                )
+                err = np.abs(recon.astype(np.float64) - data.astype(np.float64))
+                viol = (err > br * np.abs(data.astype(np.float64))).ravel()
+                patch_idx = np.flatnonzero(viol).astype(np.uint64)
+                patch_val = data.ravel()[patch_idx.astype(np.int64)]
         self.last_patch_count = int(patch_idx.size)
-        box.put("patch_idx", deflate(patch_idx.tobytes()))
-        box.put("patch_val", deflate(np.ascontiguousarray(patch_val).tobytes()))
-        box.put_u64("n_patch", patch_idx.size)
-        return box.to_bytes()
+        reg.counter("transform.patched_points").inc(self.last_patch_count)
+
+        with span("serialize") as sp:
+            box = self._new_container(self.name, data)
+            box.put_f64("br", br)
+            box.put_f64("ba", ba)
+            box.put_f64("base", tf.base)
+            box.put_u64("all_nonneg", int(all_nonneg))
+            box.put("signs", sign_payload)
+            box.put("inner", inner_blob)
+            box.put("patch_idx", deflate(patch_idx.tobytes()))
+            box.put("patch_val", deflate(np.ascontiguousarray(patch_val).tobytes()))
+            box.put_u64("n_patch", patch_idx.size)
+            blob = box.to_bytes()
+            sp.add_bytes(out=len(blob))
+        return blob
 
     def _compress_empty(self, data: np.ndarray, br: float) -> bytes:
         """Zero-element stream: no magnitudes, no inner payload to run.
@@ -163,7 +178,9 @@ class TransformedCompressor(Compressor):
     # -- decompression -----------------------------------------------------
 
     def decompress(self, blob: bytes) -> np.ndarray:
-        box, shape, dtype = self._open_container(blob, self.name)
+        with span("parse") as sp:
+            box, shape, dtype = self._open_container(blob, self.name)
+            sp.add_bytes(in_=len(blob))
         if math.prod(shape) == 0:
             return np.zeros(shape, dtype=dtype)
         ba = box.get_f64("ba")
@@ -180,12 +197,15 @@ class TransformedCompressor(Compressor):
             box.get("signs"),
             transform=tf,
         )
-        patch_idx = np.frombuffer(inflate(box.get("patch_idx")), dtype=np.uint64)
-        patch_val = np.frombuffer(inflate(box.get("patch_val")), dtype=dtype)
-        if patch_idx.size != box.get_u64("n_patch") or patch_val.size != patch_idx.size:
-            raise ValueError(f"corrupt {self.name} stream: patch channel size mismatch")
-        flat = recon.ravel()
-        flat[patch_idx.astype(np.int64)] = patch_val
+        with span("patch-apply"):
+            patch_idx = np.frombuffer(inflate(box.get("patch_idx")), dtype=np.uint64)
+            patch_val = np.frombuffer(inflate(box.get("patch_val")), dtype=dtype)
+            if patch_idx.size != box.get_u64("n_patch") or patch_val.size != patch_idx.size:
+                raise ValueError(
+                    f"corrupt {self.name} stream: patch channel size mismatch"
+                )
+            flat = recon.ravel()
+            flat[patch_idx.astype(np.int64)] = patch_val
         return flat.reshape(shape)
 
     def _reconstruct(
@@ -201,11 +221,15 @@ class TransformedCompressor(Compressor):
         """Inner decompress -> inverse log map -> sign restoration."""
         tf = transform if transform is not None else self.transform
         d_rec = self.inner.decompress(inner_blob)
-        magnitudes = tf.inverse(d_rec, ba, dtype)
+        with span("inverse-transform", base=tf.base):
+            magnitudes = tf.inverse(d_rec, ba, dtype)
         if all_nonneg:
             return magnitudes.reshape(shape)
-        negatives = decode_sign_bitmap(False, sign_payload, magnitudes.size)
-        signed = np.where(negatives.reshape(magnitudes.shape), -magnitudes, magnitudes)
+        with span("sign-restore"):
+            negatives = decode_sign_bitmap(False, sign_payload, magnitudes.size)
+            signed = np.where(
+                negatives.reshape(magnitudes.shape), -magnitudes, magnitudes
+            )
         return signed.reshape(shape)
 
 

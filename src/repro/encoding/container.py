@@ -29,6 +29,7 @@ early, :class:`ChecksumError` when stored CRCs disagree with the data.
 from __future__ import annotations
 
 import struct
+import time
 from collections import OrderedDict
 from collections.abc import Iterator
 
@@ -36,6 +37,7 @@ import numpy as np
 
 from repro.encoding.codecs import read_varint, write_varint
 from repro.encoding.crc import crc32c
+from repro.observe.metrics import metrics as _metrics
 
 __all__ = [
     "Container",
@@ -217,6 +219,7 @@ class Container:
 
     def to_bytes(self, checksums: bool = True) -> bytes:
         """Serialize; ``checksums=False`` emits the legacy v1 framing."""
+        t0 = time.perf_counter()
         version = _VERSION if checksums else 1
         parts = [_MAGIC, bytes([version])]
         codec = self.codec.encode("utf-8")
@@ -236,7 +239,11 @@ class Container:
             for part in parts:
                 running = crc32c(part, running)
             parts.append(struct.pack("<I", running))
-        return b"".join(parts)
+        blob = b"".join(parts)
+        reg = _metrics()
+        reg.counter("container.encode_s").inc(time.perf_counter() - t0)
+        reg.counter("container.encode_bytes").inc(len(blob))
+        return blob
 
     @classmethod
     def from_bytes(
@@ -267,8 +274,13 @@ class Container:
         if version >= 2 and verify_checksums and not partial:
             if len(data) < 5 + _CRC_BYTES:
                 raise TruncatedStreamError("v2 stream shorter than its CRC trailer")
+            t0 = time.perf_counter()
             (stored,) = struct.unpack("<I", data[-_CRC_BYTES:])
             actual = crc32c(data[:-_CRC_BYTES])
+            reg = _metrics()
+            reg.counter("crc.verify_s").inc(time.perf_counter() - t0)
+            reg.counter("crc.bytes_verified").inc(len(data))
+            reg.counter("crc.streams_verified").inc()
             if stored != actual:
                 raise ChecksumError(
                     f"stream checksum mismatch (corrupted or truncated bytes): "
@@ -277,7 +289,12 @@ class Container:
         # In partial mode the cut can fall anywhere, so no byte is assumed
         # to be the trailer; complete v2 streams end in a 4-byte stream CRC.
         body_end = len(data) - _CRC_BYTES if version >= 2 and not partial else len(data)
-        return cls._parse_body(data, version, body_end, partial)
+        t0 = time.perf_counter()
+        box = cls._parse_body(data, version, body_end, partial)
+        reg = _metrics()
+        reg.counter("container.decode_s").inc(time.perf_counter() - t0)
+        reg.counter("container.decode_bytes").inc(len(data))
+        return box
 
     @classmethod
     def _parse_body(

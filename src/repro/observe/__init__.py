@@ -1,0 +1,60 @@
+"""Zero-dependency pipeline telemetry: tracing spans and metrics.
+
+Three parts (see ``docs/observability.md``):
+
+* :mod:`repro.observe.tracer` -- nested :class:`Span` trees with wall/CPU
+  time and byte counters per pipeline stage, rendered as a tree
+  (``repro-compress ... --trace``) or exported as JSON;
+* :mod:`repro.observe.metrics` -- named counters/gauges/histograms in a
+  process-global :class:`MetricsRegistry` with snapshot/diff/merge;
+* :mod:`repro.observe.propagate` -- plumbing that carries spans and
+  counters across thread/process pool boundaries, so parallel chunk
+  workers report into the dispatching span.
+
+Tracing is on by default; ``REPRO_TRACE=off`` (or
+:func:`enable_tracing(False) <enable_tracing>`) reduces every
+instrumentation point to a no-op attribute check.  Metrics are cheap
+enough to stay on unconditionally.
+"""
+
+from repro.observe.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics,
+)
+from repro.observe.propagate import TaskTelemetry, absorb, run_traced
+from repro.observe.tracer import (
+    Span,
+    Tracer,
+    current_span,
+    enable_tracing,
+    export_spans,
+    get_tracer,
+    render_spans,
+    span,
+    spans_from_dicts,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TaskTelemetry",
+    "Tracer",
+    "absorb",
+    "current_span",
+    "enable_tracing",
+    "export_spans",
+    "get_tracer",
+    "metrics",
+    "render_spans",
+    "run_traced",
+    "span",
+    "spans_from_dicts",
+    "tracing_enabled",
+]

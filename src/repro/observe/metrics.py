@@ -1,0 +1,197 @@
+"""Named counters, gauges and histograms with snapshot/diff/merge.
+
+The process-global default registry (:func:`metrics`) collects pipeline
+statistics -- bytes in/out, chunks compressed, worker retries, CRC
+verification time, exact-zero and sign-bitmap stats from the log
+transform -- cheaply enough to stay on even when tracing is off.
+
+``snapshot()`` freezes the registry into plain dicts; ``diff(before)``
+returns what changed since an earlier snapshot (how ``repro stats``
+isolates the cost of one decode); ``merge(delta)`` folds a worker
+process's diff back into the parent registry, which is how counters
+survive the process-pool boundary.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+]
+
+
+class Counter:
+    """Monotonically increasing value (counts, bytes, accumulated seconds)."""
+
+    __slots__ = ("_lock", "value")
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        with self._lock:
+            self.value += n
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value (queue depth, active workers)."""
+
+    __slots__ = ("_lock", "value")
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        with self._lock:
+            self.value = float(v)
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming summary of observations: count, total, min, max, mean."""
+
+    __slots__ = ("_lock", "n", "total", "min", "max")
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.n = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        with self._lock:
+            self.n += 1
+            self.total += v
+            if v < self.min:
+                self.min = v
+            if v > self.max:
+                self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def snapshot(self) -> dict:
+        out = {"type": "histogram", "n": self.n, "total": self.total, "mean": self.mean}
+        if self.n:
+            out["min"] = self.min
+            out["max"] = self.max
+        return out
+
+
+class MetricsRegistry:
+    """Thread-safe name -> metric mapping with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            m = self._metrics.get(name)
+            if m is None:
+                m = self._metrics[name] = cls()
+            elif not isinstance(m, cls):
+                raise TypeError(f"metric {name!r} is a {type(m).__name__}, not a {cls.__name__}")
+            return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    # -- snapshot / diff / merge -----------------------------------------------
+
+    def snapshot(self) -> dict[str, dict]:
+        """Plain-dict freeze of every metric (JSON- and pickle-friendly)."""
+        with self._lock:
+            items = list(self._metrics.items())
+        return {name: m.snapshot() for name, m in items}
+
+    def diff(self, before: dict[str, dict]) -> dict[str, dict]:
+        """What changed since ``before`` (an earlier :meth:`snapshot`).
+
+        Counters and histogram count/total subtract; gauges report their
+        current value; histogram min/max are the post-state's (bounds
+        cannot be un-observed).  Metrics that did not move are omitted.
+        """
+        after = self.snapshot()
+        out: dict[str, dict] = {}
+        for name, snap in after.items():
+            prev = before.get(name)
+            if snap["type"] == "counter":
+                delta = snap["value"] - (prev["value"] if prev else 0.0)
+                if delta:
+                    out[name] = {"type": "counter", "value": delta}
+            elif snap["type"] == "gauge":
+                if prev is None or prev["value"] != snap["value"]:
+                    out[name] = snap
+            else:
+                dn = snap["n"] - (prev["n"] if prev else 0)
+                if dn:
+                    dt = snap["total"] - (prev["total"] if prev else 0.0)
+                    entry = {"type": "histogram", "n": dn, "total": dt,
+                             "mean": dt / dn if dn else 0.0}
+                    if "min" in snap:
+                        entry["min"] = snap["min"]
+                        entry["max"] = snap["max"]
+                    out[name] = entry
+        return out
+
+    def merge(self, delta: dict[str, dict] | None) -> None:
+        """Fold a snapshot/diff (e.g. from a worker process) into this registry."""
+        if not delta:
+            return
+        for name, snap in delta.items():
+            kind = snap.get("type")
+            if kind == "counter":
+                self.counter(name).inc(snap.get("value", 0.0))
+            elif kind == "gauge":
+                self.gauge(name).set(snap.get("value", 0.0))
+            elif kind == "histogram":
+                h = self.histogram(name)
+                with h._lock:
+                    h.n += int(snap.get("n", 0))
+                    h.total += float(snap.get("total", 0.0))
+                    if "min" in snap and snap["min"] < h.min:
+                        h.min = float(snap["min"])
+                    if "max" in snap and snap["max"] > h.max:
+                        h.max = float(snap["max"])
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-global default registry."""
+    return _DEFAULT

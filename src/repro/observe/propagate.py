@@ -1,0 +1,95 @@
+"""Telemetry propagation across thread/process pool boundaries.
+
+A span opened inside a pool worker cannot attach to the dispatching
+thread's span stack -- for process pools it lives in a different
+interpreter entirely.  :func:`run_traced` is the worker-side half: it
+runs the task under a :meth:`Tracer.capture` sink, measures wall/CPU
+time, and snapshots what the task added to the worker's metrics
+registry.  The resulting :class:`TaskTelemetry` is a plain picklable
+object that travels back with the task's result; the parent calls
+:func:`absorb` to stitch the worker's span trees under the dispatching
+span and -- only when the task ran in *another process* -- fold the
+metrics delta into the parent registry (same-process workers already
+share it, so merging again would double count).
+
+Queue-wait attribution relies on ``time.perf_counter`` being a
+system-wide clock (CLOCK_MONOTONIC on Linux), so a submit stamp taken in
+the parent is comparable with the start stamp taken in the worker.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.observe.metrics import metrics
+from repro.observe.tracer import export_spans, get_tracer
+
+__all__ = ["TaskTelemetry", "absorb", "run_traced"]
+
+
+@dataclass
+class TaskTelemetry:
+    """What one pool task reports back to the dispatching thread."""
+
+    pid: int
+    t_start: float  # perf_counter stamp when the task began executing
+    wall_s: float
+    cpu_s: float
+    spans: list = field(default_factory=list)  # exported span dicts
+    metrics: dict = field(default_factory=dict)  # registry diff of this task
+
+
+def run_traced(fn, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)`` capturing its telemetry.
+
+    Returns ``(result, TaskTelemetry)``.  Module-level so process-pool
+    submissions can pickle it: ``pool.submit(run_traced, fn, *job)``.
+    Exceptions propagate unchanged (their telemetry is discarded -- the
+    caller's retry path re-runs the task anyway).
+    """
+    tracer = get_tracer()
+    reg = metrics()
+    before = reg.snapshot()
+    t_start = time.perf_counter()
+    c0 = time.process_time()
+    if tracer.enabled:
+        with tracer.capture() as sink:
+            result = fn(*args, **kwargs)
+        spans = export_spans(sink)
+    else:
+        result = fn(*args, **kwargs)
+        spans = []
+    wall = time.perf_counter() - t_start
+    cpu = time.process_time() - c0
+    return result, TaskTelemetry(
+        pid=os.getpid(),
+        t_start=t_start,
+        wall_s=wall,
+        cpu_s=cpu,
+        spans=spans,
+        metrics=reg.diff(before),
+    )
+
+
+def absorb(parent_span, telem: TaskTelemetry, label: str = "task",
+           t_submit: float | None = None, **attrs) -> float | None:
+    """Stitch one task's telemetry under ``parent_span``.
+
+    Appends a ``label`` child span carrying the task's wall/CPU time,
+    adopts the worker's captured span trees beneath it, and merges the
+    metrics delta into this process's registry when the task ran in a
+    different process.  Returns the queue wait (seconds between
+    ``t_submit`` and the task starting to execute), or None when no
+    submit stamp was given.
+    """
+    sp = parent_span.child(label, wall_s=telem.wall_s, cpu_s=telem.cpu_s, **attrs)
+    sp.adopt(telem.spans)
+    wait = None
+    if t_submit is not None:
+        wait = max(0.0, telem.t_start - t_submit)
+        sp.set(queue_wait_s=round(wait, 6))
+    if telem.metrics and telem.pid != os.getpid():
+        metrics().merge(telem.metrics)
+    return wait

@@ -1,0 +1,413 @@
+"""Nested tracing spans with wall/CPU time and byte counters.
+
+A :class:`Span` measures one pipeline stage; spans nest per thread, so a
+``compress`` span naturally contains ``log-transform`` and ``quantize``
+children.  Finished root spans land in a thread-safe in-memory buffer on
+the owning :class:`Tracer` and can be exported as plain dicts
+(:func:`export_spans`), JSON, or a rendered tree with per-stage
+percentages (:func:`render_spans`).
+
+Tracing is on by default and controlled by the ``REPRO_TRACE``
+environment variable (``off``/``0``/``false``/``no`` disable it) or
+:func:`enable_tracing` at runtime.  When disabled, :func:`span` returns a
+shared no-op span so instrumented code pays only an attribute check.
+
+Worker processes and threads cannot push onto the dispatching thread's
+stack; they record into a :meth:`Tracer.capture` sink instead, ship the
+exported dicts across the pool boundary, and the parent re-attaches them
+with :meth:`Span.adopt` (see :mod:`repro.observe.propagate`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "current_span",
+    "enable_tracing",
+    "export_spans",
+    "get_tracer",
+    "render_spans",
+    "span",
+    "spans_from_dicts",
+    "tracing_enabled",
+]
+
+_ENV_VAR = "REPRO_TRACE"
+_OFF_VALUES = ("off", "0", "false", "no")
+
+#: Finished root spans kept per tracer; beyond this the oldest are kept
+#: and new roots are counted in ``Tracer.dropped`` instead of stored, so
+#: long-running processes cannot grow the buffer without bound.
+DEFAULT_MAX_ROOTS = 4096
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(_ENV_VAR, "on").strip().lower() not in _OFF_VALUES
+
+
+class Span:
+    """One timed pipeline stage: name, attrs, byte counters, children."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "children",
+        "wall_s",
+        "cpu_s",
+        "bytes_in",
+        "bytes_out",
+        "_tracer",
+        "_t0",
+        "_c0",
+    )
+
+    def __init__(self, name: str, attrs: dict | None = None) -> None:
+        self.name = name
+        self.attrs: dict = dict(attrs) if attrs else {}
+        self.children: list[Span] = []
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self._tracer: Tracer | None = None
+        self._t0 = 0.0
+        self._c0 = 0.0
+
+    # -- recording -----------------------------------------------------------
+
+    def set(self, **attrs) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def add_bytes(self, in_: int = 0, out: int = 0) -> "Span":
+        self.bytes_in += int(in_)
+        self.bytes_out += int(out)
+        return self
+
+    def child(self, name: str, wall_s: float = 0.0, cpu_s: float = 0.0, **attrs) -> "Span":
+        """Append an already-finished child span with explicit timings.
+
+        Used to record work measured elsewhere -- e.g. a chunk job whose
+        execution happened in a worker process.
+        """
+        sp = Span(name, attrs)
+        sp.wall_s = float(wall_s)
+        sp.cpu_s = float(cpu_s)
+        self.children.append(sp)
+        return sp
+
+    def adopt(self, exported) -> "Span":
+        """Re-attach spans exported by a worker (list of dicts or Spans)."""
+        if exported:
+            for item in exported:
+                self.children.append(item if isinstance(item, Span) else Span.from_dict(item))
+        return self
+
+    # -- context manager -------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        if tracer is not None:
+            tracer._push(self)
+        self._c0 = time.thread_time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall_s += time.perf_counter() - self._t0
+        self.cpu_s += time.thread_time() - self._c0
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer._pop(self)
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def child_wall_s(self) -> float:
+        return sum(c.wall_s for c in self.children)
+
+    @property
+    def self_s(self) -> float:
+        """Wall time not covered by any child span."""
+        return max(0.0, self.wall_s - self.child_wall_s)
+
+    def coverage(self) -> float:
+        """Fraction of this span's wall time covered by its children."""
+        if self.wall_s <= 0.0 or not self.children:
+            return 1.0 if not self.children else 0.0
+        return min(1.0, self.child_wall_s / self.wall_s)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        sp = cls(str(data.get("name", "?")), data.get("attrs") or {})
+        sp.wall_s = float(data.get("wall_s", 0.0))
+        sp.cpu_s = float(data.get("cpu_s", 0.0))
+        sp.bytes_in = int(data.get("bytes_in", 0))
+        sp.bytes_out = int(data.get("bytes_out", 0))
+        sp.children = [cls.from_dict(c) for c in data.get("children", ())]
+        return sp
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, wall={self.wall_s:.6f}s, children={len(self.children)})"
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+    name = ""
+    attrs: dict = {}
+    children: list = []
+    wall_s = cpu_s = 0.0
+    bytes_in = bytes_out = 0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def add_bytes(self, in_: int = 0, out: int = 0) -> "_NullSpan":
+        return self
+
+    def child(self, name: str, wall_s: float = 0.0, cpu_s: float = 0.0, **attrs) -> "_NullSpan":
+        return self
+
+    def adopt(self, exported) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Thread-safe factory and buffer for :class:`Span` trees.
+
+    Each thread keeps its own span stack, so concurrent compressions
+    trace independently.  A span finishing with an empty stack is a root:
+    it goes to the thread's active :meth:`capture` sink if one is set,
+    otherwise to the shared ``roots`` buffer (capped at ``max_roots``).
+    """
+
+    def __init__(self, enabled: bool | None = None, max_roots: int = DEFAULT_MAX_ROOTS) -> None:
+        self.enabled = _env_enabled() if enabled is None else bool(enabled)
+        self.max_roots = int(max_roots)
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._roots: list[Span] = []
+        self._tl = threading.local()
+
+    # -- span lifecycle --------------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        """A context-managed span, or the shared no-op when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        sp = Span(name, attrs)
+        sp._tracer = self
+        return sp
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._tl, "stack", None)
+        if stack is None:
+            stack = self._tl.stack = []
+        return stack
+
+    def _push(self, sp: Span) -> None:
+        self._stack().append(sp)
+
+    def _pop(self, sp: Span) -> None:
+        stack = self._stack()
+        while stack and stack[-1] is not sp:  # unwound through an exception
+            stack.pop()
+        if stack:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(sp)
+            return
+        sink = getattr(self._tl, "sink", None)
+        if sink is not None:
+            sink.append(sp)
+            return
+        with self._lock:
+            if len(self._roots) >= self.max_roots:
+                self.dropped += 1
+            else:
+                self._roots.append(sp)
+
+    def current(self) -> Span | _NullSpan:
+        """The innermost open span of this thread, or the no-op span."""
+        stack = getattr(self._tl, "stack", None)
+        return stack[-1] if stack else NULL_SPAN
+
+    # -- capture (worker isolation) ---------------------------------------------
+
+    class _Capture:
+        def __init__(self, tracer: "Tracer") -> None:
+            self._tracer = tracer
+            self.spans: list[Span] = []
+
+        def __enter__(self) -> list[Span]:
+            tl = self._tracer._tl
+            self._old_stack = getattr(tl, "stack", None)
+            self._old_sink = getattr(tl, "sink", None)
+            tl.stack = []
+            tl.sink = self.spans
+            return self.spans
+
+        def __exit__(self, *exc) -> None:
+            tl = self._tracer._tl
+            tl.stack = self._old_stack if self._old_stack is not None else []
+            tl.sink = self._old_sink
+
+    def capture(self) -> "Tracer._Capture":
+        """Divert this thread's finished root spans into a private list.
+
+        Used at process/thread-pool boundaries: the worker captures the
+        spans its task produced and ships them back to the parent, which
+        re-attaches them under the dispatching span.
+        """
+        return Tracer._Capture(self)
+
+    # -- buffer access -----------------------------------------------------------
+
+    def roots(self) -> list[Span]:
+        with self._lock:
+            return list(self._roots)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+            self.dropped = 0
+
+    def export(self) -> list[dict]:
+        return export_spans(self.roots())
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps({"version": 1, "spans": self.export()}, indent=indent)
+
+    def render(self) -> str:
+        return render_spans(self.roots())
+
+
+# -- module-level default tracer -----------------------------------------------
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global default tracer."""
+    return _TRACER
+
+
+def span(name: str, **attrs):
+    """Open a span on the default tracer: ``with span("quantize") as sp:``."""
+    return _TRACER.span(name, **attrs)
+
+
+def current_span():
+    """The innermost open span of the calling thread (no-op span if none)."""
+    if not _TRACER.enabled:
+        return NULL_SPAN
+    return _TRACER.current()
+
+
+def tracing_enabled() -> bool:
+    return _TRACER.enabled
+
+
+def enable_tracing(on: bool = True) -> None:
+    """Turn the default tracer on/off at runtime (overrides ``REPRO_TRACE``)."""
+    _TRACER.enabled = bool(on)
+
+
+# -- export / render -------------------------------------------------------------
+
+
+def export_spans(spans) -> list[dict]:
+    """Plain-dict form of a list of spans (JSON- and pickle-friendly)."""
+    return [sp.to_dict() for sp in spans]
+
+
+def spans_from_dicts(dicts) -> list[Span]:
+    return [Span.from_dict(d) for d in dicts or ()]
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:8.3f}s "
+    if s >= 1e-3:
+        return f"{s * 1e3:8.3f}ms"
+    return f"{s * 1e6:8.1f}us"
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit, scale in (("GB", 1e9), ("MB", 1e6), ("kB", 1e3)):
+        if n >= scale:
+            return f"{n / scale:.1f}{unit}"
+    return f"{n}B"
+
+
+def _label(sp: Span) -> str:
+    codec = sp.attrs.get("codec")
+    label = f"{sp.name}[{codec}]" if codec else sp.name
+    extras = [f"{k}={v}" for k, v in sp.attrs.items() if k != "codec"]
+    if sp.bytes_in:
+        extras.append(f"in {_fmt_bytes(sp.bytes_in)}")
+    if sp.bytes_out:
+        extras.append(f"out {_fmt_bytes(sp.bytes_out)}")
+    return label + (f"  ({', '.join(extras)})" if extras else "")
+
+
+def render_spans(spans) -> str:
+    """Human-readable tree with per-stage wall times and percentages.
+
+    Percentages are relative to each tree's root span, so the numbers
+    directly answer "where does the time go" for one compress/decompress.
+    """
+    lines: list[str] = []
+
+    def walk(sp: Span, root_wall: float, prefix: str, is_last: bool, depth: int) -> None:
+        pct = 100.0 * sp.wall_s / root_wall if root_wall > 0 else 0.0
+        if depth == 0:
+            head, child_prefix = "", ""
+        else:
+            head = prefix + ("└─ " if is_last else "├─ ")
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        lines.append(f"{head}{_label(sp):<52s} {_fmt_seconds(sp.wall_s)} {pct:6.1f}%")
+        for i, c in enumerate(sp.children):
+            walk(c, root_wall, child_prefix, i == len(sp.children) - 1, depth + 1)
+
+    for root in spans:
+        walk(root, root.wall_s, "", True, 0)
+        if root.children:
+            lines.append(
+                f"   stage coverage: {100.0 * root.coverage():.1f}% of root span "
+                f"({_fmt_seconds(root.self_s).strip()} untraced)"
+            )
+    return "\n".join(lines)

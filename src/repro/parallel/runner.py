@@ -20,6 +20,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.compressors.base import Compressor, ErrorBound
+from repro.observe.metrics import metrics
+from repro.observe.propagate import run_traced
+from repro.observe.tracer import span, spans_from_dicts
 from repro.parallel.comm import FakeComm, run_spmd
 
 __all__ = [
@@ -87,15 +90,20 @@ def atomic_write_bytes(
     tmp = path + ".tmp"
     for attempt in range(retries + 1):
         try:
+            t0 = time.perf_counter()
             with open(tmp, "wb") as fh:
                 fh.write(blob)
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, path)
+            reg = metrics()
+            reg.counter("io.write_s").inc(time.perf_counter() - t0)
+            reg.counter("io.bytes_written").inc(len(blob))
             return
         except OSError:
             if attempt == retries:
                 raise
+            metrics().counter("io.write_retries").inc()
             _sleep(backoff_s * 2**attempt)
 
 
@@ -134,19 +142,34 @@ def dump_file_per_process(
         )
     os.makedirs(out_dir, exist_ok=True)
 
-    def rank_main(comm: FakeComm) -> RankTiming:
-        rank = comm.Get_rank()
+    def rank_work(rank: int) -> RankTiming:
         shard = shards[rank]
-        t0 = time.perf_counter()
-        blob = compressor.compress(shard, bound)
-        t1 = time.perf_counter()
-        atomic_write_bytes(
-            _rank_path(out_dir, rank), blob, retries=io_retries, backoff_s=io_backoff_s
-        )
-        t2 = time.perf_counter()
+        with span("rank", rank=rank) as sp:
+            t0 = time.perf_counter()
+            blob = compressor.compress(shard, bound)
+            t1 = time.perf_counter()
+            with span("write-file"):
+                atomic_write_bytes(
+                    _rank_path(out_dir, rank), blob,
+                    retries=io_retries, backoff_s=io_backoff_s,
+                )
+            t2 = time.perf_counter()
+            sp.add_bytes(in_=shard.nbytes, out=len(blob))
         return RankTiming(rank, t1 - t0, t2 - t1, shard.nbytes, len(blob))
 
-    return DumpSummary(tuple(run_spmd(len(shards), rank_main)))
+    def rank_main(comm: FakeComm):
+        # Ranks are threads: capture each rank's span tree and hand it to
+        # the dispatching thread, which stitches all of them under one
+        # ``dump`` span (see repro.observe.propagate).
+        return run_traced(rank_work, comm.Get_rank())
+
+    with span("dump", ranks=len(shards)) as root:
+        results = run_spmd(len(shards), rank_main)
+        timings = []
+        for timing, telem in results:
+            timings.append(timing)
+            root.adopt(spans_from_dicts(telem.spans))
+    return DumpSummary(tuple(timings))
 
 
 def load_file_per_process(
@@ -172,21 +195,34 @@ def load_file_per_process(
     if nranks <= 0:
         raise ValueError("nranks must be positive")
 
-    def rank_main(comm: FakeComm):
-        rank = comm.Get_rank()
-        t0 = time.perf_counter()
-        with open(_rank_path(out_dir, rank), "rb") as fh:
-            blob = fh.read()
-        t1 = time.perf_counter()
-        if tolerate_corruption:
-            shard, report = recover_array(blob, fill)
-        else:
-            shard, report = decompress(blob), None
-        t2 = time.perf_counter()
-        nbytes = shard.nbytes if shard is not None else 0
+    def rank_work(rank: int):
+        with span("rank", rank=rank) as sp:
+            t0 = time.perf_counter()
+            with span("read-file"):
+                with open(_rank_path(out_dir, rank), "rb") as fh:
+                    blob = fh.read()
+            reg = metrics()
+            t1 = time.perf_counter()
+            reg.counter("io.read_s").inc(t1 - t0)
+            reg.counter("io.bytes_read").inc(len(blob))
+            if tolerate_corruption:
+                shard, report = recover_array(blob, fill)
+            else:
+                shard, report = decompress(blob), None
+            t2 = time.perf_counter()
+            nbytes = shard.nbytes if shard is not None else 0
+            sp.add_bytes(in_=len(blob), out=nbytes)
         return shard, RankTiming(rank, t2 - t1, t1 - t0, len(blob), nbytes), report
 
-    results = run_spmd(nranks, rank_main)
+    def rank_main(comm: FakeComm):
+        return run_traced(rank_work, comm.Get_rank())
+
+    with span("load", ranks=nranks) as root:
+        traced = run_spmd(nranks, rank_main)
+        results = []
+        for result, telem in traced:
+            results.append(result)
+            root.adopt(spans_from_dicts(telem.spans))
     shards = [r[0] for r in results]
     summary = DumpSummary(tuple(r[1] for r in results))
     if tolerate_corruption:

@@ -1,4 +1,4 @@
-"""One-call compression quality reports.
+"""One-call compression quality and stream-statistics reports.
 
 ``quality_report(original, blob)`` decompresses a stream, pulls the codec
 and its native bound out of the container, and assembles every metric the
@@ -6,10 +6,18 @@ evaluation uses -- ratio, bit-rate, PSNR flavours, point-wise error
 statistics, error-distribution shape.  The CLI's ``--report`` flag and the
 examples use it; it is also the quickest way for a downstream user to
 judge "what did this setting actually do to my data".
+
+``build_report(blob)`` needs no original: it decodes the stream once and
+returns a :class:`StreamStats` describing it -- codec, shape, per-section
+sizes, chunk count -- together with the decode-side telemetry snapshot
+(CRC verification time, container decode time, chunk counters) isolated
+via :meth:`repro.observe.MetricsRegistry.diff`.  ``repro-compress stats``
+and the experiment scripts share this code path.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -18,8 +26,9 @@ from repro.encoding.container import Container
 from repro.metrics import bit_rate, compression_ratio, psnr, relative_psnr
 from repro.metrics.distribution import ErrorDistribution, error_distribution
 from repro.metrics.error import ErrorStats, bounded_fraction
+from repro.observe.metrics import metrics as _metrics
 
-__all__ = ["QualityReport", "quality_report"]
+__all__ = ["QualityReport", "StreamStats", "build_report", "quality_report"]
 
 #: Container keys holding each codec's native bound, with its kind.
 _BOUND_KEYS = {
@@ -73,6 +82,100 @@ class QualityReport:
                 f"budget fill {self.distribution.fill:.2f})"
             )
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """What one decode of a stream looked like, no original data needed.
+
+    ``metrics`` is the decode-side registry diff: only what *this* decode
+    moved -- ``crc.verify_s``, ``container.decode_s``, chunk counters,
+    transform counters -- not process-lifetime totals.
+    """
+
+    codec: str
+    version: int
+    nbytes: int
+    shape: tuple[int, ...]
+    dtype: str
+    decoded_nbytes: int
+    ratio: float
+    sections: dict[str, int]
+    n_chunks: int | None
+    inner_codec: str | None
+    decode_s: float
+    crc_verify_s: float
+    metrics: dict[str, dict]
+
+    def format(self) -> str:
+        lines = [
+            f"codec:         {self.codec} (v{self.version} container)",
+            f"shape:         {self.shape} {self.dtype}",
+            f"size:          {self.nbytes} -> {self.decoded_nbytes} B"
+            f"  ({self.ratio:.2f}x)",
+        ]
+        if self.n_chunks is not None:
+            inner = f" of {self.inner_codec}" if self.inner_codec else ""
+            lines.append(f"chunks:        {self.n_chunks}{inner}")
+        lines.append(
+            f"decode:        {self.decode_s * 1e3:.3f} ms total, "
+            f"CRC verification {self.crc_verify_s * 1e3:.3f} ms"
+        )
+        lines.append("sections:")
+        for key, size in self.sections.items():
+            lines.append(f"  {key:14s} {size:12d} B")
+        moved = {k: v for k, v in self.metrics.items() if k not in self.sections}
+        if moved:
+            lines.append("decode metrics:")
+            for name in sorted(moved):
+                snap = moved[name]
+                if snap["type"] == "histogram":
+                    lines.append(
+                        f"  {name:28s} n={snap['n']} mean={snap['mean']:.6g}"
+                    )
+                else:
+                    lines.append(f"  {name:28s} {snap['value']:.6g}")
+        return "\n".join(lines)
+
+
+def build_report(blob: bytes) -> StreamStats:
+    """Decode ``blob`` once and describe the stream + the decode's cost.
+
+    The metrics snapshot is diffed around the decode, so concurrent work
+    in other threads can leak into it; for exact isolation call this from
+    a quiet process (the ``repro-compress stats`` command is one).
+    """
+    from repro import decompress
+
+    reg = _metrics()
+    before = reg.snapshot()
+    t0 = time.perf_counter()
+    recon = decompress(blob)
+    decode_s = time.perf_counter() - t0
+    delta = reg.diff(before)
+
+    box = Container.from_bytes(blob, verify_checksums=False)
+    n_chunks = inner_codec = None
+    if box.codec == "CHUNKED":
+        n_chunks = box.get_u64("n_chunks")
+        if "inner_codec" in box:
+            inner_codec = box.get_str("inner_codec")
+    crc = delta.get("crc.verify_s")
+    return StreamStats(
+        codec=box.codec,
+        version=box.version,
+        nbytes=len(blob),
+        shape=recon.shape,
+        dtype=recon.dtype.name,
+        decoded_nbytes=recon.nbytes,
+        ratio=compression_ratio(recon.nbytes, len(blob)),
+        sections={key: len(box.get(key)) for key in box.keys()},
+        n_chunks=n_chunks,
+        inner_codec=inner_codec,
+        decode_s=decode_s,
+        crc_verify_s=float(crc["value"]) if crc else 0.0,
+        metrics=delta,
+    )
 
 
 def quality_report(original: np.ndarray, blob: bytes) -> QualityReport:

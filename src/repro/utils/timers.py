@@ -1,8 +1,15 @@
-"""Wall-clock timing helpers used by the rate experiments (Table III, Fig 3)."""
+"""Wall-clock timing helpers used by the rate experiments (Table III, Fig 3).
+
+``Timer`` is kept for backward compatibility as a thin wrapper over a
+:class:`repro.observe.Span`: the span does the measuring, ``Timer`` adds
+the accumulate-across-entries surface the experiment harness uses.  New
+code should open spans directly (``with repro.observe.span("stage"):``)
+so the measurement lands in the traced pipeline breakdown.
+"""
 
 from __future__ import annotations
 
-import time
+from repro.observe.tracer import Span
 
 __all__ = ["Timer"]
 
@@ -17,21 +24,38 @@ class Timer:
     True
     """
 
-    def __init__(self) -> None:
-        self.seconds = 0.0
+    def __init__(self, name: str = "timer") -> None:
+        #: The measuring span; detached from any tracer, so Timers never
+        #: pollute the global span buffer however hot the loop.
+        self.span = Span(name)
         self.entries = 0
-        self._t0 = 0.0
+
+    @property
+    def seconds(self) -> float:
+        return self.span.wall_s
+
+    @seconds.setter
+    def seconds(self, value: float) -> None:
+        self.span.wall_s = float(value)
+
+    @property
+    def cpu_seconds(self) -> float:
+        return self.span.cpu_s
 
     def __enter__(self) -> "Timer":
-        self._t0 = time.perf_counter()
+        self.span.__enter__()
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.seconds += time.perf_counter() - self._t0
+    def __exit__(self, exc_type=None, exc=None, tb=None) -> None:
+        self.span.__exit__(exc_type, exc, tb)
         self.entries += 1
 
     def rate_mbs(self, nbytes: int) -> float:
-        """Throughput in MB/s for ``nbytes`` processed over the total time."""
+        """Throughput in MB/s over the total time (0.0 when nothing ran).
+
+        Returning 0.0 -- not ``inf`` -- for an empty timer keeps JSON
+        exports free of non-finite values.
+        """
         if self.seconds <= 0:
-            return float("inf")
+            return 0.0
         return nbytes / self.seconds / 1e6

@@ -1,0 +1,112 @@
+"""Counters, gauges, histograms; snapshot / diff / merge semantics."""
+
+import threading
+
+import pytest
+
+from repro.observe.metrics import MetricsRegistry, metrics
+
+
+@pytest.fixture()
+def reg() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestMetricTypes:
+    def test_counter_accumulates(self, reg):
+        c = reg.counter("bytes")
+        c.inc(10)
+        c.inc(2.5)
+        assert c.value == 12.5
+        assert reg.counter("bytes") is c  # get-or-create
+
+    def test_gauge_keeps_last(self, reg):
+        g = reg.gauge("workers")
+        g.set(4)
+        g.set(2)
+        assert g.value == 2.0
+
+    def test_histogram_summary(self, reg):
+        h = reg.histogram("exec_s")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.n == 3 and h.total == 6.0
+        assert h.mean == 2.0
+        assert (h.min, h.max) == (1.0, 3.0)
+
+    def test_type_conflict_raises(self, reg):
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_thread_safe_counting(self, reg):
+        c = reg.counter("n")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestSnapshotDiffMerge:
+    def test_snapshot_is_plain_dicts(self, reg):
+        reg.counter("c").inc(3)
+        reg.histogram("h").observe(1.5)
+        snap = reg.snapshot()
+        assert snap["c"] == {"type": "counter", "value": 3.0}
+        assert snap["h"]["n"] == 1 and snap["h"]["min"] == 1.5
+
+    def test_diff_reports_only_movement(self, reg):
+        reg.counter("moved").inc(1)
+        reg.counter("still").inc(5)
+        before = reg.snapshot()
+        reg.counter("moved").inc(2)
+        reg.histogram("h").observe(0.5)
+        delta = reg.diff(before)
+        assert delta["moved"]["value"] == 2.0
+        assert "still" not in delta
+        assert delta["h"]["n"] == 1 and delta["h"]["total"] == 0.5
+
+    def test_merge_folds_worker_delta(self, reg):
+        reg.counter("c").inc(1)
+        reg.histogram("h").observe(2.0)
+        reg.merge(
+            {
+                "c": {"type": "counter", "value": 4.0},
+                "h": {"type": "histogram", "n": 2, "total": 10.0, "min": 1.0, "max": 9.0},
+                "g": {"type": "gauge", "value": 7.0},
+            }
+        )
+        assert reg.counter("c").value == 5.0
+        h = reg.histogram("h")
+        assert h.n == 3 and h.total == 12.0
+        assert (h.min, h.max) == (1.0, 9.0)
+        assert reg.gauge("g").value == 7.0
+
+    def test_merge_none_is_noop(self, reg):
+        reg.merge(None)
+        assert reg.names() == []
+
+    def test_diff_then_merge_roundtrips(self, reg):
+        other = MetricsRegistry()
+        before = reg.snapshot()
+        reg.counter("c").inc(3)
+        reg.histogram("h").observe(1.0)
+        other.merge(reg.diff(before))
+        assert other.snapshot()["c"]["value"] == 3.0
+        assert other.snapshot()["h"]["n"] == 1
+
+    def test_reset(self, reg):
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.names() == []
+
+
+def test_global_registry_is_shared():
+    assert metrics() is metrics()

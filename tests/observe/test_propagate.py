@@ -1,0 +1,159 @@
+"""Telemetry across pool boundaries: run_traced, absorb, chunked pipeline."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import RelativeBound
+from repro.core.chunked import ChunkedCompressor
+from repro.observe import (
+    Span,
+    TaskTelemetry,
+    absorb,
+    enable_tracing,
+    get_tracer,
+    metrics,
+    run_traced,
+    tracing_enabled,
+)
+
+
+@pytest.fixture()
+def traced():
+    """Tracing on with a clean buffer; restores the prior state afterwards."""
+    tracer = get_tracer()
+    was = tracer.enabled
+    enable_tracing(True)
+    tracer.clear()
+    yield tracer
+    tracer.clear()
+    enable_tracing(was)
+
+
+def _task(n: int):
+    from repro.observe import span
+
+    with span("work", n=n):
+        pass
+    metrics().counter("test.propagate.calls").inc()
+    return n * 2
+
+
+class TestRunTraced:
+    def test_result_and_telemetry(self, traced):
+        result, telem = run_traced(_task, 21)
+        assert result == 42
+        assert isinstance(telem, TaskTelemetry)
+        assert telem.pid == os.getpid()
+        assert telem.wall_s >= 0 and telem.cpu_s >= 0
+        assert [sp["name"] for sp in telem.spans] == ["work"]
+        assert telem.metrics["test.propagate.calls"]["value"] == 1.0
+        # captured spans must NOT leak into the shared buffer
+        assert traced.roots() == []
+
+    def test_disabled_tracer_still_measures(self, traced):
+        enable_tracing(False)
+        result, telem = run_traced(_task, 1)
+        assert result == 2
+        assert telem.spans == []
+        assert telem.metrics["test.propagate.calls"]["value"] == 1.0
+
+    def test_exception_propagates(self, traced):
+        def boom():
+            raise ValueError("no")
+
+        with pytest.raises(ValueError):
+            run_traced(boom)
+
+
+class TestAbsorb:
+    def test_stitches_spans_and_queue_wait(self, traced):
+        _, telem = run_traced(_task, 3)
+        parent = Span("dispatch")
+        wait = absorb(parent, telem, label="chunk", t_submit=telem.t_start - 0.25, index=7)
+        (child,) = parent.children
+        assert child.name == "chunk"
+        assert child.attrs["index"] == 7
+        assert child.attrs["queue_wait_s"] == pytest.approx(0.25, abs=1e-3)
+        assert wait == pytest.approx(0.25, abs=1e-3)
+        assert [c.name for c in child.children] == ["work"]
+
+    def test_same_pid_metrics_not_double_counted(self, traced):
+        # Thread-pool workers share the parent registry: the counter was
+        # already incremented once by the task itself; absorb must not
+        # merge the delta a second time.
+        before = metrics().snapshot()
+        _, telem = run_traced(_task, 1)
+        absorb(Span("dispatch"), telem)
+        delta = metrics().diff(before)
+        assert delta["test.propagate.calls"]["value"] == 1.0
+
+    def test_foreign_pid_metrics_merged(self, traced):
+        before = metrics().snapshot()
+        telem = TaskTelemetry(
+            pid=os.getpid() + 1, t_start=0.0, wall_s=0.1, cpu_s=0.1,
+            metrics={"test.propagate.remote": {"type": "counter", "value": 5.0}},
+        )
+        absorb(Span("dispatch"), telem)
+        delta = metrics().diff(before)
+        assert delta["test.propagate.remote"]["value"] == 5.0
+
+
+@pytest.fixture()
+def field() -> np.ndarray:
+    rng = np.random.default_rng(7)
+    data = rng.lognormal(0.0, 1.0, size=4096).astype(np.float32)
+    return data * rng.choice([-1.0, 1.0], size=data.shape).astype(np.float32)
+
+
+class TestChunkedPropagation:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_pool_roundtrip_stitches_chunk_spans(self, traced, field, executor):
+        comp = ChunkedCompressor(
+            "SZ_T", chunk_bytes=4096, workers=2, executor=executor
+        )
+        blob = comp.compress(field, RelativeBound(1e-3))
+        roots = [sp for sp in traced.roots() if sp.name == "compress"]
+        assert roots, "chunked compress must produce a root span"
+        root = roots[-1]
+        chunks = [c for c in root.children if c.name == "chunk"]
+        assert len(chunks) == comp.last_chunk_count
+        assert sorted(c.attrs["index"] for c in chunks) == list(range(len(chunks)))
+        for c in chunks:
+            assert c.attrs["queue_wait_s"] >= 0.0
+            # each chunk contains the worker's full inner-codec subtree
+            assert any(g.name == "compress" for g in c.children)
+        recon = comp.decompress(blob)
+        assert np.all(np.abs(recon - field) <= 1e-3 * np.abs(field))
+
+    def test_process_pool_merges_worker_metrics(self, traced, field):
+        before = metrics().snapshot()
+        comp = ChunkedCompressor(
+            "SZ_T", chunk_bytes=4096, workers=2, executor="process"
+        )
+        comp.compress(field, RelativeBound(1e-3))
+        delta = metrics().diff(before)
+        # container encodes happen inside the worker processes; the only
+        # way the parent registry sees them is the TaskTelemetry merge.
+        assert delta["container.encode_s"]["value"] > 0.0
+        assert delta["chunk.exec_s"]["n"] == comp.last_chunk_count
+
+    def test_serial_executor_traces_inline(self, traced, field):
+        comp = ChunkedCompressor("SZ_T", chunk_bytes=4096, executor="serial")
+        comp.compress(field, RelativeBound(1e-3))
+        root = [sp for sp in traced.roots() if sp.name == "compress"][-1]
+        chunks = [c for c in root.children if c.name == "chunk"]
+        assert len(chunks) == comp.last_chunk_count
+
+
+def test_tracing_enabled_reflects_switch():
+    tracer = get_tracer()
+    was = tracer.enabled
+    try:
+        enable_tracing(False)
+        assert not tracing_enabled()
+        enable_tracing(True)
+        assert tracing_enabled()
+    finally:
+        enable_tracing(was)

@@ -1,0 +1,169 @@
+"""Tracing spans: nesting, thread isolation, export, render."""
+
+import json
+import threading
+
+import pytest
+
+from repro.observe.tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    render_spans,
+    spans_from_dicts,
+)
+
+
+@pytest.fixture()
+def tracer() -> Tracer:
+    return Tracer(enabled=True)
+
+
+class TestSpanNesting:
+    def test_children_attach_to_enclosing_span(self, tracer):
+        with tracer.span("compress") as root:
+            with tracer.span("quantize"):
+                pass
+            with tracer.span("encode"):
+                with tracer.span("huffman"):
+                    pass
+        assert [c.name for c in root.children] == ["quantize", "encode"]
+        assert [c.name for c in root.children[1].children] == ["huffman"]
+        assert tracer.roots() == [root]
+
+    def test_timings_recorded(self, tracer):
+        with tracer.span("stage") as sp:
+            sum(range(10_000))
+        assert sp.wall_s > 0
+        assert sp.cpu_s >= 0
+        assert sp.child_wall_s == 0.0
+        assert sp.self_s == sp.wall_s
+
+    def test_attrs_and_bytes(self, tracer):
+        with tracer.span("stage", codec="SZ_T") as sp:
+            sp.set(order=1).add_bytes(in_=100, out=40)
+        assert sp.attrs == {"codec": "SZ_T", "order": 1}
+        assert (sp.bytes_in, sp.bytes_out) == (100, 40)
+
+    def test_exception_marks_span_and_unwinds(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        (root,) = tracer.roots()
+        assert root.name == "outer"
+        assert root.children[0].attrs["error"] == "RuntimeError"
+        assert tracer.current() is NULL_SPAN  # stack fully unwound
+
+    def test_current_span(self, tracer):
+        assert tracer.current() is NULL_SPAN
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+        assert tracer.current() is NULL_SPAN
+
+
+class TestDisabled:
+    def test_disabled_returns_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        sp = tracer.span("anything", codec="X")
+        assert sp is NULL_SPAN
+        with sp as inner:
+            inner.set(a=1).add_bytes(in_=5, out=5)
+        assert tracer.roots() == []
+
+    def test_env_var_disables(self, monkeypatch):
+        for value in ("off", "0", "false", "NO"):
+            monkeypatch.setenv("REPRO_TRACE", value)
+            assert Tracer().enabled is False
+        monkeypatch.setenv("REPRO_TRACE", "on")
+        assert Tracer().enabled is True
+
+
+class TestThreadIsolation:
+    def test_concurrent_threads_build_separate_trees(self, tracer):
+        n, errors = 8, []
+
+        def work(i: int) -> None:
+            try:
+                with tracer.span("root", thread=i) as root:
+                    for j in range(20):
+                        with tracer.span("stage", j=j):
+                            pass
+                assert len(root.children) == 20
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        roots = tracer.roots()
+        assert len(roots) == n
+        assert sorted(r.attrs["thread"] for r in roots) == list(range(n))
+
+    def test_max_roots_cap_counts_drops(self):
+        tracer = Tracer(enabled=True, max_roots=3)
+        for _ in range(5):
+            with tracer.span("r"):
+                pass
+        assert len(tracer.roots()) == 3
+        assert tracer.dropped == 2
+        tracer.clear()
+        assert tracer.roots() == [] and tracer.dropped == 0
+
+
+class TestCapture:
+    def test_capture_diverts_roots_from_buffer(self, tracer):
+        with tracer.capture() as captured:
+            with tracer.span("inside"):
+                pass
+        with tracer.span("outside"):
+            pass
+        assert [sp.name for sp in captured] == ["inside"]
+        assert [sp.name for sp in tracer.roots()] == ["outside"]
+
+
+class TestExport:
+    def test_dict_roundtrip(self, tracer):
+        with tracer.span("root", codec="SZ_T") as root:
+            root.add_bytes(in_=10, out=4)
+            with tracer.span("child"):
+                pass
+        (back,) = spans_from_dicts([root.to_dict()])
+        assert back.name == "root"
+        assert back.attrs == {"codec": "SZ_T"}
+        assert (back.bytes_in, back.bytes_out) == (10, 4)
+        assert back.wall_s == root.wall_s
+        assert [c.name for c in back.children] == ["child"]
+
+    def test_to_json_schema(self, tracer):
+        with tracer.span("root"):
+            pass
+        doc = json.loads(tracer.to_json())
+        assert doc["version"] == 1
+        assert doc["spans"][0]["name"] == "root"
+
+    def test_adopt_accepts_dicts_and_spans(self):
+        parent = Span("parent")
+        parent.adopt([Span("a"), {"name": "b", "wall_s": 0.5}])
+        assert [c.name for c in parent.children] == ["a", "b"]
+        assert parent.children[1].wall_s == 0.5
+
+
+class TestRender:
+    def test_tree_with_percentages_and_coverage(self):
+        root = Span("compress", {"codec": "SZ_T"})
+        root.wall_s = 1.0
+        root.child("quantize", wall_s=0.25)
+        root.child("encode", wall_s=0.70)
+        text = render_spans([root])
+        assert "compress[SZ_T]" in text
+        assert " 25.0%" in text and " 70.0%" in text
+        assert "stage coverage: 95.0%" in text
+
+    def test_empty_render(self):
+        assert render_spans([]) == ""

@@ -160,6 +160,83 @@ class TestVerifyCommand:
         assert "chunk 1" in text
 
 
+class TestStatsCommand:
+    def test_reports_chunks_sections_and_crc_time(self, stream, capsys):
+        out, _ = stream
+        capsys.readouterr()
+        assert main(["stats", out]) == 0
+        text = capsys.readouterr().out
+        assert "CHUNKED" in text
+        assert "chunks:" in text
+        assert "sections:" in text
+        assert "payload" in text  # per-section sizes listed
+        assert "CRC verification" in text
+
+    def test_garbage_exits_2(self, tmp_path, capsys):
+        bad = str(tmp_path / "garbage.rpz")
+        with open(bad, "wb") as fh:
+            fh.write(b"not a stream")
+        assert main(["stats", bad]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTraceFlags:
+    def test_compress_trace_prints_span_tree(self, field, tmp_path, capsys):
+        path, _ = field
+        out = str(tmp_path / "f.rpz")
+        assert main(["compress", path, out, "--shape", "16,16,16",
+                     "--rel-bound", "1e-2", "--trace"]) == 0
+        text = capsys.readouterr().out
+        assert "compress[SZ_T]" in text
+        assert "%" in text
+        assert "stage coverage" in text
+
+    def test_stage_coverage_at_least_95_percent(self, field, tmp_path):
+        from repro.observe import get_tracer
+
+        path, _ = field
+        out = str(tmp_path / "f.rpz")
+        assert main(["compress", path, out, "--shape", "16,16,16",
+                     "--rel-bound", "1e-2", "--trace"]) == 0
+        roots = [sp for sp in get_tracer().roots() if sp.name == "compress"]
+        assert roots
+        assert roots[0].coverage() >= 0.95
+
+    def test_trace_json_schema(self, field, tmp_path):
+        import json
+
+        path, _ = field
+        out = str(tmp_path / "f.rpz")
+        trace = str(tmp_path / "trace.json")
+        assert main(["compress", path, out, "--shape", "16,16,16",
+                     "--rel-bound", "1e-2", "--trace-json", trace]) == 0
+        doc = json.load(open(trace))
+        assert doc["version"] == 1
+        names = [sp["name"] for sp in doc["spans"]]
+        assert "compress" in names
+        comp = doc["spans"][names.index("compress")]
+        assert comp["attrs"]["codec"] == "SZ_T"
+        assert comp["wall_s"] > 0
+        assert any(c["name"] == "log-transform" for c in comp["children"])
+
+    def test_decompress_trace(self, stream, tmp_path, capsys):
+        out, _ = stream
+        capsys.readouterr()
+        assert main(["decompress", out, str(tmp_path / "b.npy"), "--trace"]) == 0
+        text = capsys.readouterr().out
+        assert "decompress[CHUNKED]" in text
+
+    def test_trace_json_written_even_on_failure(self, tmp_path):
+        import json
+
+        bad = str(tmp_path / "garbage.rpz")
+        with open(bad, "wb") as fh:
+            fh.write(b"not a stream")
+        trace = str(tmp_path / "trace.json")
+        assert main(["stats", bad, "--trace-json", trace]) == 2
+        assert json.load(open(trace))["version"] == 1
+
+
 class TestFaultsCommand:
     def test_bit_flip_then_tolerant_decompress(self, stream, tmp_path, capsys):
         out, data = stream

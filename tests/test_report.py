@@ -1,4 +1,4 @@
-"""Quality-report assembly."""
+"""Quality-report and stream-statistics assembly."""
 
 import math
 
@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro import AbsoluteBound, RelativeBound, compress
-from repro.report import quality_report
+from repro.report import build_report, quality_report
 
 
 class TestQualityReport:
@@ -64,3 +64,38 @@ class TestQualityReport:
               "--rel-bound", "1e-2", "--report"])
         out = capsys.readouterr().out
         assert "error shape" in out and "PSNR" in out
+
+
+class TestStreamStats:
+    def test_plain_stream(self, smooth_positive_3d):
+        blob = compress(smooth_positive_3d, RelativeBound(1e-2))
+        stats = build_report(blob)
+        assert stats.codec == "SZ_T"
+        assert stats.nbytes == len(blob)
+        assert stats.shape == smooth_positive_3d.shape
+        assert stats.dtype == smooth_positive_3d.dtype.name
+        assert stats.decoded_nbytes == smooth_positive_3d.nbytes
+        assert stats.n_chunks is None
+        assert stats.decode_s > 0
+        assert stats.crc_verify_s >= 0
+        assert sum(stats.sections.values()) <= len(blob)
+        assert "inner" in stats.sections
+
+    def test_chunked_stream(self, smooth_positive_3d):
+        from repro.core.chunked import ChunkedCompressor
+
+        comp = ChunkedCompressor("SZ_T", chunk_bytes=4096, executor="serial")
+        blob = comp.compress(smooth_positive_3d, RelativeBound(1e-2))
+        stats = build_report(blob)
+        assert stats.codec == "CHUNKED"
+        assert stats.inner_codec == "SZ_T"
+        assert stats.n_chunks == comp.last_chunk_count
+        assert stats.crc_verify_s > 0
+        assert stats.metrics["chunks.decompressed"]["value"] == comp.last_chunk_count
+
+    def test_format_lists_sections_and_crc(self, smooth_positive_3d):
+        blob = compress(smooth_positive_3d, RelativeBound(1e-2))
+        text = build_report(blob).format()
+        assert "CRC verification" in text
+        assert "sections:" in text
+        assert "inner" in text

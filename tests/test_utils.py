@@ -93,5 +93,14 @@ class TestTimer:
         t.seconds = 2.0
         assert t.rate_mbs(4_000_000) == pytest.approx(2.0)
 
-    def test_rate_of_zero_time(self):
-        assert Timer().rate_mbs(100) == float("inf")
+    def test_rate_of_zero_time_is_finite(self):
+        # 0.0, not inf: JSON exports must never contain non-finite values.
+        assert Timer().rate_mbs(100) == 0.0
+
+    def test_is_a_span_underneath(self):
+        t = Timer("stage")
+        with t:
+            pass
+        assert t.span.name == "stage"
+        assert t.span.wall_s == t.seconds
+        assert t.cpu_seconds >= 0.0
