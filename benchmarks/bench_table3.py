@@ -71,3 +71,13 @@ def test_sz_t_roundtrip_traced(benchmark, nyx_vx):
     benchmark.extra_info["nbytes"] = nyx_vx.nbytes
     benchmark.extra_info["out_bytes"] = len(blob)
     benchmark.extra_info["spans"] = spans
+
+    # Bound conformance travels with the perf numbers so the regression
+    # gate (scripts/check_bench_regression.py) can refuse any run whose
+    # max point-wise relative error crept past the bound.
+    from repro.observe.audit import audit_stream
+
+    audit = audit_stream(blob, nyx_vx, check_theorem3=False)
+    benchmark.extra_info["rel_bound"] = BOUND
+    benchmark.extra_info["max_rel_err"] = audit.max_rel
+    benchmark.extra_info["audit_ok"] = audit.ok

@@ -1,0 +1,241 @@
+#!/usr/bin/env python
+"""Gate CI on benchmark regressions against committed baselines.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        [--fresh-dir .] [--baseline-dir benchmarks/baselines] \
+        [--throughput-tolerance 0.10] [--ratio-tolerance 0.02] \
+        [--update-baselines]
+
+Compares every fresh ``BENCH_<name>.json`` (written by the benchmark
+suite, see ``benchmarks/_emit.py``) against the committed baseline of the
+same name and fails (exit 1) on:
+
+* **throughput** -- a test's MB/s dropping more than the tolerance
+  (default 10%).  With three or more comparable tests the per-test
+  fresh/baseline factors are first normalized by their median, which
+  cancels a uniform machine-speed difference between the baseline host
+  and the CI runner and isolates *relative* regressions (one test
+  getting slower than its peers).  With fewer tests the factors are
+  compared absolutely -- noisier, so prefer wider tolerances there.
+* **compression ratio** -- deterministic, so compared absolutely: a drop
+  beyond the tolerance (default 2%) fails; improvements always pass.
+* **bound conformance** -- any fresh record carrying both
+  ``max_rel_err`` and ``rel_bound`` with ``max_rel_err > rel_bound``
+  fails unconditionally: the paper's guarantee is not a tolerance.
+* **coverage** -- a baseline test missing from the fresh report, or a
+  baseline file with no fresh counterpart (a silently skipped benchmark
+  reads as "no regression" otherwise).
+
+Fresh tests without a baseline are reported but do not fail; run with
+``--update-baselines`` to copy the fresh reports over the baselines
+(the intended escape hatch after a deliberate perf change -- commit the
+result; see CONTRIBUTING.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import shutil
+import sys
+
+DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
+
+#: Bench-record keys that are never compared as metrics.
+_META_KEYS = {"test", "group", "rounds", "spans"}
+
+
+def load_report(path: str) -> dict[str, dict]:
+    """``{test name: record}`` from one BENCH_*.json."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("version") != 1:
+        raise ValueError(f"{path}: unsupported report version {payload.get('version')!r}")
+    return {rec["test"]: rec for rec in payload.get("records", []) if "test" in rec}
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def check_throughput(
+    base: dict[str, dict], fresh: dict[str, dict], tolerance: float
+) -> tuple[list[str], list[str]]:
+    """(failures, notes) for the MB/s comparison."""
+    factors: dict[str, float] = {}
+    for test, b in base.items():
+        f = fresh.get(test)
+        if f is None:
+            continue
+        b_tp, f_tp = b.get("MB_per_s"), f.get("MB_per_s")
+        if isinstance(b_tp, (int, float)) and isinstance(f_tp, (int, float)) and b_tp > 0:
+            factors[test] = f_tp / b_tp
+    if not factors:
+        return [], ["no comparable throughput records"]
+    notes, failures = [], []
+    if len(factors) >= 3:
+        norm = _median(list(factors.values()))
+        if norm <= 0:
+            return [f"median throughput factor is {norm:.3f} (all tests collapsed)"], []
+        notes.append(
+            f"machine-speed normalization: median fresh/baseline factor {norm:.3f} "
+            f"over {len(factors)} tests"
+        )
+    else:
+        norm = 1.0
+        notes.append(
+            f"only {len(factors)} comparable test(s): absolute throughput "
+            "comparison (no machine-speed normalization)"
+        )
+    for test, factor in sorted(factors.items()):
+        relative = factor / norm
+        if relative < 1.0 - tolerance:
+            failures.append(
+                f"throughput regression in {test}: {relative:.3f}x of baseline "
+                f"(tolerance {1.0 - tolerance:.2f}x"
+                + (", median-normalized)" if norm != 1.0 else ")")
+            )
+    return failures, notes
+
+
+def check_ratio(
+    base: dict[str, dict], fresh: dict[str, dict], tolerance: float
+) -> list[str]:
+    failures = []
+    for test, b in sorted(base.items()):
+        f = fresh.get(test)
+        if f is None:
+            continue
+        b_r, f_r = b.get("ratio"), f.get("ratio")
+        if isinstance(b_r, (int, float)) and isinstance(f_r, (int, float)) and b_r > 0:
+            if f_r < b_r * (1.0 - tolerance):
+                failures.append(
+                    f"compression-ratio regression in {test}: "
+                    f"{b_r:.3f} -> {f_r:.3f} (tolerance {tolerance * 100:.0f}%)"
+                )
+    return failures
+
+
+def check_bounds(fresh: dict[str, dict]) -> list[str]:
+    """Bound violations in fresh records are failures regardless of baseline."""
+    failures = []
+    for test, rec in sorted(fresh.items()):
+        max_rel, bound = rec.get("max_rel_err"), rec.get("rel_bound")
+        if isinstance(max_rel, (int, float)) and isinstance(bound, (int, float)):
+            if max_rel > bound:
+                failures.append(
+                    f"bound violation in {test}: max rel error {max_rel:.3e} "
+                    f"exceeds the relative bound {bound:.3e}"
+                )
+    return failures
+
+
+def check_coverage(base: dict[str, dict], fresh: dict[str, dict]) -> tuple[list[str], list[str]]:
+    missing = sorted(set(base) - set(fresh))
+    new = sorted(set(fresh) - set(base))
+    failures = [f"baseline test {t!r} missing from the fresh report" for t in missing]
+    notes = [
+        f"new test {t!r} has no baseline (run --update-baselines to record one)"
+        for t in new
+    ]
+    return failures, notes
+
+
+def compare_file(
+    baseline_path: str, fresh_path: str, throughput_tol: float, ratio_tol: float
+) -> tuple[list[str], list[str]]:
+    base = load_report(baseline_path)
+    fresh = load_report(fresh_path)
+    failures: list[str] = []
+    notes: list[str] = []
+    for fails, extra in (
+        check_throughput(base, fresh, throughput_tol),
+        check_coverage(base, fresh),
+    ):
+        failures.extend(fails)
+        notes.extend(extra)
+    failures.extend(check_ratio(base, fresh, ratio_tol))
+    failures.extend(check_bounds(fresh))
+    return failures, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh-dir", default=".",
+                        help="directory holding the freshly generated "
+                             "BENCH_*.json reports (default: repo root)")
+    parser.add_argument("--baseline-dir", default=DEFAULT_BASELINE_DIR,
+                        help=f"committed baselines (default {DEFAULT_BASELINE_DIR})")
+    parser.add_argument("--throughput-tolerance", type=float, default=0.10,
+                        help="max tolerated throughput drop after median "
+                             "normalization (default 0.10 = 10%%)")
+    parser.add_argument("--ratio-tolerance", type=float, default=0.02,
+                        help="max tolerated compression-ratio drop "
+                             "(default 0.02 = 2%%)")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="copy the fresh reports over the baselines "
+                             "instead of comparing (commit the result)")
+    args = parser.parse_args(argv)
+    if not 0 < args.throughput_tolerance < 1 or not 0 < args.ratio_tolerance < 1:
+        parser.error("tolerances must be in (0, 1)")
+
+    fresh_files = sorted(glob.glob(os.path.join(args.fresh_dir, "BENCH_*.json")))
+    if args.update_baselines:
+        if not fresh_files:
+            print(f"error: no BENCH_*.json in {args.fresh_dir} to promote",
+                  file=sys.stderr)
+            return 1
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for path in fresh_files:
+            dest = os.path.join(args.baseline_dir, os.path.basename(path))
+            shutil.copyfile(path, dest)
+            print(f"baseline updated: {dest}")
+        return 0
+
+    baseline_files = sorted(glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json")))
+    if not baseline_files:
+        print(f"error: no baselines in {args.baseline_dir}; run with "
+              "--update-baselines to record them", file=sys.stderr)
+        return 1
+
+    all_failures: list[str] = []
+    for baseline_path in baseline_files:
+        name = os.path.basename(baseline_path)
+        fresh_path = os.path.join(args.fresh_dir, name)
+        print(f"== {name}")
+        if not os.path.exists(fresh_path):
+            all_failures.append(f"{name}: fresh report missing (benchmark not run?)")
+            print(f"   FAIL: no fresh report at {fresh_path}")
+            continue
+        failures, notes = compare_file(
+            baseline_path, fresh_path,
+            args.throughput_tolerance, args.ratio_tolerance,
+        )
+        for note in notes:
+            print(f"   note: {note}")
+        for failure in failures:
+            print(f"   FAIL: {failure}")
+        if not failures:
+            print("   OK")
+        all_failures.extend(f"{name}: {f}" for f in failures)
+    for name in (os.path.basename(p) for p in fresh_files):
+        if not os.path.exists(os.path.join(args.baseline_dir, name)):
+            print(f"== {name}\n   note: no baseline (run --update-baselines)")
+
+    if all_failures:
+        print(f"\nFAIL: {len(all_failures)} regression(s)", file=sys.stderr)
+        return 1
+    print("\nOK: all benchmarks within tolerance of their baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,7 +52,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="max tolerated relative overhead (default 0.05 = 5%%)")
     parser.add_argument("--repeats", type=int, default=5,
                         help="rounds per mode, best-of (default 5)")
+    parser.add_argument("--floor-s", type=float, default=0.005,
+                        help="absolute-seconds floor for the untraced baseline "
+                             "(default 0.005); a near-zero denominator would "
+                             "turn scheduler jitter into huge phantom relative "
+                             "overheads, so the ratio is taken against at "
+                             "least this much")
     args = parser.parse_args(argv)
+    if args.floor_s <= 0:
+        parser.error("--floor-s must be positive")
 
     data = make_field()
     # Warm up caches/allocators on both code paths before measuring.
@@ -67,10 +75,16 @@ def main(argv: list[str] | None = None) -> int:
     on_s = best_roundtrip_s(data, args.repeats)
     get_tracer().clear()
 
-    overhead = on_s / off_s - 1.0
+    # Guard the ratio against a near-zero baseline: on a fast machine (or a
+    # tiny field) off_s can approach timer noise, where "on/off - 1" would
+    # amplify microseconds of jitter into a spurious failure.
+    denom = max(off_s, args.floor_s)
+    overhead = on_s / denom - 1.0
+    floored = " (floored baseline)" if denom != off_s else ""
     print(f"round-trip best-of-{args.repeats}: "
           f"traced {on_s * 1e3:.2f} ms, untraced {off_s * 1e3:.2f} ms, "
-          f"overhead {overhead * 100:+.2f}% (budget {args.threshold * 100:.0f}%)")
+          f"overhead {overhead * 100:+.2f}%{floored} "
+          f"(budget {args.threshold * 100:.0f}%)")
     if overhead > args.threshold:
         print("FAIL: tracing overhead exceeds budget", file=sys.stderr)
         return 1

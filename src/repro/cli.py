@@ -194,6 +194,28 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_audit(args) -> int:
+    from repro.report import audit_report
+
+    blob = _read_blob(args.input)
+    original = None
+    if args.original is not None:
+        original = load_array(args.original, args.shape, np.dtype(args.dtype))
+    try:
+        report = audit_report(blob, original, check_theorem3=not args.no_theorem3)
+    except ValueError as exc:
+        print(f"error: {args.input}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, default=str)
+    print(f"{args.input}:")
+    print(report.format())
+    return 0 if report.ok else 2
+
+
 def _cmd_verify(args) -> int:
     from repro.integrity import verify_stream
 
@@ -273,11 +295,38 @@ def main(argv: list[str] | None = None) -> int:
     )
     stats.add_argument("input")
 
+    audit = sub.add_parser(
+        "audit",
+        help="audit a stream's error-bound conformance: per-chunk max "
+             "relative error vs the recorded bound, Lemma 2's b_a' check, "
+             "Theorem 3's cross-base index deviation (exit 0 = conformant, "
+             "2 = violated)",
+    )
+    audit.add_argument("input")
+    audit.add_argument("--original", default=None, metavar="PATH",
+                       help="original field file; enables the point-wise "
+                            "error audit and the Theorem 3 check")
+    audit.add_argument("--shape", type=_parse_shape, default=None,
+                       help="comma-separated dims for a raw binary --original")
+    audit.add_argument("--dtype", choices=["float32", "float64"], default="float32")
+    audit.add_argument("--json", default=None, metavar="PATH",
+                       help="additionally write the full audit report as JSON")
+    audit.add_argument("--no-theorem3", action="store_true",
+                       help="skip the cross-base quantization-index check")
+
     for traceable in (comp, dec, stats):
         traceable.add_argument("--trace", action="store_true",
                                help="print the pipeline span tree afterwards")
         traceable.add_argument("--trace-json", default=None, metavar="PATH",
                                help="write the span tree as JSON to PATH")
+    for exportable in (comp, dec, stats, audit):
+        exportable.add_argument(
+            "--metrics-out", choices=["openmetrics", "jsonl"], default=None,
+            help="after the command, export the metrics this run moved "
+                 "(registry diff) in the chosen format")
+        exportable.add_argument(
+            "--metrics-path", default=None, metavar="PATH",
+            help="write --metrics-out output to PATH instead of stdout")
 
     ver = sub.add_parser(
         "verify",
@@ -314,6 +363,7 @@ def main(argv: list[str] | None = None) -> int:
         "decompress": _cmd_decompress,
         "info": _cmd_info,
         "stats": _cmd_stats,
+        "audit": _cmd_audit,
         "verify": _cmd_verify,
         "faults": _cmd_faults,
     }[args.command]
@@ -323,6 +373,11 @@ def main(argv: list[str] | None = None) -> int:
 
         enable_tracing(True)
         get_tracer().clear()
+    metrics_fmt = getattr(args, "metrics_out", None)
+    if metrics_fmt:
+        from repro.observe import metrics as _registry
+
+        metrics_before = _registry().snapshot()
     try:
         return handler(args)
     except StreamError as exc:
@@ -341,6 +396,20 @@ def main(argv: list[str] | None = None) -> int:
                 rendered = tracer.render()
                 if rendered:
                     print(rendered)
+        if metrics_fmt:
+            from repro.observe import metrics_to_jsonl, to_openmetrics
+
+            delta = _registry().diff(metrics_before)
+            text = (
+                to_openmetrics(delta)
+                if metrics_fmt == "openmetrics"
+                else metrics_to_jsonl(delta)
+            )
+            if args.metrics_path:
+                with open(args.metrics_path, "w") as fh:
+                    fh.write(text)
+            else:
+                sys.stdout.write(text)
 
 
 def _entry() -> int:  # pragma: no cover - thin wrapper for console_scripts

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.encoding.container import Container, ContainerError, StreamError
+from repro.observe.events import emit as _emit_event
 from repro.observe.tracer import span as _span
 
 __all__ = [
@@ -159,6 +160,13 @@ def _traced_compress(fn):
             blob = fn(self, *args, **kwargs)
             data = args[0] if args else kwargs.get("data")
             sp.add_bytes(in_=getattr(data, "nbytes", 0), out=len(blob))
+            _emit_event(
+                "compress",
+                span=sp,
+                codec=self.name,
+                bytes_in=getattr(data, "nbytes", 0),
+                bytes_out=len(blob),
+            )
         return blob
 
     wrapper.__trace_wrapped__ = True
@@ -173,6 +181,13 @@ def _traced_decompress(fn):
         with _span("decompress", codec=self.name) as sp:
             out = fn(self, blob, *args, **kwargs)
             sp.add_bytes(in_=len(blob), out=getattr(out, "nbytes", 0))
+            _emit_event(
+                "decompress",
+                span=sp,
+                codec=self.name,
+                bytes_in=len(blob),
+                bytes_out=getattr(out, "nbytes", 0),
+            )
         return out
 
     wrapper.__trace_wrapped__ = True

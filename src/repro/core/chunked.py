@@ -38,13 +38,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.compressors.base import Compressor, ErrorBound
+from repro.compressors.base import Compressor, ErrorBound, RelativeBound
 from repro.encoding.container import (
     ChecksumError,
     Container,
     ContainerError,
     StreamError,
 )
+from repro.observe.events import emit as emit_event
 from repro.observe.metrics import metrics
 from repro.observe.propagate import absorb, run_traced
 from repro.observe.tracer import current_span, span
@@ -194,6 +195,12 @@ class ChunkedCompressor(Compressor):
         #: Chunks the most recent _map had to re-run serially after a
         #: worker/executor failure.
         self.last_retried_chunks = 0
+        #: Aggregated bound audit of the most recent compress() call,
+        #: rebuilt from the ``audit.*`` registry delta the chunk workers'
+        #: verify passes moved (and telemetry propagation merged back),
+        #: so it covers process-pool runs too.  None until a compress
+        #: with a verifying inner codec has run.
+        self.last_audit = None
 
     # -- configuration -------------------------------------------------------
 
@@ -278,9 +285,35 @@ class ChunkedCompressor(Compressor):
             reg.counter("chunks.retried").inc(len(pending))
             parent.set(retried=len(pending))
         for i in pending:
+            emit_event("chunk-retry", index=i, codec=self.name)
             with span("chunk", index=i, retried=True):
                 results[i] = fn(*jobs[i])
         return results
+
+    def _build_audit(self, before: dict, bound: ErrorBound) -> None:
+        """Rebuild the pool-wide audit aggregate from the registry delta.
+
+        Worker processes' verify passes move the ``audit.*`` counters and
+        histograms; :func:`repro.observe.run_traced` ships the deltas back
+        and :func:`absorb` merges them into this process's registry, so by
+        the time ``_map`` returns the delta since ``before`` is the whole
+        run's audit -- whichever executor ran the chunks.
+        """
+        from repro.observe.audit import AuditReport
+
+        delta = {
+            k: v
+            for k, v in metrics().diff(before).items()
+            if k.startswith("audit.")
+        }
+        if delta:
+            self.last_audit = AuditReport.from_metrics(
+                delta,
+                codec=self.name,
+                bound_value=(
+                    float(bound.value) if isinstance(bound, RelativeBound) else None
+                ),
+            )
 
     # -- chunk geometry ------------------------------------------------------
 
@@ -310,7 +343,9 @@ class ChunkedCompressor(Compressor):
         else:
             data = self._check_input(data)
             chunks = self._split(data)
+            audit_before = metrics().snapshot()
             blobs = self._map(_compress_chunk, [(inner, c, bound) for c in chunks])
+            self._build_audit(audit_before, bound)
         self.last_chunk_count = len(blobs)
         metrics().counter("chunks.compressed").inc(len(blobs))
         current_span().set(chunks=len(blobs), workers=self.workers)

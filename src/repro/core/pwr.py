@@ -133,6 +133,9 @@ class TransformedCompressor(Compressor):
                 viol = (err > br * np.abs(data.astype(np.float64))).ravel()
                 patch_idx = np.flatnonzero(viol).astype(np.uint64)
                 patch_val = data.ravel()[patch_idx.astype(np.int64)]
+                self._feed_audit(
+                    data, recon, br, err.ravel(), viol, ba, ba0, eps0, max_log
+                )
         self.last_patch_count = int(patch_idx.size)
         reg.counter("transform.patched_points").inc(self.last_patch_count)
 
@@ -150,6 +153,65 @@ class TransformedCompressor(Compressor):
             blob = box.to_bytes()
             sp.add_bytes(out=len(blob))
         return blob
+
+    def _feed_audit(
+        self,
+        data: np.ndarray,
+        recon: np.ndarray,
+        br: float,
+        err: np.ndarray,
+        viol: np.ndarray,
+        ba: float,
+        ba0: float,
+        eps0: float,
+        max_log: float,
+    ) -> None:
+        """Feed the verify pass's findings to the bound auditor.
+
+        Runs whenever verify does: the cheap ``audit.*`` registry counters
+        always move (and so cross pool boundaries with the rest of the
+        telemetry); the detailed per-chunk record additionally lands in
+        the globally installed :class:`~repro.observe.audit.BoundAuditor`,
+        if any.  Residuals are reported post-patch -- patched points are
+        stored exactly, so the stream's conformance is what's recorded.
+        """
+        from repro.observe.audit import ChunkAudit, get_auditor, record_audit_metrics
+        from repro.observe.events import emit as emit_event
+
+        lemma2_ba = ba0 - max_log * eps0
+        x = data.astype(np.float64).ravel()
+        nz = x != 0
+        rel = np.zeros_like(err)
+        rel[nz] = err[nz] / np.abs(x[nz])
+        rel[viol] = 0.0  # patched points carry no residual error
+        flat = recon.ravel()
+        audit = ChunkAudit(
+            index=None,
+            codec=self.name,
+            n=int(x.size),
+            bound_kind="rel",
+            bound_value=br,
+            max_rel=float(rel.max(initial=0.0)),
+            max_abs=float(np.where(viol, 0.0, err).max(initial=0.0)),
+            bounded_fraction=1.0,
+            violations=0,
+            zeros=int((flat == 0).sum()),
+            negatives=int((flat < 0).sum()),
+            patched=int(viol.sum()),
+            effective_ba=ba,
+            theorem2_ba=ba0,
+            lemma2_ba=lemma2_ba,
+            lemma2_ok=bool(ba <= lemma2_ba + eps0 * (ba0 + 1.0)),
+        )
+        auditor = get_auditor()
+        if auditor is not None:
+            auditor.record(audit)  # record() also moves the audit.* metrics
+        else:
+            record_audit_metrics(audit)
+        if audit.patched:
+            emit_event(
+                "patch-channel", codec=self.name, patched=audit.patched, n=audit.n
+            )
 
     def _compress_empty(self, data: np.ndarray, br: float) -> bytes:
         """Zero-element stream: no magnitudes, no inner payload to run.

@@ -282,6 +282,15 @@ class Container:
             reg.counter("crc.bytes_verified").inc(len(data))
             reg.counter("crc.streams_verified").inc()
             if stored != actual:
+                reg.counter("crc.failures").inc()
+                from repro.observe.events import emit as _emit_event
+
+                _emit_event(
+                    "crc-failure",
+                    stored=f"{stored:#010x}",
+                    computed=f"{actual:#010x}",
+                    nbytes=len(data),
+                )
                 raise ChecksumError(
                     f"stream checksum mismatch (corrupted or truncated bytes): "
                     f"stored {stored:#010x}, computed {actual:#010x}"

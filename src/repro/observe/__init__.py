@@ -1,6 +1,6 @@
-"""Zero-dependency pipeline telemetry: tracing spans and metrics.
+"""Zero-dependency pipeline telemetry: tracing, metrics, audit, export.
 
-Three parts (see ``docs/observability.md``):
+Five parts (see ``docs/observability.md``):
 
 * :mod:`repro.observe.tracer` -- nested :class:`Span` trees with wall/CPU
   time and byte counters per pipeline stage, rendered as a tree
@@ -9,7 +9,15 @@ Three parts (see ``docs/observability.md``):
   process-global :class:`MetricsRegistry` with snapshot/diff/merge;
 * :mod:`repro.observe.propagate` -- plumbing that carries spans and
   counters across thread/process pool boundaries, so parallel chunk
-  workers report into the dispatching span.
+  workers report into the dispatching span;
+* :mod:`repro.observe.audit` -- error-bound conformance auditing: a
+  streaming :class:`BoundAuditor` fed by the compressor verify hooks and
+  :func:`audit_stream` for offline stream audits (Theorem 1 / Lemma 2 /
+  Theorem 3 checks), surfaced as :class:`AuditReport`;
+* :mod:`repro.observe.export` / :mod:`repro.observe.events` -- renderers
+  for standard formats (OpenMetrics text, JSON lines) and a structured
+  JSON-lines event log (``REPRO_EVENTS=<path>``) whose records carry
+  trace-span correlation ids.
 
 Tracing is on by default; ``REPRO_TRACE=off`` (or
 :func:`enable_tracing(False) <enable_tracing>`) reduces every
@@ -17,6 +25,32 @@ instrumentation point to a no-op attribute check.  Metrics are cheap
 enough to stay on unconditionally.
 """
 
+from repro.observe.audit import (
+    AuditReport,
+    BoundAuditor,
+    ChunkAudit,
+    Theorem3Check,
+    audit_stream,
+    auditing,
+    get_auditor,
+    install_auditor,
+    theorem3_check,
+)
+from repro.observe.events import (
+    EventLog,
+    emit,
+    event_log_enabled,
+    get_event_log,
+    install_event_log,
+    read_events,
+)
+from repro.observe.export import (
+    metric_name,
+    metrics_to_jsonl,
+    parse_openmetrics,
+    spans_to_jsonl,
+    to_openmetrics,
+)
 from repro.observe.metrics import (
     Counter,
     Gauge,
@@ -39,22 +73,42 @@ from repro.observe.tracer import (
 )
 
 __all__ = [
+    "AuditReport",
+    "BoundAuditor",
+    "ChunkAudit",
     "Counter",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Span",
     "TaskTelemetry",
+    "Theorem3Check",
     "Tracer",
     "absorb",
+    "audit_stream",
+    "auditing",
     "current_span",
+    "emit",
     "enable_tracing",
+    "event_log_enabled",
     "export_spans",
+    "get_auditor",
+    "get_event_log",
     "get_tracer",
+    "install_auditor",
+    "install_event_log",
+    "metric_name",
     "metrics",
+    "metrics_to_jsonl",
+    "parse_openmetrics",
+    "read_events",
     "render_spans",
     "run_traced",
     "span",
     "spans_from_dicts",
+    "spans_to_jsonl",
+    "theorem3_check",
+    "to_openmetrics",
     "tracing_enabled",
 ]

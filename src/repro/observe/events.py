@@ -1,0 +1,130 @@
+"""Structured JSON-lines event log with trace-span correlation.
+
+While spans answer *where the time went* and metrics answer *how much*,
+the event log answers *what happened, in order*: one JSON record per
+notable pipeline occurrence -- a compress or decompress finishing, a
+chunk worker being retried, a CRC failing verification, a damaged rank
+being recovered.  Records are append-only JSON lines::
+
+    {"seq": 12, "t": 1754524800.123, "pid": 4711, "event": "compress",
+     "span_id": "1267-3f", "codec": "SZ_T", "bytes_in": 4194304, ...}
+
+``span_id`` is the id of the tracing span the event occurred under (or
+the span that *is* the event, for compress/decompress), so a captured
+trace tree and an event log taken from the same run join losslessly.
+
+The log is off unless a sink is installed: set ``REPRO_EVENTS=<path>``
+before the process starts, or call :func:`install_event_log` at runtime.
+Instrumentation points call :func:`emit`, which is a no-op attribute
+check when no sink is installed -- same contract as disabled tracing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+__all__ = [
+    "EventLog",
+    "emit",
+    "event_log_enabled",
+    "get_event_log",
+    "install_event_log",
+    "read_events",
+]
+
+_ENV_VAR = "REPRO_EVENTS"
+
+
+class EventLog:
+    """Thread-safe append-only JSON-lines sink."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._seq = 0
+        # Line-buffered append; one write per record keeps interleaving
+        # from concurrent threads at line granularity.
+        self._fh = open(path, "a", buffering=1)
+
+    def emit(self, event: str, **fields) -> dict:
+        """Append one record; returns the dict that was written."""
+        rec = {"event": event, "t": time.time(), "pid": os.getpid()}
+        rec.update({k: v for k, v in fields.items() if v is not None})
+        with self._lock:
+            self._seq += 1
+            rec["seq"] = self._seq
+            self._fh.write(json.dumps(rec, sort_keys=True, default=str) + "\n")
+        return rec
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+
+_LOG: EventLog | None = None
+_CHECKED_ENV = False
+_INIT_LOCK = threading.Lock()
+
+
+def get_event_log() -> EventLog | None:
+    """The installed event log, opening ``$REPRO_EVENTS`` on first use."""
+    global _LOG, _CHECKED_ENV
+    if _LOG is None and not _CHECKED_ENV:
+        with _INIT_LOCK:
+            if _LOG is None and not _CHECKED_ENV:
+                path = os.environ.get(_ENV_VAR)
+                if path:
+                    try:
+                        _LOG = EventLog(path)
+                    except OSError:
+                        _LOG = None  # unwritable path: stay silent, stay off
+                _CHECKED_ENV = True
+    return _LOG
+
+
+def install_event_log(path: str | None) -> EventLog | None:
+    """Install (or with ``None``, remove) the process event log."""
+    global _LOG, _CHECKED_ENV
+    with _INIT_LOCK:
+        if _LOG is not None:
+            _LOG.close()
+        _LOG = EventLog(path) if path else None
+        _CHECKED_ENV = True
+    return _LOG
+
+
+def event_log_enabled() -> bool:
+    return get_event_log() is not None
+
+
+def emit(event: str, span=None, **fields) -> None:
+    """Record one event if a log is installed; otherwise free.
+
+    ``span`` may be a :class:`~repro.observe.tracer.Span` whose id should
+    stamp the record; when omitted the calling thread's innermost open
+    span is used (no id when tracing is off).
+    """
+    log = get_event_log()
+    if log is None:
+        return
+    if span is None:
+        from repro.observe.tracer import current_span
+
+        span = current_span()
+    span_id = getattr(span, "span_id", "") or None
+    log.emit(event, span_id=span_id, **fields)
+
+
+def read_events(path: str) -> list[dict]:
+    """Load a JSON-lines event log back into dicts (testing/tooling)."""
+    out: list[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -1,0 +1,197 @@
+"""Standard-format renderers for telemetry: OpenMetrics and JSON lines.
+
+Everything in :mod:`repro.observe` snapshots to plain dicts; this module
+turns those dicts into the two formats monitoring stacks actually ingest:
+
+* :func:`to_openmetrics` -- the Prometheus/OpenMetrics text exposition
+  format, one metric family per registry entry.  Counters map to
+  ``repro_<name>_total``, gauges to ``repro_<name>``, histograms to a
+  family with cumulative ``_bucket{le=...}`` series (power-of-two edges,
+  see :class:`~repro.observe.metrics.Histogram`) plus ``_count``/``_sum``
+  and ``_min``/``_max`` gauges.  Names are sanitized (``.``/``-`` to
+  ``_``) per the OpenMetrics grammar.
+* :func:`parse_openmetrics` -- a dependency-free lint/parser for the same
+  format, strict enough to catch malformed output in tests (missing
+  ``# EOF``, samples without a ``# TYPE`` declaration, non-numeric
+  values, out-of-order buckets).
+* :func:`metrics_to_jsonl` / :func:`spans_to_jsonl` -- one JSON object
+  per line.  Span trees are flattened with explicit ``span_id`` /
+  ``parent_id`` references so line-oriented consumers can rebuild the
+  tree and the event log (:mod:`repro.observe.events`) can join on
+  ``span_id``.
+
+See ``docs/observability.md`` for the naming scheme and examples.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+__all__ = [
+    "metric_name",
+    "metrics_to_jsonl",
+    "parse_openmetrics",
+    "spans_to_jsonl",
+    "to_openmetrics",
+]
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>\S+))?$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """Sanitize a registry key into a legal OpenMetrics metric name."""
+    clean = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    full = f"{prefix}_{clean}" if prefix else clean
+    if not _NAME_OK.match(full):
+        full = "_" + full
+    return full
+
+
+def _fmt(v: float) -> str:
+    """A float the exposition format accepts (no inf/nan surprises)."""
+    if isinstance(v, float):
+        if math.isnan(v):
+            return "NaN"
+        if math.isinf(v):
+            return "+Inf" if v > 0 else "-Inf"
+    return repr(float(v))
+
+
+def to_openmetrics(snapshot: dict[str, dict], prefix: str = "repro") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` (or ``diff``) as OpenMetrics.
+
+    The output is a complete exposition: every family is declared with a
+    ``# TYPE`` line and the text ends with ``# EOF`` as the spec requires.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        snap = snapshot[name]
+        kind = snap.get("type")
+        base = metric_name(name, prefix)
+        if kind == "counter":
+            fam = base if base.endswith("_total") else base + "_total"
+            family = fam[: -len("_total")]
+            lines.append(f"# TYPE {family} counter")
+            lines.append(f"{fam} {_fmt(snap.get('value', 0.0))}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {_fmt(snap.get('value', 0.0))}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {base} histogram")
+            cum = 0
+            for key, count in snap.get("buckets", ()):
+                cum += count
+                edge = 2.0**key if -1074 <= key <= 1023 else snap.get("min", 0.0)
+                lines.append(f'{base}_bucket{{le="{_fmt(edge)}"}} {cum}')
+            lines.append(f'{base}_bucket{{le="+Inf"}} {snap.get("n", 0)}')
+            lines.append(f"{base}_count {snap.get('n', 0)}")
+            lines.append(f"{base}_sum {_fmt(snap.get('total', 0.0))}")
+            for stat in ("min", "max"):
+                if stat in snap:
+                    lines.append(f"# TYPE {base}_{stat} gauge")
+                    lines.append(f"{base}_{stat} {_fmt(snap[stat])}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def parse_openmetrics(text: str) -> dict[str, dict]:
+    """Parse/lint an OpenMetrics exposition produced by :func:`to_openmetrics`.
+
+    Returns ``{family: {"type": kind, "samples": [(name, labels, value)]}}``.
+    Raises :class:`ValueError` on structural defects: no ``# EOF``
+    terminator, a sample whose family was never declared, an unparseable
+    sample line, a non-numeric value, or non-monotonic histogram buckets.
+    This is the round-trip check the tests (and CI) run on every export.
+    """
+    lines = text.splitlines()
+    if not lines or lines[-1].strip() != "# EOF":
+        raise ValueError("exposition must end with '# EOF'")
+    families: dict[str, dict] = {}
+    for ln in lines[:-1]:
+        ln = ln.strip()
+        if not ln:
+            continue
+        if ln.startswith("#"):
+            parts = ln.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                family, kind = parts[2], parts[3]
+                if family in families:
+                    raise ValueError(f"duplicate TYPE declaration for {family}")
+                families[family] = {"type": kind, "samples": []}
+            continue
+        m = _SAMPLE.match(ln)
+        if m is None:
+            raise ValueError(f"unparseable sample line: {ln!r}")
+        name = m.group("name")
+        family = next(
+            (
+                f
+                for f in sorted(families, key=len, reverse=True)
+                if name == f
+                or name.startswith(f + "_")
+                or (families[f]["type"] == "counter" and name == f + "_total")
+            ),
+            None,
+        )
+        if family is None:
+            raise ValueError(f"sample {name!r} has no TYPE declaration")
+        labels = dict(_LABEL.findall(m.group("labels") or ""))
+        raw = m.group("value")
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(f"non-numeric value {raw!r} for {name}") from None
+        families[family]["samples"].append((name, labels, value))
+    for family, fam in families.items():
+        if fam["type"] != "histogram":
+            continue
+        cum = [
+            (float(labels["le"]) if labels.get("le") != "+Inf" else math.inf, value)
+            for name, labels, value in fam["samples"]
+            if name == family + "_bucket"
+        ]
+        if any(b[1] > a[1] or b[0] > a[0] for a, b in zip(cum[1:], cum)):
+            raise ValueError(f"histogram {family} buckets not cumulative/ordered")
+    return families
+
+
+def metrics_to_jsonl(snapshot: dict[str, dict]) -> str:
+    """One JSON object per metric: ``{"metric": name, ...snapshot fields}``."""
+    lines = [
+        json.dumps({"metric": name, **snapshot[name]}, sort_keys=True)
+        for name in sorted(snapshot)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def spans_to_jsonl(spans) -> str:
+    """Flatten span trees (dicts or Spans) to JSON lines with parent links."""
+    out: list[str] = []
+
+    def walk(sp: dict, parent_id: str | None, depth: int) -> None:
+        rec = {
+            "span": sp.get("name"),
+            "span_id": sp.get("span_id"),
+            "parent_id": parent_id,
+            "depth": depth,
+            "wall_s": sp.get("wall_s", 0.0),
+            "cpu_s": sp.get("cpu_s", 0.0),
+            "bytes_in": sp.get("bytes_in", 0),
+            "bytes_out": sp.get("bytes_out", 0),
+            "attrs": sp.get("attrs") or {},
+        }
+        out.append(json.dumps(rec, sort_keys=True))
+        for child in sp.get("children", ()):
+            walk(child, sp.get("span_id"), depth + 1)
+
+    for sp in spans:
+        walk(sp if isinstance(sp, dict) else sp.to_dict(), None, 0)
+    return "\n".join(out) + ("\n" if out else "")

@@ -62,10 +62,22 @@ class Gauge:
         return {"type": "gauge", "value": self.value}
 
 
-class Histogram:
-    """Streaming summary of observations: count, total, min, max, mean."""
+#: Bucket key for observations <= 0 (no binary exponent exists for them).
+#: Sits below every float64 exponent so it always sorts first.
+_NONPOS_BUCKET = -4999
 
-    __slots__ = ("_lock", "n", "total", "min", "max")
+
+class Histogram:
+    """Streaming summary of observations: count, total, min, max, mean.
+
+    Observations are additionally counted into power-of-two buckets (one
+    per binary exponent: bucket ``k`` holds values in ``[2^(k-1), 2^k)``,
+    non-positive values share a single underflow bucket), which makes
+    approximate percentiles available without storing samples and keeps
+    the structure mergeable across process boundaries.
+    """
+
+    __slots__ = ("_lock", "n", "total", "min", "max", "buckets")
     kind = "histogram"
 
     def __init__(self) -> None:
@@ -74,9 +86,11 @@ class Histogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.buckets: dict[int, int] = {}
 
     def observe(self, v: float) -> None:
         v = float(v)
+        key = math.frexp(v)[1] if v > 0.0 else _NONPOS_BUCKET
         with self._lock:
             self.n += 1
             self.total += v
@@ -84,16 +98,41 @@ class Histogram:
                 self.min = v
             if v > self.max:
                 self.max = v
+            self.buckets[key] = self.buckets.get(key, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.n if self.n else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (``q`` in [0, 100]).
+
+        Resolution is one binary order of magnitude (the bucket width);
+        the result is clamped to the observed ``[min, max]``.  An empty
+        histogram is well-defined and returns 0.0.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            if self.n == 0:
+                return 0.0
+            target = q / 100.0 * self.n
+            cum = 0
+            for key in sorted(self.buckets):
+                cum += self.buckets[key]
+                if cum >= target:
+                    if key == _NONPOS_BUCKET:
+                        return self.min
+                    edge = 2.0**key if key <= 1023 else self.max
+                    return min(max(edge, self.min), self.max)
+            return self.max
 
     def snapshot(self) -> dict:
         out = {"type": "histogram", "n": self.n, "total": self.total, "mean": self.mean}
         if self.n:
             out["min"] = self.min
             out["max"] = self.max
+            out["buckets"] = [[k, self.buckets[k]] for k in sorted(self.buckets)]
         return out
 
 
@@ -141,9 +180,11 @@ class MetricsRegistry:
     def diff(self, before: dict[str, dict]) -> dict[str, dict]:
         """What changed since ``before`` (an earlier :meth:`snapshot`).
 
-        Counters and histogram count/total subtract; gauges report their
-        current value; histogram min/max are the post-state's (bounds
+        Counters and histogram count/total/buckets subtract; gauges report
+        their current value; histogram min/max are the post-state's (bounds
         cannot be un-observed).  Metrics that did not move are omitted.
+        A key present only in the newer snapshot diffs against an implicit
+        zero (its full value is reported), never raises.
         """
         after = self.snapshot()
         out: dict[str, dict] = {}
@@ -157,14 +198,22 @@ class MetricsRegistry:
                 if prev is None or prev["value"] != snap["value"]:
                     out[name] = snap
             else:
-                dn = snap["n"] - (prev["n"] if prev else 0)
+                dn = snap["n"] - (prev.get("n", 0) if prev else 0)
                 if dn:
-                    dt = snap["total"] - (prev["total"] if prev else 0.0)
+                    dt = snap["total"] - (prev.get("total", 0.0) if prev else 0.0)
                     entry = {"type": "histogram", "n": dn, "total": dt,
                              "mean": dt / dn if dn else 0.0}
                     if "min" in snap:
                         entry["min"] = snap["min"]
                         entry["max"] = snap["max"]
+                    prev_buckets = dict(prev.get("buckets") or ()) if prev else {}
+                    db = [
+                        [k, c - prev_buckets.get(k, 0)]
+                        for k, c in snap.get("buckets", ())
+                        if c - prev_buckets.get(k, 0) > 0
+                    ]
+                    if db:
+                        entry["buckets"] = db
                     out[name] = entry
         return out
 
@@ -187,6 +236,8 @@ class MetricsRegistry:
                         h.min = float(snap["min"])
                     if "max" in snap and snap["max"] > h.max:
                         h.max = float(snap["max"])
+                    for k, c in snap.get("buckets", ()):
+                        h.buckets[int(k)] = h.buckets.get(int(k), 0) + int(c)
 
 
 _DEFAULT = MetricsRegistry()

@@ -20,6 +20,7 @@ with :meth:`Span.adopt` (see :mod:`repro.observe.propagate`).
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import threading
@@ -51,8 +52,19 @@ def _env_enabled() -> bool:
     return os.environ.get(_ENV_VAR, "on").strip().lower() not in _OFF_VALUES
 
 
+#: Process-wide span id sequence; ids are ``<pid hex>-<seq hex>`` so ids
+#: minted in pool workers never collide with the parent's.
+_SPAN_SEQ = itertools.count(1)
+
+
 class Span:
-    """One timed pipeline stage: name, attrs, byte counters, children."""
+    """One timed pipeline stage: name, attrs, byte counters, children.
+
+    Every span carries a process-unique ``span_id`` which survives
+    export/adopt round-trips; the structured event log
+    (:mod:`repro.observe.events`) stamps records with the id of the span
+    they occurred under, so events resolve against a captured trace tree.
+    """
 
     __slots__ = (
         "name",
@@ -62,6 +74,7 @@ class Span:
         "cpu_s",
         "bytes_in",
         "bytes_out",
+        "span_id",
         "_tracer",
         "_t0",
         "_c0",
@@ -75,6 +88,7 @@ class Span:
         self.cpu_s = 0.0
         self.bytes_in = 0
         self.bytes_out = 0
+        self.span_id = f"{os.getpid():x}-{next(_SPAN_SEQ):x}"
         self._tracer: Tracer | None = None
         self._t0 = 0.0
         self._c0 = 0.0
@@ -151,6 +165,7 @@ class Span:
     def to_dict(self) -> dict:
         return {
             "name": self.name,
+            "span_id": self.span_id,
             "wall_s": self.wall_s,
             "cpu_s": self.cpu_s,
             "bytes_in": self.bytes_in,
@@ -162,12 +177,20 @@ class Span:
     @classmethod
     def from_dict(cls, data: dict) -> "Span":
         sp = cls(str(data.get("name", "?")), data.get("attrs") or {})
+        if data.get("span_id"):
+            sp.span_id = str(data["span_id"])
         sp.wall_s = float(data.get("wall_s", 0.0))
         sp.cpu_s = float(data.get("cpu_s", 0.0))
         sp.bytes_in = int(data.get("bytes_in", 0))
         sp.bytes_out = int(data.get("bytes_out", 0))
         sp.children = [cls.from_dict(c) for c in data.get("children", ())]
         return sp
+
+    def iter_ids(self):
+        """Yield this span's id and every descendant's (DFS order)."""
+        yield self.span_id
+        for c in self.children:
+            yield from c.iter_ids()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Span({self.name!r}, wall={self.wall_s:.6f}s, children={len(self.children)})"
@@ -182,6 +205,7 @@ class _NullSpan:
     children: list = []
     wall_s = cpu_s = 0.0
     bytes_in = bytes_out = 0
+    span_id = ""
 
     def __enter__(self) -> "_NullSpan":
         return self

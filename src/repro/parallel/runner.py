@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.compressors.base import Compressor, ErrorBound
+from repro.observe.events import emit as emit_event
 from repro.observe.metrics import metrics
 from repro.observe.propagate import run_traced
 from repro.observe.tracer import span, spans_from_dicts
@@ -155,6 +156,13 @@ def dump_file_per_process(
                 )
             t2 = time.perf_counter()
             sp.add_bytes(in_=shard.nbytes, out=len(blob))
+            emit_event(
+                "rank-dump",
+                span=sp,
+                rank=rank,
+                bytes_in=shard.nbytes,
+                bytes_out=len(blob),
+            )
         return RankTiming(rank, t1 - t0, t2 - t1, shard.nbytes, len(blob))
 
     def rank_main(comm: FakeComm):
@@ -212,6 +220,14 @@ def load_file_per_process(
             t2 = time.perf_counter()
             nbytes = shard.nbytes if shard is not None else 0
             sp.add_bytes(in_=len(blob), out=nbytes)
+            emit_event(
+                "rank-load",
+                span=sp,
+                rank=rank,
+                bytes_in=len(blob),
+                bytes_out=nbytes,
+                recovered=(report is not None and not report.complete) or None,
+            )
         return shard, RankTiming(rank, t2 - t1, t1 - t0, len(blob), nbytes), report
 
     def rank_main(comm: FakeComm):

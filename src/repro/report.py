@@ -19,29 +19,70 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.encoding.container import Container
+from repro.encoding.container import Container, ContainerError
 from repro.metrics import bit_rate, compression_ratio, psnr, relative_psnr
 from repro.metrics.distribution import ErrorDistribution, error_distribution
 from repro.metrics.error import ErrorStats, bounded_fraction
 from repro.observe.metrics import metrics as _metrics
 
-__all__ = ["QualityReport", "StreamStats", "build_report", "quality_report"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.chunked import RecoveryReport
+    from repro.observe.audit import AuditReport
+
+__all__ = [
+    "QualityReport",
+    "StreamStats",
+    "audit_report",
+    "build_report",
+    "quality_report",
+    "stream_bound",
+]
 
 #: Container keys holding each codec's native bound, with its kind.
+#: Kinds: "abs"/"rel" are error bounds the stream guarantees point-wise;
+#: "prec" (bit precision) and "rate" (bits/value) parameterize fidelity
+#: without a point-wise guarantee, so reports show them but never grade
+#: errors against them.  GZIP (lossless) and CHUNKED (delegates to its
+#: per-chunk inner streams) intentionally have no entry.
 _BOUND_KEYS = {
     "SZ_ABS": ("eb", "abs"),
     "SZ2_ABS": ("eb", "abs"),
+    "SZ3_ABS": ("eb", "abs"),
     "ZFP_A": ("param", "abs"),
+    "ZFP_P": ("param", "prec"),
+    "ZFP_R": ("param", "rate"),
+    "FPZIP": ("precision", "prec"),
     "SZ_PWR": ("br", "rel"),
     "ISABELA": ("br", "rel"),
     "SZ_T": ("br", "rel"),
     "SZ2_T": ("br", "rel"),
+    "SZ3_T": ("br", "rel"),
     "ZFP_T": ("br", "rel"),
     "NAIVE_T": ("br", "rel"),
 }
+
+#: Codecs whose bound parameter is stored as an integer section (u64)
+#: rather than a float; reading those via ``get_f64`` would silently
+#: reinterpret the bits.
+_U64_BOUND_CODECS = frozenset({"FPZIP"})
+
+
+def stream_bound(box: Container) -> tuple[str | None, float | None]:
+    """``(kind, value)`` of the native bound a container carries.
+
+    ``(None, None)`` when the codec has no recoverable bound (lossless,
+    CHUNKED wrappers) or the expected section is absent.
+    """
+    key = _BOUND_KEYS.get(box.codec)
+    if key is None or key[0] not in box:
+        return None, None
+    if box.codec in _U64_BOUND_CODECS:
+        return key[1], float(box.get_u64(key[0]))
+    return key[1], box.get_f64(key[0])
 
 
 @dataclass(frozen=True)
@@ -75,6 +116,11 @@ class QualityReport:
                 f"point-wise error: max abs {self.errors.max_abs:.3e}   "
                 f"max rel {self.errors.max_rel:.3e}   avg rel {self.errors.avg_rel:.3e}"
             )
+        elif self.bound_kind is not None:
+            lines.append(
+                f"bound:            {self.bound_kind} {self.bound_value:g} "
+                "(fidelity knob, no point-wise guarantee)"
+            )
         if self.distribution is not None:
             shape = "uniform" if self.distribution.looks_uniform else "bell-shaped"
             lines.append(
@@ -106,6 +152,9 @@ class StreamStats:
     decode_s: float
     crc_verify_s: float
     metrics: dict[str, dict]
+    #: Damage-recovery outcome when ``build_report(tolerate_corruption=True)``
+    #: had to fall back to partial decoding; None on a clean decode.
+    recovery: "RecoveryReport | None" = None
 
     def format(self) -> str:
         lines = [
@@ -117,6 +166,8 @@ class StreamStats:
         if self.n_chunks is not None:
             inner = f" of {self.inner_codec}" if self.inner_codec else ""
             lines.append(f"chunks:        {self.n_chunks}{inner}")
+        if self.recovery is not None:
+            lines.append(f"recovery:      {self.recovery.summary()}")
         lines.append(
             f"decode:        {self.decode_s * 1e3:.3f} ms total, "
             f"CRC verification {self.crc_verify_s * 1e3:.3f} ms"
@@ -138,25 +189,44 @@ class StreamStats:
         return "\n".join(lines)
 
 
-def build_report(blob: bytes) -> StreamStats:
+def build_report(blob: bytes, tolerate_corruption: bool = False) -> StreamStats:
     """Decode ``blob`` once and describe the stream + the decode's cost.
+
+    With ``tolerate_corruption`` a damaged stream is decoded best-effort
+    via :func:`repro.core.chunked.recover_array` -- intact chunks of a
+    CHUNKED v2 stream are kept, lost spans are filled -- and the
+    :class:`~repro.core.chunked.RecoveryReport` lands in
+    :attr:`StreamStats.recovery` (None when the stream decoded fully).
+    A stream whose geometry is itself unreadable still raises.
 
     The metrics snapshot is diffed around the decode, so concurrent work
     in other threads can leak into it; for exact isolation call this from
     a quiet process (the ``repro-compress stats`` command is one).
     """
     from repro import decompress
+    from repro.core.chunked import recover_array
 
     reg = _metrics()
     before = reg.snapshot()
     t0 = time.perf_counter()
-    recon = decompress(blob)
+    recovery = None
+    if tolerate_corruption:
+        recon, recovery = recover_array(blob)
+        if recon is None:
+            raise ContainerError(
+                "stream unrecoverable: "
+                + (recovery.summary() if recovery else "no readable geometry")
+            )
+    else:
+        recon = decompress(blob)
     decode_s = time.perf_counter() - t0
     delta = reg.diff(before)
 
-    box = Container.from_bytes(blob, verify_checksums=False)
+    box = Container.from_bytes(
+        blob, verify_checksums=False, partial=tolerate_corruption
+    )
     n_chunks = inner_codec = None
-    if box.codec == "CHUNKED":
+    if box.codec == "CHUNKED" and "n_chunks" in box:
         n_chunks = box.get_u64("n_chunks")
         if "inner_codec" in box:
             inner_codec = box.get_str("inner_codec")
@@ -175,7 +245,24 @@ def build_report(blob: bytes) -> StreamStats:
         decode_s=decode_s,
         crc_verify_s=float(crc["value"]) if crc else 0.0,
         metrics=delta,
+        recovery=recovery,
     )
+
+
+def audit_report(
+    blob: bytes,
+    original: np.ndarray | None = None,
+    check_theorem3: bool = True,
+) -> "AuditReport":
+    """Bound-conformance audit of a stream (see :mod:`repro.observe.audit`).
+
+    Convenience re-export so callers holding a stream and (optionally) its
+    original can get the full Theorem 1 / Lemma 2 / Theorem 3 audit from
+    the same module that builds the other reports.
+    """
+    from repro.observe.audit import audit_stream
+
+    return audit_stream(blob, original, check_theorem3=check_theorem3)
 
 
 def quality_report(original: np.ndarray, blob: bytes) -> QualityReport:
@@ -190,22 +277,21 @@ def quality_report(original: np.ndarray, blob: bytes) -> QualityReport:
             f"stream reconstructs shape {recon.shape}, original is {original.shape}"
         )
 
-    bound_kind = bound_value = errors = dist = None
-    key = _BOUND_KEYS.get(box.codec)
-    if key is not None and key[0] in box:
-        bound_value = box.get_f64(key[0])
-        bound_kind = key[1]
-        if bound_kind == "abs":
-            # abs-bound codecs: stats against the absolute bound directly
-            errors = _abs_stats(original, recon, bound_value)
-            dist = error_distribution(original, recon, bound_value)
-        else:
-            errors = bounded_fraction(original, recon, bound_value)
-            x = original.astype(np.float64).ravel()
-            nz = x != 0
-            rel = (recon.astype(np.float64).ravel()[nz] - x[nz]) / np.abs(x[nz])
-            if rel.size >= 8:
-                dist = error_distribution(np.zeros_like(rel), rel, bound_value)
+    errors = dist = None
+    bound_kind, bound_value = stream_bound(box)
+    if bound_kind == "abs":
+        # abs-bound codecs: stats against the absolute bound directly
+        errors = _abs_stats(original, recon, bound_value)
+        dist = error_distribution(original, recon, bound_value)
+    elif bound_kind == "rel":
+        errors = bounded_fraction(original, recon, bound_value)
+        x = original.astype(np.float64).ravel()
+        nz = x != 0
+        rel = (recon.astype(np.float64).ravel()[nz] - x[nz]) / np.abs(x[nz])
+        if rel.size >= 8:
+            dist = error_distribution(np.zeros_like(rel), rel, bound_value)
+    # "prec"/"rate" kinds parameterize fidelity without a point-wise
+    # guarantee: report the knob, grade nothing against it.
 
     return QualityReport(
         codec=box.codec,

@@ -1,0 +1,149 @@
+"""OpenMetrics / JSON-lines renderers, round-tripped without external deps."""
+
+import json
+import math
+
+import pytest
+
+from repro.observe.export import (
+    metric_name,
+    metrics_to_jsonl,
+    parse_openmetrics,
+    spans_to_jsonl,
+    to_openmetrics,
+)
+from repro.observe.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def reg() -> MetricsRegistry:
+    r = MetricsRegistry()
+    r.counter("bytes.in").inc(4096)
+    r.gauge("workers").set(3)
+    h = r.histogram("chunk.compress_s")
+    for v in (0.5, 1.5, 2.5, 3.5):
+        h.observe(v)
+    return r
+
+
+class TestMetricName:
+    def test_dots_and_dashes_sanitized(self):
+        assert metric_name("audit.max_rel") == "repro_audit_max_rel"
+        assert metric_name("a-b c") == "repro_a_b_c"
+
+    def test_prefix_optional(self):
+        assert metric_name("x", prefix="") == "x"
+
+
+class TestOpenMetricsRoundTrip:
+    def test_full_registry_round_trips(self, reg):
+        text = to_openmetrics(reg.snapshot())
+        assert text.endswith("# EOF\n")
+        families = parse_openmetrics(text)
+        assert families["repro_bytes_in"]["type"] == "counter"
+        assert families["repro_workers"]["type"] == "gauge"
+        assert families["repro_chunk_compress_s"]["type"] == "histogram"
+
+    def test_counter_gets_total_suffix(self, reg):
+        families = parse_openmetrics(to_openmetrics(reg.snapshot()))
+        ((name, labels, value),) = families["repro_bytes_in"]["samples"]
+        assert name == "repro_bytes_in_total"
+        assert value == 4096.0
+
+    def test_histogram_buckets_cumulative_and_complete(self, reg):
+        families = parse_openmetrics(to_openmetrics(reg.snapshot()))
+        fam = families["repro_chunk_compress_s"]
+        buckets = [(labels["le"], v) for n, labels, v in fam["samples"]
+                   if n.endswith("_bucket")]
+        counts = [v for _, v in buckets]
+        assert counts == sorted(counts)  # cumulative
+        assert buckets[-1] == ("+Inf", 4.0)
+        count = [v for n, _, v in fam["samples"] if n.endswith("_count")]
+        total = [v for n, _, v in fam["samples"] if n.endswith("_sum")]
+        assert count == [4.0]
+        assert total == [pytest.approx(8.0)]
+        assert families["repro_chunk_compress_s_min"]["samples"][0][2] == 0.5
+        assert families["repro_chunk_compress_s_max"]["samples"][0][2] == 3.5
+
+    def test_diff_snapshot_renders_too(self, reg):
+        before = reg.snapshot()
+        reg.counter("bytes.in").inc(10)
+        families = parse_openmetrics(to_openmetrics(reg.diff(before)))
+        assert families["repro_bytes_in"]["samples"][0][2] == 10.0
+
+    def test_empty_snapshot_is_a_valid_exposition(self):
+        assert parse_openmetrics(to_openmetrics({})) == {}
+
+    def test_nonfinite_values_render(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(math.inf)
+        families = parse_openmetrics(to_openmetrics(reg.snapshot()))
+        assert families["repro_g"]["samples"][0][2] == math.inf
+
+
+class TestParseRejectsMalformed:
+    def test_missing_eof(self):
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics("# TYPE x counter\nx_total 1\n")
+
+    def test_sample_without_type_declaration(self):
+        with pytest.raises(ValueError, match="no TYPE"):
+            parse_openmetrics("orphan 1\n# EOF\n")
+
+    def test_non_numeric_value(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_openmetrics("# TYPE x gauge\nx banana\n# EOF\n")
+
+    def test_duplicate_type_declaration(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_openmetrics("# TYPE x gauge\n# TYPE x counter\n# EOF\n")
+
+    def test_non_cumulative_histogram_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 5\n'
+            'h_bucket{le="2.0"} 3\n'
+            "h_count 5\nh_sum 2.0\n# EOF\n"
+        )
+        with pytest.raises(ValueError, match="cumulative"):
+            parse_openmetrics(text)
+
+
+class TestJsonLines:
+    def test_metrics_one_object_per_line(self, reg):
+        lines = metrics_to_jsonl(reg.snapshot()).splitlines()
+        recs = [json.loads(ln) for ln in lines]
+        assert [r["metric"] for r in recs] == sorted(r["metric"] for r in recs)
+        by_name = {r["metric"]: r for r in recs}
+        assert by_name["bytes.in"]["value"] == 4096
+        assert by_name["chunk.compress_s"]["n"] == 4
+
+    def test_empty_metrics_render_empty(self):
+        assert metrics_to_jsonl({}) == ""
+
+    def test_spans_flatten_with_parent_links(self):
+        tree = {
+            "name": "compress",
+            "span_id": "a1",
+            "wall_s": 2.0,
+            "children": [
+                {"name": "quantize", "span_id": "b2", "wall_s": 1.0, "children": []},
+                {"name": "encode", "span_id": "c3", "wall_s": 0.5,
+                 "children": [{"name": "huffman", "span_id": "d4", "children": []}]},
+            ],
+        }
+        recs = [json.loads(ln) for ln in spans_to_jsonl([tree]).splitlines()]
+        assert [r["span"] for r in recs] == ["compress", "quantize", "encode", "huffman"]
+        assert [r["parent_id"] for r in recs] == [None, "a1", "a1", "c3"]
+        assert [r["depth"] for r in recs] == [0, 1, 1, 2]
+
+    def test_spans_accept_span_objects(self):
+        from repro.observe.tracer import Tracer
+
+        tracer = Tracer(enabled=True)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        recs = [json.loads(ln) for ln in spans_to_jsonl(tracer.roots()).splitlines()]
+        assert [r["span"] for r in recs] == ["root", "child"]
+        assert recs[1]["parent_id"] == recs[0]["span_id"] != ""

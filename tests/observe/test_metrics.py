@@ -108,5 +108,97 @@ class TestSnapshotDiffMerge:
         assert reg.names() == []
 
 
+class TestHistogramPercentiles:
+    def test_empty_histogram_is_well_defined(self, reg):
+        h = reg.histogram("h")
+        assert h.percentile(50.0) == 0.0
+        assert h.percentile(0.0) == 0.0
+        snap = h.snapshot()
+        assert snap["n"] == 0
+        assert "buckets" not in snap and "min" not in snap
+
+    def test_out_of_range_percentile_rejected(self, reg):
+        h = reg.histogram("h")
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+        with pytest.raises(ValueError):
+            h.percentile(100.1)
+
+    def test_percentile_clamped_to_observed_range(self, reg):
+        h = reg.histogram("h")
+        h.observe(3.0)  # bucket edge is 4.0, but max observed is 3.0
+        assert h.percentile(0.0) == 3.0
+        assert h.percentile(100.0) == 3.0
+
+    def test_percentile_monotone_within_bucket_resolution(self, reg):
+        h = reg.histogram("h")
+        for v in (0.5, 1.5, 3.0, 6.0, 12.0, 24.0, 48.0, 96.0):
+            h.observe(v)
+        qs = [h.percentile(q) for q in (10, 25, 50, 75, 90, 100)]
+        assert qs == sorted(qs)
+        assert h.percentile(100.0) == 96.0
+        assert h.percentile(10.0) >= 0.5
+
+    def test_nonpositive_observations_share_underflow_bucket(self, reg):
+        h = reg.histogram("h")
+        h.observe(-5.0)
+        h.observe(0.0)
+        h.observe(2.0)
+        assert h.percentile(1.0) == -5.0  # underflow bucket resolves to min
+        assert h.percentile(100.0) == 2.0
+        keys = [k for k, _ in h.snapshot()["buckets"]]
+        assert keys == sorted(keys)
+        assert len(keys) == 2  # -5 and 0 share one bucket
+
+    def test_snapshot_buckets_sorted_and_complete(self, reg):
+        h = reg.histogram("h")
+        for v in (8.0, 0.25, 1.0):
+            h.observe(v)
+        buckets = h.snapshot()["buckets"]
+        assert [k for k, _ in buckets] == sorted(k for k, _ in buckets)
+        assert sum(c for _, c in buckets) == 3
+
+
+class TestDiffMergeEdgeCases:
+    def test_diff_key_only_in_newer_snapshot(self, reg):
+        before = reg.snapshot()
+        reg.counter("new.c").inc(3)
+        reg.histogram("new.h").observe(2.0)
+        reg.gauge("new.g").set(1.0)
+        delta = reg.diff(before)
+        assert delta["new.c"]["value"] == 3.0
+        assert delta["new.h"]["n"] == 1 and delta["new.h"]["buckets"] == [[2, 1]]
+        assert delta["new.g"]["value"] == 1.0
+
+    def test_diff_against_pre_observation_histogram_snapshot(self, reg):
+        reg.histogram("h")  # exists but empty: snapshot has no buckets/min
+        before = reg.snapshot()
+        reg.histogram("h").observe(4.0)
+        delta = reg.diff(before)
+        assert delta["h"]["n"] == 1
+        assert delta["h"]["buckets"] == [[3, 1]]
+
+    def test_diff_buckets_are_the_new_observations_only(self, reg):
+        h = reg.histogram("h")
+        h.observe(1.5)
+        before = reg.snapshot()
+        h.observe(1.5)
+        h.observe(100.0)
+        delta = reg.diff(before)
+        assert delta["h"]["n"] == 2
+        assert dict(map(tuple, delta["h"]["buckets"])) == {1: 1, 7: 1}
+
+    def test_merged_buckets_support_percentiles(self, reg):
+        other = MetricsRegistry()
+        before = reg.snapshot()
+        for v in (1.0, 2.0, 64.0):
+            reg.histogram("h").observe(v)
+        other.merge(reg.diff(before))
+        h = other.histogram("h")
+        assert h.n == 3
+        assert h.percentile(100.0) == 64.0
+        assert h.percentile(1.0) >= 1.0
+
+
 def test_global_registry_is_shared():
     assert metrics() is metrics()

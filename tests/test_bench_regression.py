@@ -1,0 +1,150 @@
+"""Benchmark regression gate (scripts/check_bench_regression.py)."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench_regression", REPO / "scripts" / "check_bench_regression.py"
+)
+gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(gate)
+
+
+def write_report(directory, records, name="BENCH_x.json"):
+    path = directory / name
+    path.write_text(json.dumps({"version": 1, "records": records}))
+    return path
+
+
+def rec(test, mb_per_s=10.0, ratio=4.0, **extra):
+    return {"test": test, "MB_per_s": mb_per_s, "ratio": ratio, **extra}
+
+
+FIVE = [rec(f"t{i}", mb_per_s=10.0 + i) for i in range(5)]
+
+
+@pytest.fixture()
+def dirs(tmp_path):
+    base = tmp_path / "baselines"
+    fresh = tmp_path / "fresh"
+    base.mkdir()
+    fresh.mkdir()
+    return base, fresh
+
+
+def run(base, fresh, *extra):
+    return gate.main(
+        ["--fresh-dir", str(fresh), "--baseline-dir", str(base), *extra]
+    )
+
+
+class TestGateVerdicts:
+    def test_identical_reports_pass(self, dirs):
+        base, fresh = dirs
+        write_report(base, FIVE)
+        write_report(fresh, FIVE)
+        assert run(base, fresh) == 0
+
+    def test_single_test_minus_15_percent_fails(self, dirs):
+        """The acceptance fixture: one benchmark, throughput down 15%."""
+        base, fresh = dirs
+        write_report(base, [rec("roundtrip", mb_per_s=10.0)])
+        write_report(fresh, [rec("roundtrip", mb_per_s=8.5)])
+        assert run(base, fresh) == 1
+
+    def test_one_of_many_regressing_fails_despite_normalization(self, dirs):
+        base, fresh = dirs
+        write_report(base, FIVE)
+        slow = [dict(r) for r in FIVE]
+        slow[2]["MB_per_s"] *= 0.80
+        write_report(fresh, slow)
+        assert run(base, fresh) == 1
+
+    def test_uniform_slowdown_reads_as_machine_speed(self, dirs, capsys):
+        """A 2x across-the-board slowdown is normalized away by design."""
+        base, fresh = dirs
+        write_report(base, FIVE)
+        write_report(fresh, [dict(r, MB_per_s=r["MB_per_s"] / 2) for r in FIVE])
+        assert run(base, fresh) == 0
+        assert "normalization" in capsys.readouterr().out
+
+    def test_ratio_drop_fails_and_improvement_passes(self, dirs):
+        base, fresh = dirs
+        write_report(base, FIVE)
+        write_report(fresh, [dict(r, ratio=r["ratio"] * 0.95) for r in FIVE])
+        assert run(base, fresh) == 1
+        write_report(fresh, [dict(r, ratio=r["ratio"] * 1.5) for r in FIVE])
+        assert run(base, fresh) == 0
+
+    def test_bound_violation_fails_unconditionally(self, dirs):
+        """max_rel_err > rel_bound is a correctness bug, not a perf tolerance."""
+        base, fresh = dirs
+        good = [rec("roundtrip", max_rel_err=9e-4, rel_bound=1e-3)]
+        write_report(base, good)
+        write_report(fresh, [rec("roundtrip", max_rel_err=2e-3, rel_bound=1e-3)])
+        assert run(base, fresh) == 1
+        write_report(fresh, good)
+        assert run(base, fresh) == 0
+
+    def test_baseline_test_missing_from_fresh_fails(self, dirs):
+        base, fresh = dirs
+        write_report(base, FIVE)
+        write_report(fresh, FIVE[:-1])  # silently skipped benchmark
+        assert run(base, fresh) == 1
+
+    def test_new_fresh_test_is_only_a_note(self, dirs, capsys):
+        base, fresh = dirs
+        write_report(base, FIVE)
+        write_report(fresh, FIVE + [rec("brand-new")])
+        assert run(base, fresh) == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_missing_fresh_file_fails(self, dirs):
+        base, fresh = dirs
+        write_report(base, FIVE)
+        assert run(base, fresh) == 1
+
+    def test_no_baselines_at_all_fails_with_hint(self, dirs, capsys):
+        base, fresh = dirs
+        write_report(fresh, FIVE)
+        assert run(base, fresh) == 1
+        assert "--update-baselines" in capsys.readouterr().err
+
+
+class TestUpdateBaselines:
+    def test_promotes_fresh_reports(self, dirs):
+        base, fresh = dirs
+        write_report(fresh, FIVE)
+        assert run(base, fresh, "--update-baselines") == 0
+        assert (base / "BENCH_x.json").exists()
+        assert run(base, fresh) == 0  # now in agreement
+
+    def test_nothing_to_promote_fails(self, dirs):
+        base, fresh = dirs
+        assert run(base, fresh, "--update-baselines") == 1
+
+
+class TestReportLoading:
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"version": 2, "records": []}))
+        with pytest.raises(ValueError, match="version"):
+            gate.load_report(str(path))
+
+    def test_bad_tolerances_rejected(self, dirs):
+        base, fresh = dirs
+        with pytest.raises(SystemExit):
+            run(base, fresh, "--throughput-tolerance", "1.5")
+
+
+def test_committed_baselines_are_self_consistent():
+    """The repo's own baselines must pass the gate against themselves."""
+    baselines = REPO / "benchmarks" / "baselines"
+    assert list(baselines.glob("BENCH_*.json")), "no committed baselines"
+    assert gate.main(
+        ["--fresh-dir", str(baselines), "--baseline-dir", str(baselines)]
+    ) == 0

@@ -265,3 +265,90 @@ class TestFaultsCommand:
         bad = str(tmp_path / "bad.rpz")
         assert main(["faults", "drop-section", out, bad, "--key", "lens"]) == 0
         assert main(["decompress", bad, str(tmp_path / "b.npy")]) == 2
+
+
+class TestAuditCommand:
+    def test_clean_stream_passes(self, stream, field, capsys):
+        out, _ = stream
+        path, _ = field
+        capsys.readouterr()
+        assert main(["audit", out, "--original", path, "--shape", "16,16,16"]) == 0
+        text = capsys.readouterr().out
+        assert "verdict:" in text and "PASS" in text
+        assert "max rel error" in text
+
+    def test_without_original_checks_internals(self, stream, capsys):
+        out, _ = stream
+        capsys.readouterr()
+        assert main(["audit", out]) == 0
+        text = capsys.readouterr().out
+        assert "no original supplied" in text
+        assert "PASS" in text
+
+    def test_wrong_original_exits_2(self, stream, field, tmp_path, capsys):
+        from repro.data.io import write_raw
+
+        out, data = stream
+        wrong = str(tmp_path / "wrong.f32")
+        write_raw(wrong, (data * 1.5).astype(np.float32))
+        capsys.readouterr()
+        assert main(["audit", out, "--original", wrong, "--shape", "16,16,16"]) == 2
+        text = capsys.readouterr().out
+        assert "VIOLATION" in text and "FAIL" in text
+
+    def test_json_dump(self, stream, field, tmp_path):
+        import json
+
+        out, _ = stream
+        path, _ = field
+        dest = str(tmp_path / "audit.json")
+        assert main(["audit", out, "--original", path, "--shape", "16,16,16",
+                     "--json", dest]) == 0
+        doc = json.load(open(dest))
+        assert doc["codec"] == "CHUNKED"
+        assert doc["violations"] == 0
+        assert doc["n_points"] == 16 ** 3
+
+    def test_garbage_exits_2(self, tmp_path, capsys):
+        bad = str(tmp_path / "garbage.rpz")
+        with open(bad, "wb") as fh:
+            fh.write(b"not a stream")
+        assert main(["audit", bad]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMetricsExportFlags:
+    def test_openmetrics_to_file(self, stream, tmp_path):
+        from repro.observe import parse_openmetrics
+
+        out, _ = stream
+        dest = str(tmp_path / "metrics.om")
+        assert main(["stats", out, "--metrics-out", "openmetrics",
+                     "--metrics-path", dest]) == 0
+        families = parse_openmetrics(open(dest).read())
+        assert families  # the decode moved at least one metric
+
+    def test_jsonl_to_stdout(self, stream, tmp_path, capsys):
+        import json
+
+        out, _ = stream
+        back = str(tmp_path / "b.f32")
+        assert main(["decompress", out, back, "--metrics-out", "jsonl"]) == 0
+        lines = [ln for ln in capsys.readouterr().out.splitlines()
+                 if ln.startswith("{")]
+        assert lines
+        recs = [json.loads(ln) for ln in lines]
+        assert all("metric" in r for r in recs)
+        assert any(r["metric"].startswith("chunks.") for r in recs)
+
+    def test_compress_exports_audit_counters(self, field, tmp_path):
+        from repro.observe import parse_openmetrics
+
+        path, _ = field
+        out = str(tmp_path / "f.rpz")
+        dest = str(tmp_path / "metrics.om")
+        assert main(["compress", path, out, "--shape", "16,16,16",
+                     "--rel-bound", "1e-2", "--metrics-out", "openmetrics",
+                     "--metrics-path", dest]) == 0
+        families = parse_openmetrics(open(dest).read())
+        assert "repro_audit_points" in families

@@ -31,14 +31,16 @@ class TestQualityReport:
         assert rep.errors.max_abs <= 0.5
         assert rep.errors.bounded_fraction == 1.0
 
-    def test_unknown_bound_codec_still_reports_rates(self, smooth_positive_3d):
+    def test_precision_codec_reports_knob_without_grading(self, smooth_positive_3d):
         from repro import PrecisionBound
 
         blob = compress(smooth_positive_3d, PrecisionBound(19), compressor="FPZIP")
         rep = quality_report(smooth_positive_3d, blob)
-        assert rep.bound_kind is None
-        assert rep.errors is None
+        assert rep.bound_kind == "prec"
+        assert rep.bound_value == 19.0
+        assert rep.errors is None  # precision parameterizes fidelity, no guarantee
         assert math.isfinite(rep.psnr_db)
+        assert "fidelity knob, no point-wise guarantee" in rep.format()
 
     def test_format_is_human_readable(self, smooth_positive_3d):
         blob = compress(smooth_positive_3d, RelativeBound(1e-2))
@@ -64,6 +66,62 @@ class TestQualityReport:
               "--rel-bound", "1e-2", "--report"])
         out = capsys.readouterr().out
         assert "error shape" in out and "PSNR" in out
+
+
+class TestStreamBoundEveryCodec:
+    """Every registered codec either exposes its bound or is known boundless."""
+
+    #: Codecs with deliberately no recoverable bound: lossless, and the
+    #: CHUNKED wrapper (its per-chunk inner streams carry the bounds).
+    BOUNDLESS = {"GZIP", "CHUNKED"}
+    EXPECTED_VALUE = {"abs": 0.5, "rel": 1e-2, "prec": 19.0, "rate": 8.0}
+
+    def test_registry_and_bound_keys_in_sync(self):
+        from repro.compressors.base import available_compressors
+        from repro.report import _BOUND_KEYS
+
+        unmapped = set(available_compressors()) - set(_BOUND_KEYS) - self.BOUNDLESS
+        assert not unmapped, (
+            f"codecs {sorted(unmapped)} are registered but have no _BOUND_KEYS "
+            "entry; add one (or list them as deliberately boundless)"
+        )
+
+    @staticmethod
+    def _bound_for(kind):
+        from repro import PrecisionBound, RateBound
+
+        return {
+            "abs": AbsoluteBound(0.5),
+            "rel": RelativeBound(1e-2),
+            "prec": PrecisionBound(19),
+            "rate": RateBound(8),
+        }[kind]
+
+    def _all_codecs():
+        import repro  # noqa: F401 - triggers codec registration
+        from repro.compressors.base import available_compressors
+
+        return available_compressors()
+
+    @pytest.mark.parametrize("codec", _all_codecs())
+    def test_stream_bound_recovered_from_stream(self, codec, smooth_positive_3d):
+        from repro import get_compressor
+        from repro.encoding.container import Container
+        from repro.report import _BOUND_KEYS, stream_bound
+
+        comp = get_compressor(codec)
+        if codec == "GZIP":
+            blob = comp.compress(smooth_positive_3d)
+        else:
+            kind = _BOUND_KEYS[codec][1] if codec in _BOUND_KEYS else "rel"
+            blob = comp.compress(smooth_positive_3d, self._bound_for(kind))
+        got_kind, got_value = stream_bound(Container.from_bytes(blob))
+        if codec in self.BOUNDLESS:
+            assert (got_kind, got_value) == (None, None)
+        else:
+            want_kind = _BOUND_KEYS[codec][1]
+            assert got_kind == want_kind
+            assert got_value == self.EXPECTED_VALUE[want_kind]
 
 
 class TestStreamStats:
@@ -99,3 +157,43 @@ class TestStreamStats:
         assert "CRC verification" in text
         assert "sections:" in text
         assert "inner" in text
+
+
+class TestTolerateCorruption:
+    """build_report(tolerate_corruption=True) on damaged CHUNKED v2 streams."""
+
+    @pytest.fixture()
+    def chunked_blob(self, smooth_positive_3d):
+        from repro.core.chunked import ChunkedCompressor
+
+        comp = ChunkedCompressor("SZ_T", chunk_bytes=8192, executor="serial")
+        return comp.compress(smooth_positive_3d, RelativeBound(1e-2))
+
+    def test_clean_stream_has_no_recovery(self, chunked_blob):
+        stats = build_report(chunked_blob, tolerate_corruption=True)
+        assert stats.recovery is None
+        assert "recovery:" not in stats.format()
+        assert stats.codec == "CHUNKED" and stats.n_chunks > 1
+
+    def test_corrupt_chunk_recovered_and_reported(self, chunked_blob):
+        from repro import StreamError
+        from repro.testing.faults import corrupt_chunk
+
+        bad = corrupt_chunk(chunked_blob, index=1)
+        with pytest.raises(StreamError):
+            build_report(bad)  # strict decode still refuses damaged bytes
+        stats = build_report(bad, tolerate_corruption=True)
+        assert stats.codec == "CHUNKED"
+        assert stats.recovery is not None and not stats.recovery.complete
+        assert stats.recovery.n_lost_chunks == 1
+        assert stats.recovery.failures[0].index == 1
+        assert stats.n_chunks == stats.recovery.n_chunks
+        assert "payload" in stats.sections and "lens" in stats.sections
+        text = stats.format()
+        assert "recovery:" in text and "lost 1/" in text
+
+    def test_unrecoverable_stream_still_raises(self):
+        from repro.encoding.container import ContainerError
+
+        with pytest.raises(ContainerError, match="unrecoverable"):
+            build_report(b"this is not a stream at all", tolerate_corruption=True)
