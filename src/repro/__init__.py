@@ -46,6 +46,7 @@ from repro.compressors.lossless import LosslessDeflate
 from repro.core import (
     ChunkedCompressor,
     ChunkFailure,
+    ChunkTimeoutError,
     LogTransform,
     RecoveryReport,
     TransformedCompressor,
@@ -67,6 +68,7 @@ __all__ = [
     "AbsoluteBound",
     "ChecksumError",
     "ChunkFailure",
+    "ChunkTimeoutError",
     "ChunkedCompressor",
     "Compressor",
     "Container",
@@ -98,6 +100,7 @@ __all__ = [
     "make_zfp_t",
     "recover_array",
     "register_compressor",
+    "repair_stream",
     "verify_stream",
 ]
 
@@ -167,3 +170,14 @@ def verify_stream(blob: bytes):
     from repro.integrity import verify_stream as _verify
 
     return _verify(blob)
+
+
+def repair_stream(blob: bytes):
+    """Rebuild damaged chunks of a parity-bearing stream from parity.
+
+    Convenience re-export of :func:`repro.integrity.repair_stream`;
+    returns ``(repaired_bytes, RepairReport)``.
+    """
+    from repro.integrity import repair_stream as _repair
+
+    return _repair(blob)

@@ -8,6 +8,7 @@ Mirrors the ergonomics of the SZ/ZFP command-line utilities::
     repro-compress info field.rpz
     repro-compress stats field.rpz
     repro-compress verify field.rpz
+    repro-compress repair damaged.rpz repaired.rpz --json report.json
     repro-compress faults bit-flip field.rpz damaged.rpz --seed 3
 
 ``compress``, ``decompress`` and ``stats`` accept ``--trace`` (print the
@@ -81,6 +82,18 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _parse_fill(text: str) -> str | float:
+    """Fill policy: a named mode or a literal float."""
+    if text in ("nan", "zero", "nearest"):
+        return text
+    try:
+        return float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad fill {text!r}; expected nan, zero, nearest, or a number"
+        )
+
+
 def _parse_keep(text: str) -> int | float:
     """Truncation point: plain int = byte count, value with '.' = fraction."""
     try:
@@ -119,7 +132,8 @@ def _cmd_compress(args) -> int:
     data = load_array(args.input, args.shape, np.dtype(args.dtype))
     bound = _bound_from(args)
     label = args.compressor
-    if args.chunk_size is not None or args.workers is not None:
+    chunked_opts = (args.chunk_size, args.workers, args.parity, args.chunk_timeout)
+    if any(v is not None for v in chunked_opts):
         from repro.core.chunked import ChunkedCompressor
 
         kwargs = {}
@@ -127,11 +141,18 @@ def _cmd_compress(args) -> int:
             kwargs["chunk_bytes"] = args.chunk_size
         if args.workers is not None:
             kwargs["workers"] = args.workers
+        if args.parity is not None:
+            kwargs["parity"] = args.parity
+            kwargs["group_size"] = args.group_size
+        if args.chunk_timeout is not None:
+            kwargs["timeout"] = args.chunk_timeout
         chunked = ChunkedCompressor(args.compressor, **kwargs)
         blob = compress(data, bound, compressor=chunked)
         label = (
             f"{args.compressor} ({chunked.last_chunk_count} chunks x "
-            f"{chunked.workers} workers)"
+            f"{chunked.workers} workers"
+            + (f", k={chunked.parity} parity" if chunked.parity else "")
+            + ")"
         )
     else:
         blob = compress(data, bound, compressor=args.compressor)
@@ -157,7 +178,7 @@ def _cmd_decompress(args) -> int:
     if args.tolerate_corruption:
         from repro.core.chunked import recover_array
 
-        recon, report = recover_array(blob)
+        recon, report = recover_array(blob, args.fill)
         if recon is None:
             print(f"error: {args.input}: unrecoverable: {report.failures[0].error}",
                   file=sys.stderr)
@@ -182,6 +203,12 @@ def _cmd_info(args) -> int:
     if box.codec == "CHUNKED":
         print(f"inner:  {box.get_str('inner_codec')}")
         print(f"chunks: {box.get_u64('n_chunks')}")
+        if "parity_k" in box:
+            print(
+                f"parity: k={box.get_u64('parity_k')} per group of "
+                f"{box.get_u64('group_size')} "
+                f"({len(box.get('parity'))} parity bytes)"
+            )
     for key in box.keys():
         print(f"  section {key:12s} {len(box.get(key)):10d} B")
     return 0
@@ -223,6 +250,22 @@ def _cmd_verify(args) -> int:
     print(f"{args.input}: {report.summary()}")
     for note in report.notes:
         print(f"  note: {note}")
+    return 0 if report.ok else 2
+
+
+def _cmd_repair(args) -> int:
+    from repro.integrity import repair_stream
+
+    blob = _read_blob(args.input)
+    fixed, report = repair_stream(blob)
+    with open(args.output, "wb") as fh:
+        fh.write(fixed)
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+    print(f"{args.input}: {report.summary()}")
     return 0 if report.ok else 2
 
 
@@ -277,13 +320,25 @@ def main(argv: list[str] | None = None) -> int:
     comp.add_argument("--workers", type=_positive_int, default=None, metavar="N",
                       help="parallel chunk workers (default: all available CPUs; "
                            "implies --chunk-size 4M when set alone)")
+    comp.add_argument("--parity", type=_positive_int, default=None, metavar="K",
+                      help="store K Reed-Solomon parity blocks per chunk group "
+                           "(writes a v3 stream; implies chunking)")
+    comp.add_argument("--group-size", type=_positive_int, default=8, metavar="M",
+                      help="data chunks per parity group (default 8)")
+    comp.add_argument("--chunk-timeout", type=float, default=None, metavar="SEC",
+                      help="per-chunk watchdog deadline: hung workers are "
+                           "cancelled and retried (implies chunking)")
 
     dec = sub.add_parser("decompress", help="reconstruct a compressed stream")
     dec.add_argument("input")
     dec.add_argument("output")
     dec.add_argument("--tolerate-corruption", action="store_true",
-                     help="recover intact chunks of a damaged stream, filling "
-                          "lost spans with NaN (report goes to stderr)")
+                     help="repair parity-covered chunks and recover intact "
+                          "chunks of a damaged stream (report goes to stderr)")
+    dec.add_argument("--fill", type=_parse_fill, default="nan", metavar="MODE",
+                     help="fill for unrecoverable spans with "
+                          "--tolerate-corruption: nan, zero, nearest, or a "
+                          "number (default nan)")
 
     info = sub.add_parser("info", help="describe a compressed stream")
     info.add_argument("input")
@@ -335,6 +390,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     ver.add_argument("input")
 
+    rep = sub.add_parser(
+        "repair",
+        help="rebuild damaged chunks of a parity-bearing (v3) stream from "
+             "Reed-Solomon parity (exit 0 = fully repaired, 2 = losses remain)",
+    )
+    rep.add_argument("input")
+    rep.add_argument("output")
+    rep.add_argument("--json", default=None, metavar="PATH",
+                     help="write the per-chunk RepairReport as JSON")
+
     flt = sub.add_parser(
         "faults",
         help="inject a deterministic fault into a stream (testing/repro)",
@@ -365,6 +430,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _cmd_stats,
         "audit": _cmd_audit,
         "verify": _cmd_verify,
+        "repair": _cmd_repair,
         "faults": _cmd_faults,
     }[args.command]
     tracing = bool(getattr(args, "trace", False) or getattr(args, "trace_json", None))

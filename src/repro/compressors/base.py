@@ -206,6 +206,10 @@ class Compressor(abc.ABC):
 
     name: str = "abstract"
     supported_bounds: tuple[type, ...] = ()
+    #: True when this compressor round-trips NaN/±Inf exactly (e.g. a
+    #: ``TransformedCompressor`` with ``nonfinite="preserve"``).  Wrappers
+    #: like ``ChunkedCompressor`` consult it before rejecting input.
+    allows_nonfinite: bool = False
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
@@ -238,7 +242,7 @@ class Compressor(abc.ABC):
             )
 
     @staticmethod
-    def _check_input(data: np.ndarray) -> np.ndarray:
+    def _check_input(data: np.ndarray, allow_nonfinite: bool = False) -> np.ndarray:
         data = np.asarray(data)
         if data.dtype not in (np.float32, np.float64):
             raise TypeError(f"expected float32/float64 data, got {data.dtype}")
@@ -246,15 +250,17 @@ class Compressor(abc.ABC):
             raise ValueError(f"expected 1-D/2-D/3-D data, got ndim={data.ndim}")
         if data.size == 0:
             raise ValueError("cannot compress an empty array")
-        finite = np.isfinite(data)
-        if not finite.all():
-            n_nan = int(np.isnan(data).sum())
-            n_inf = int(data.size - int(finite.sum()) - n_nan)
-            raise ValueError(
-                f"data contains {n_nan} NaN and {n_inf} Inf values "
-                f"(of {data.size}); error-bounded lossy compression of "
-                "non-finite values is undefined"
-            )
+        if not allow_nonfinite:
+            finite = np.isfinite(data)
+            if not finite.all():
+                n_nan = int(np.isnan(data).sum())
+                n_inf = int(data.size - int(finite.sum()) - n_nan)
+                raise ValueError(
+                    f"data contains {n_nan} NaN and {n_inf} Inf values "
+                    f"(of {data.size}); error-bounded lossy compression of "
+                    "non-finite values is undefined (use nonfinite='preserve' "
+                    "on a transformed compressor to store them exactly)"
+                )
         return np.ascontiguousarray(data)
 
     @staticmethod

@@ -18,8 +18,10 @@ problem into an *absolute*-error-bounded one:
 """
 
 from repro.core.chunked import (
+    DEFAULT_GROUP_SIZE,
     ChunkedCompressor,
     ChunkFailure,
+    ChunkTimeoutError,
     RecoveryReport,
     chunk_patch_total,
     iter_chunk_blobs,
@@ -31,7 +33,9 @@ from repro.core.transform import LogTransform
 
 __all__ = [
     "ChunkFailure",
+    "ChunkTimeoutError",
     "ChunkedCompressor",
+    "DEFAULT_GROUP_SIZE",
     "LogTransform",
     "RecoveryReport",
     "TransformedCompressor",

@@ -34,7 +34,8 @@ import os
 import time
 from collections.abc import Iterator
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -45,6 +46,7 @@ from repro.encoding.container import (
     ContainerError,
     StreamError,
 )
+from repro.encoding.rs import MAX_GROUP_BLOCKS, encode_parity
 from repro.observe.events import emit as emit_event
 from repro.observe.metrics import metrics
 from repro.observe.propagate import absorb, run_traced
@@ -53,7 +55,9 @@ from repro.utils.blocking import chunk_spans
 
 __all__ = [
     "ChunkFailure",
+    "ChunkTimeoutError",
     "ChunkedCompressor",
+    "DEFAULT_GROUP_SIZE",
     "RecoveryReport",
     "chunk_patch_total",
     "iter_chunk_blobs",
@@ -63,7 +67,58 @@ __all__ = [
 #: Default chunk budget: 4 MB sits in the paper-motivated 1-16 MB window.
 DEFAULT_CHUNK_BYTES = 4 * 2**20
 
+#: Default parity-group width: 8 data chunks per group, so ``parity=2``
+#: costs ~25% of the *compressed* bytes (a few percent of the raw data)
+#: and survives any two lost chunks per group.
+DEFAULT_GROUP_SIZE = 8
+
 _EXECUTORS = ("auto", "serial", "thread", "process")
+
+#: Named fill policies for unrecoverable chunk spans (a float is also
+#: accepted anywhere a fill is).
+_FILL_MODES = ("nan", "zero", "nearest")
+
+
+class ChunkTimeoutError(TimeoutError):
+    """A chunk worker exceeded its deadline on every allowed attempt.
+
+    Deliberately *not* a :class:`StreamError`: the bytes are fine, the
+    execution environment is not, so recovery paths must not treat it as
+    stream damage.
+    """
+
+
+def _fill_scalar(fill: float | str) -> float:
+    """The scalar planted in lost spans (``nearest`` resolves later)."""
+    if isinstance(fill, str):
+        if fill not in _FILL_MODES:
+            raise ValueError(f"fill must be a float or one of {_FILL_MODES}, got {fill!r}")
+        return 0.0 if fill == "zero" else float("nan")
+    return float(fill)
+
+
+def _apply_nearest_fill(out: np.ndarray, lost_spans: list[tuple[int, int]]) -> None:
+    """Overwrite lost flat spans with the nearest surviving element.
+
+    Ties round down; an array with no survivors keeps NaN so the loss
+    stays visible.
+    """
+    if not lost_spans:
+        return
+    bad = np.zeros(out.size, dtype=bool)
+    for start, stop in lost_spans:
+        bad[start:stop] = True
+    good_idx = np.flatnonzero(~bad)
+    bad_idx = np.flatnonzero(bad)
+    if good_idx.size == 0:
+        out[bad_idx] = np.nan
+        return
+    pos = np.searchsorted(good_idx, bad_idx)
+    left = np.clip(pos - 1, 0, good_idx.size - 1)
+    right = np.clip(pos, 0, good_idx.size - 1)
+    use_right = (good_idx[right] - bad_idx) < (bad_idx - good_idx[left])
+    nearest = np.where(use_right, good_idx[right], good_idx[left])
+    out[bad_idx] = out[nearest]
 
 
 def _available_workers() -> int:
@@ -103,13 +158,21 @@ class RecoveryReport:
     """Outcome of a damage-tolerant decompression.
 
     ``total_elements`` counts the array's elements; every element inside a
-    failure span was filled with the caller's fill value instead of real
-    data.  An empty ``failures`` tuple means the stream decoded fully.
+    failure span holds a fill value (``fill_mode``) instead of real data.
+    ``repaired_chunks`` lists chunks that *were* damaged but were rebuilt
+    byte-exactly from parity -- their spans hold true data and do not
+    appear in ``failures``.  An empty ``failures`` tuple means every
+    element is genuine.
     """
 
     n_chunks: int
     total_elements: int
     failures: tuple[ChunkFailure, ...] = ()
+    #: How unrecoverable spans were filled: "nan", "zero", "nearest", or
+    #: the string form of a caller-supplied float.
+    fill_mode: str = "nan"
+    #: Chunks reconstructed from Reed-Solomon parity (true data).
+    repaired_chunks: tuple[int, ...] = field(default=())
 
     @property
     def complete(self) -> bool:
@@ -120,21 +183,36 @@ class RecoveryReport:
         return len(self.failures)
 
     @property
+    def n_repaired_chunks(self) -> int:
+        return len(self.repaired_chunks)
+
+    @property
     def lost_elements(self) -> int:
         if any(f.span is None for f in self.failures):
             return self.total_elements
         return sum(stop - start for f in self.failures for start, stop in [f.span])
 
     @property
+    def filled_elements(self) -> int:
+        """Elements holding fill/interpolated values rather than data."""
+        return self.lost_elements
+
+    @property
     def recovered_elements(self) -> int:
         return self.total_elements - self.lost_elements
 
     def summary(self) -> str:
+        repaired = (
+            f" ({self.n_repaired_chunks} chunk(s) rebuilt from parity)"
+            if self.repaired_chunks
+            else ""
+        )
         if self.complete:
-            return f"all {self.n_chunks} chunks intact"
+            return f"all {self.n_chunks} chunks intact{repaired}"
         return (
             f"lost {self.n_lost_chunks}/{self.n_chunks} chunks "
-            f"({self.lost_elements}/{self.total_elements} elements): "
+            f"({self.lost_elements}/{self.total_elements} elements, "
+            f"filled with {self.fill_mode}){repaired}: "
             + "; ".join(
                 f"chunk {f.index if f.index is not None else '?'}: {f.error}"
                 for f in self.failures
@@ -163,6 +241,23 @@ class ChunkedCompressor(Compressor):
         ``"thread"`` or ``"process"``.  A callable ``f(nworkers) ->
         Executor`` is also accepted -- the hook fault-injection tests use
         to wrap a pool with crash injectors.
+    parity:
+        Reed-Solomon parity blocks per group of ``group_size`` chunks
+        (0 = off).  With ``parity=k`` any ``k`` damaged or truncated
+        chunk streams per group are rebuilt byte-exactly at recovery
+        time; the stream is written as a v3 container record (see
+        ``docs/formats.md`` and ``docs/recovery.md``).
+    group_size:
+        Data chunks per parity group (default 8; ``group_size + parity``
+        is capped at 255 by GF(256)).
+    timeout:
+        Per-chunk watchdog deadline in seconds (None = no watchdog).  A
+        chunk whose worker has not delivered within ``timeout`` of being
+        submitted is cancelled and retried on a fresh worker -- up to
+        ``timeout_retries`` times with exponential backoff starting at
+        ``timeout_backoff_s`` -- before :class:`ChunkTimeoutError` is
+        raised.  With a timeout set, even ``serial`` runs go through a
+        single-slot pool so the deadline is enforceable.
 
     A worker failure that is not a :class:`StreamError` (a crashed
     process pool, a transient executor fault) does not fail the array:
@@ -179,6 +274,11 @@ class ChunkedCompressor(Compressor):
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
         workers: int | None = None,
         executor: str = "auto",
+        parity: int = 0,
+        group_size: int = DEFAULT_GROUP_SIZE,
+        timeout: float | None = None,
+        timeout_retries: int = 2,
+        timeout_backoff_s: float = 0.05,
     ) -> None:
         if chunk_bytes <= 0:
             raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
@@ -186,15 +286,38 @@ class ChunkedCompressor(Compressor):
             raise ValueError(f"workers must be positive, got {workers}")
         if not callable(executor) and executor not in _EXECUTORS:
             raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+        if parity < 0:
+            raise ValueError(f"parity must be non-negative, got {parity}")
+        if group_size < 1:
+            raise ValueError(f"group_size must be positive, got {group_size}")
+        if parity and group_size + parity > MAX_GROUP_BLOCKS:
+            raise ValueError(
+                f"group_size + parity must not exceed {MAX_GROUP_BLOCKS} "
+                f"(GF(256)), got {group_size} + {parity}"
+            )
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if timeout_retries < 0:
+            raise ValueError(f"timeout_retries must be >= 0, got {timeout_retries}")
+        if timeout_backoff_s < 0:
+            raise ValueError(f"timeout_backoff_s must be >= 0, got {timeout_backoff_s}")
         self._inner = inner
         self.chunk_bytes = int(chunk_bytes)
         self.workers = int(workers) if workers is not None else _available_workers()
         self.executor = executor
+        self.parity = int(parity)
+        self.group_size = int(group_size)
+        self.timeout = float(timeout) if timeout is not None else None
+        self.timeout_retries = int(timeout_retries)
+        self.timeout_backoff_s = float(timeout_backoff_s)
         #: Chunk count of the most recent compress() call.
         self.last_chunk_count = 0
         #: Chunks the most recent _map had to re-run serially after a
         #: worker/executor failure.
         self.last_retried_chunks = 0
+        #: Chunks whose worker hit the watchdog deadline in the most
+        #: recent _map (each was cancelled and retried on a fresh worker).
+        self.last_timed_out_chunks = 0
         #: Aggregated bound audit of the most recent compress() call,
         #: rebuilt from the ``audit.*`` registry delta the chunk workers'
         #: verify passes moved (and telemetry propagation merged back),
@@ -226,10 +349,106 @@ class ChunkedCompressor(Compressor):
         if mode == "auto":
             mode = "process" if nworkers > 1 else "serial"
         if mode == "serial" or nworkers < 2:
+            if self.timeout is not None:
+                # A deadline is only enforceable on work we can abandon:
+                # run nominally-serial jobs through one pool thread.
+                return ThreadPoolExecutor(max_workers=1)
             return None
         if mode == "thread":
             return ThreadPoolExecutor(max_workers=nworkers)
         return ProcessPoolExecutor(max_workers=nworkers)
+
+    def _fresh_worker(self) -> Executor:
+        """A disposable single-slot pool for retrying a timed-out chunk.
+
+        Process mode gets a brand-new process (the hung one may be
+        wedged beyond recovery); every other mode -- thread, serial-with-
+        timeout, injected test executors -- gets a fresh thread, which
+        insulates the retry from whatever stalled the original pool.
+        """
+        if not callable(self.executor) and (
+            self.executor == "process"
+            or (self.executor == "auto" and min(self.workers, 2) > 1)
+        ):
+            return ProcessPoolExecutor(max_workers=1)
+        return ThreadPoolExecutor(max_workers=1)
+
+    @staticmethod
+    def _shutdown_pool(pool: Executor, abandon: bool) -> None:
+        """Release a pool; ``abandon`` skips the join and kills stragglers.
+
+        Joining a pool that still owns a hung worker would hang this
+        thread too, so the watchdog path cancels what it can, refuses to
+        wait, and terminates any worker *processes* outright (threads
+        cannot be killed, only orphaned).
+        """
+        if not abandon:
+            pool.shutdown(wait=True)
+            return
+        pool.shutdown(wait=False, cancel_futures=True)
+        procs = getattr(pool, "_processes", None)
+        if procs:
+            for proc in list(procs.values()):
+                proc.terminate()
+
+    def _wait(self, fut: Future, submitted_at: float):
+        """``fut.result()`` honouring the per-chunk watchdog deadline."""
+        if self.timeout is None:
+            return fut.result()
+        budget = submitted_at + self.timeout - time.perf_counter()
+        return fut.result(timeout=max(budget, 0.0))
+
+    def _retry_timed_out(self, fn, job, index: int, parent) -> object:
+        """Bounded fresh-worker retry of a chunk whose worker hung.
+
+        Each attempt gets its own single-slot pool and the full
+        ``timeout`` budget, after an exponential-backoff pause; the hung
+        attempt's pool is abandoned, never joined.  Exhausting
+        ``timeout_retries`` raises :class:`ChunkTimeoutError`.
+        """
+        reg = metrics()
+        delay = self.timeout_backoff_s
+        for attempt in range(1, self.timeout_retries + 1):
+            if delay:
+                time.sleep(delay)
+            delay *= 2
+            emit_event(
+                "chunk-retry", index=index, codec=self.name,
+                reason="timeout", attempt=attempt,
+            )
+            worker = self._fresh_worker()
+            t0 = time.perf_counter()
+            fut = worker.submit(run_traced, fn, *job)
+            try:
+                result, telem = self._wait(fut, t0)
+            except FuturesTimeoutError:
+                fut.cancel()
+                self._shutdown_pool(worker, abandon=True)
+                reg.counter("chunks.timed_out").inc()
+                emit_event(
+                    "chunk-timeout", index=index, codec=self.name,
+                    timeout_s=self.timeout, attempt=attempt,
+                )
+                continue
+            except StreamError:
+                self._shutdown_pool(worker, abandon=False)
+                raise
+            except Exception:
+                # Fresh worker died for a non-timeout reason (e.g. a
+                # crashed process): fall back to the in-process serial
+                # retry used for ordinary worker loss.
+                self._shutdown_pool(worker, abandon=True)
+                with span("chunk", index=index, retried=True):
+                    return fn(*job)
+            self._shutdown_pool(worker, abandon=False)
+            absorb(parent, telem, label="chunk", index=index, t_submit=t0)
+            reg.histogram("chunk.exec_s").observe(telem.wall_s)
+            return result
+        raise ChunkTimeoutError(
+            f"chunk {index} exceeded its {self.timeout}s deadline on "
+            f"{self.timeout_retries + 1} worker(s) (initial + "
+            f"{self.timeout_retries} retries)"
+        )
 
     def _map(self, fn, jobs: list) -> list:
         """Run ``fn(*job)`` for every job, retrying worker failures serially.
@@ -246,6 +465,7 @@ class ChunkedCompressor(Compressor):
         span as ``chunk`` children carrying queue-wait and execute times.
         """
         self.last_retried_chunks = 0
+        self.last_timed_out_chunks = 0
         reg = metrics()
         pool = self._make_pool(len(jobs))
         if pool is None:
@@ -259,7 +479,8 @@ class ChunkedCompressor(Compressor):
         done = [False] * len(jobs)
         futures: dict[int, Future] = {}
         submitted: dict[int, float] = {}
-        with pool:
+        timed_out: list[int] = []
+        try:
             try:
                 for i, job in enumerate(jobs):
                     submitted[i] = time.perf_counter()
@@ -268,8 +489,19 @@ class ChunkedCompressor(Compressor):
                 pass  # pool died mid-submit; unsubmitted jobs retry below
             for i, fut in futures.items():
                 try:
-                    results[i], telem = fut.result()
+                    results[i], telem = self._wait(fut, submitted[i])
                     done[i] = True
+                except FuturesTimeoutError:
+                    # Hung worker: cancel the straggler and hand the chunk
+                    # to the fresh-worker retry path below.
+                    fut.cancel()
+                    timed_out.append(i)
+                    reg.counter("chunks.timed_out").inc()
+                    emit_event(
+                        "chunk-timeout", index=i, codec=self.name,
+                        timeout_s=self.timeout, attempt=0,
+                    )
+                    continue
                 except StreamError:
                     raise
                 except Exception:
@@ -279,6 +511,14 @@ class ChunkedCompressor(Compressor):
                 reg.histogram("chunk.exec_s").observe(telem.wall_s)
                 if wait is not None:
                     reg.histogram("chunk.queue_wait_s").observe(wait)
+        finally:
+            self._shutdown_pool(pool, abandon=bool(timed_out))
+        self.last_timed_out_chunks = len(timed_out)
+        if timed_out:
+            parent.set(timed_out=len(timed_out))
+        for i in timed_out:
+            results[i] = self._retry_timed_out(fn, jobs[i], i, parent)
+            done[i] = True
         pending = [i for i in range(len(jobs)) if not done[i]]
         self.last_retried_chunks = len(pending)
         if pending:
@@ -341,7 +581,9 @@ class ChunkedCompressor(Compressor):
                 raise ValueError(f"expected 1-D/2-D/3-D data, got ndim={data.ndim}")
             chunks, blobs = [], []
         else:
-            data = self._check_input(data)
+            data = self._check_input(
+                data, allow_nonfinite=getattr(inner, "allows_nonfinite", False)
+            )
             chunks = self._split(data)
             audit_before = metrics().snapshot()
             blobs = self._map(_compress_chunk, [(inner, c, bound) for c in chunks])
@@ -358,8 +600,36 @@ class ChunkedCompressor(Compressor):
         box.put_array("offs", offs)
         box.put_array("lens", lens)
         box.put_array("elems", np.array([c.size for c in chunks], dtype=np.uint64))
+        # Parity sections precede the payload on purpose: a tail
+        # truncation then erases trailing *chunks* -- exactly the erasure
+        # pattern the parity can repair -- instead of the parity itself.
+        version = None
+        if self.parity and blobs:
+            with span("parity-encode", k=self.parity, m=self.group_size):
+                self._put_parity_sections(box, blobs)
+            version = 3
         box.put("payload", b"".join(blobs))
-        return box.to_bytes()
+        return box.to_bytes(version=version)
+
+    def _put_parity_sections(self, box: Container, blobs: list[bytes]) -> None:
+        """Append the v3 parity sections for ``blobs`` (see docs/formats.md)."""
+        t0 = time.perf_counter()
+        m, k = self.group_size, self.parity
+        parity_blocks: list[bytes] = []
+        group_lens: list[int] = []
+        for g in range(0, len(blobs), m):
+            blocks = encode_parity(blobs[g : g + m], k)
+            group_lens.append(len(blocks[0]) if blocks else 0)
+            parity_blocks.extend(blocks)
+        box.put_u64("parity_k", k)
+        box.put_u64("group_size", m)
+        box.put_array("parity_lens", np.array(group_lens, dtype=np.uint64))
+        box.put("parity", b"".join(parity_blocks))
+        reg = metrics()
+        reg.counter("parity.encode_s").inc(time.perf_counter() - t0)
+        reg.counter("parity.bytes").inc(sum(len(p) for p in parity_blocks))
+        reg.counter("parity.groups").inc(len(group_lens))
+        current_span().set(parity=k, groups=len(group_lens))
 
     # -- decompression -------------------------------------------------------
 
@@ -414,17 +684,22 @@ class ChunkedCompressor(Compressor):
         return flat.astype(dtype, copy=False).reshape(shape)
 
     def decompress_partial(
-        self, blob: bytes, fill: float = float("nan")
+        self, blob: bytes, fill: float | str = "nan", repair: bool = True
     ) -> tuple[np.ndarray, RecoveryReport]:
         """Decode every intact chunk of a damaged CHUNKED stream.
 
-        Chunks whose bytes fail their own checksums (or decode to the
-        wrong element count) are replaced by ``fill`` across their span
-        and reported in the returned :class:`RecoveryReport`.  Raises
-        :class:`StreamError` only when the stream's *geometry* (shape,
-        dtype, chunk table) is itself unreadable -- without it there is
-        nothing to recover into.
+        When the stream carries Reed-Solomon parity (a v3 record) and
+        ``repair`` is true, damaged chunks are first rebuilt byte-exactly
+        via :func:`repro.integrity.repair_stream`; only chunks the parity
+        could not cover are lost.  Lost chunks are replaced by ``fill``
+        across their span -- a float, or ``"nan"``/``"zero"``/``"nearest"``
+        (nearest surviving element) -- and reported in the returned
+        :class:`RecoveryReport`.  Raises :class:`StreamError` only when
+        the stream's *geometry* (shape, dtype, chunk table) is itself
+        unreadable -- without it there is nothing to recover into.
         """
+        fill_value = _fill_scalar(fill)
+        fill_mode = fill if isinstance(fill, str) else repr(float(fill))
         box = Container.from_bytes(blob, verify_checksums=False, partial=True)
         if box.codec != self.name:
             raise ContainerError(
@@ -442,24 +717,43 @@ class ChunkedCompressor(Compressor):
         if n == 0:
             if total != 0:
                 raise ContainerError("corrupt CHUNKED stream: no chunks for non-empty shape")
-            return np.zeros(shape, dtype=dtype), RecoveryReport(0, 0)
+            return np.zeros(shape, dtype=dtype), RecoveryReport(0, 0, fill_mode=fill_mode)
         offs, lens, elems = self._read_chunk_table(box, shape)
+        repaired: tuple[int, ...] = ()
+        if repair and "parity_k" in box:
+            from repro.integrity import repair_stream
+
+            try:
+                fixed, rep = repair_stream(blob)
+            except StreamError:
+                pass  # parity metadata itself damaged: recover unrepaired
+            else:
+                if rep.repaired:
+                    blob = fixed
+                    repaired = rep.repaired
+                    box = Container.from_bytes(
+                        blob, verify_checksums=False, partial=True
+                    )
         payload = box.get("payload") if "payload" in box else b""
         starts = np.concatenate([[0], np.cumsum(elems)])
-        out = np.full(total, fill, dtype=dtype)
+        out = np.full(total, fill_value, dtype=dtype)
         failures: list[ChunkFailure] = []
         for i, (o, ln) in enumerate(zip(offs, lens)):
-            span = (int(starts[i]), int(starts[i + 1]))
+            chunk_span = (int(starts[i]), int(starts[i + 1]))
             try:
                 if o + ln > len(payload):
                     raise ContainerError("chunk bytes missing (truncated payload)")
                 part = _decompress_chunk(payload[o : o + ln])
                 if part.size != elems[i]:
                     raise ContainerError("chunk decoded to the wrong element count")
-                out[span[0] : span[1]] = part.ravel().astype(dtype, copy=False)
+                out[chunk_span[0] : chunk_span[1]] = part.ravel().astype(dtype, copy=False)
             except StreamError as exc:
-                failures.append(ChunkFailure(i, span, str(exc)))
-        return out.reshape(shape), RecoveryReport(int(n), total, tuple(failures))
+                failures.append(ChunkFailure(i, chunk_span, str(exc)))
+        if fill == "nearest" and failures:
+            _apply_nearest_fill(out, [f.span for f in failures])
+        return out.reshape(shape), RecoveryReport(
+            int(n), total, tuple(failures), fill_mode=fill_mode, repaired_chunks=repaired
+        )
 
 
 # -- stream introspection ----------------------------------------------------
@@ -491,18 +785,23 @@ def chunk_patch_total(blob: bytes) -> int:
 
 
 def recover_array(
-    blob: bytes, fill: float = float("nan")
+    blob: bytes, fill: float | str = "nan"
 ) -> tuple[np.ndarray | None, RecoveryReport | None]:
     """Best-effort decode of any stream: ``(array, report)``.
 
     Clean streams return ``(array, None)``.  Damaged CHUNKED streams
-    recover their intact chunks via :meth:`ChunkedCompressor.decompress_partial`.
+    first rebuild what the stream's Reed-Solomon parity covers, then
+    recover the remaining intact chunks via
+    :meth:`ChunkedCompressor.decompress_partial`; unrecoverable spans are
+    filled per ``fill`` -- a float, or ``"nan"``/``"zero"``/``"nearest"``.
     Damaged monolithic streams whose shape/dtype header is still readable
-    return a fully ``fill``-ed array; when even the geometry is gone the
+    return a fully filled array; when even the geometry is gone the
     array is None.  Never raises on corrupt bytes.
     """
     from repro import decompress
 
+    fill_value = _fill_scalar(fill)
+    fill_mode = fill if isinstance(fill, str) else repr(float(fill))
     try:
         return decompress(blob), None
     except StreamError as exc:
@@ -514,8 +813,15 @@ def recover_array(
         shape = box.get_shape("shape")
         dtype = box.get_dtype("dtype")
         report = RecoveryReport(
-            1, math.prod(shape), (ChunkFailure(None, (0, math.prod(shape)), cause),)
+            1,
+            math.prod(shape),
+            (ChunkFailure(None, (0, math.prod(shape)), cause),),
+            fill_mode=fill_mode,
         )
-        return np.full(shape, fill, dtype=dtype), report
+        # "nearest" has no survivors in a whole-stream loss; keep NaN so
+        # the damage stays visible.
+        return np.full(shape, fill_value, dtype=dtype), report
     except ValueError:  # StreamError, or np.full of a corrupt non-float dtype
-        return None, RecoveryReport(0, 0, (ChunkFailure(None, None, cause),))
+        return None, RecoveryReport(
+            0, 0, (ChunkFailure(None, None, cause),), fill_mode=fill_mode
+        )

@@ -59,9 +59,19 @@ class TransformedCompressor(Compressor):
         naive ``g(b_r)`` of Theorem 2; bound violations caused by mapping
         round-off then land in the patch channel and are counted in
         :attr:`last_patch_count`.
+    nonfinite:
+        Policy for NaN/±Inf input.  ``"error"`` (default) rejects it --
+        ``log2(|x|)`` of a non-finite value silently voids the relative
+        bound, the failure mode Fallin & Burtscher call out.
+        ``"preserve"`` stores non-finite points exactly through the same
+        patch channel exact zeros and verify failures use: they are
+        sanitized to 0.0 before the transform (riding the sentinel) and
+        patched back bit-exactly on decompression.
     """
 
     supported_bounds = (RelativeBound,)
+
+    _NONFINITE_POLICIES = ("error", "preserve")
 
     def __init__(
         self,
@@ -70,16 +80,23 @@ class TransformedCompressor(Compressor):
         name: str | None = None,
         verify: bool = True,
         apply_lemma2: bool = True,
+        nonfinite: str = "error",
     ) -> None:
         if AbsoluteBound not in inner.supported_bounds:
             raise TypeError(
                 f"inner compressor {inner.name} does not support absolute bounds"
+            )
+        if nonfinite not in self._NONFINITE_POLICIES:
+            raise ValueError(
+                f"nonfinite must be one of {self._NONFINITE_POLICIES}, got {nonfinite!r}"
             )
         self.inner = inner
         self.transform = LogTransform(base)
         self.name = name if name is not None else f"{inner.name.split('_')[0]}_T"
         self.verify = verify
         self.apply_lemma2 = apply_lemma2
+        self.nonfinite = nonfinite
+        self.allows_nonfinite = nonfinite == "preserve"
         #: Number of patched points in the most recent compress() call.
         self.last_patch_count = 0
 
@@ -91,8 +108,20 @@ class TransformedCompressor(Compressor):
         tf = self.transform
         if np.asarray(data).size == 0:
             return self._compress_empty(np.asarray(data), br)
-        data = self._check_input(data)
+        data = self._check_input(data, allow_nonfinite=self.allows_nonfinite)
         reg = metrics()
+
+        # Non-finite points cannot ride the log transform; sanitize them to
+        # 0.0 (the exact-zero sentinel path) and remember where they were --
+        # their original bit patterns are merged into the patch channel.
+        nonfinite_idx = np.zeros(0, dtype=np.uint64)
+        original = data
+        if self.allows_nonfinite:
+            nf = ~np.isfinite(data)
+            if nf.any():
+                nonfinite_idx = np.flatnonzero(nf.ravel()).astype(np.uint64)
+                data = np.where(nf, 0.0, data)
+                reg.counter("transform.nonfinite_points").inc(nonfinite_idx.size)
 
         with span("sign-encode") as sp:
             magnitudes = np.abs(data)
@@ -136,6 +165,9 @@ class TransformedCompressor(Compressor):
                 self._feed_audit(
                     data, recon, br, err.ravel(), viol, ba, ba0, eps0, max_log
                 )
+        if nonfinite_idx.size:
+            patch_idx = np.union1d(patch_idx, nonfinite_idx).astype(np.uint64)
+            patch_val = original.ravel()[patch_idx.astype(np.int64)]
         self.last_patch_count = int(patch_idx.size)
         reg.counter("transform.patched_points").inc(self.last_patch_count)
 
@@ -295,15 +327,23 @@ class TransformedCompressor(Compressor):
         return signed.reshape(shape)
 
 
-def make_sz_t(base: float = 2.0, verify: bool = True) -> TransformedCompressor:
+def make_sz_t(
+    base: float = 2.0, verify: bool = True, nonfinite: str = "error"
+) -> TransformedCompressor:
     """The paper's ``SZ_T``: SZ(abs) wrapped in the log transform."""
     from repro.compressors.sz import SZCompressor
 
-    return TransformedCompressor(SZCompressor(), base=base, verify=verify)
+    return TransformedCompressor(
+        SZCompressor(), base=base, verify=verify, nonfinite=nonfinite
+    )
 
 
-def make_zfp_t(base: float = 2.0, verify: bool = True) -> TransformedCompressor:
+def make_zfp_t(
+    base: float = 2.0, verify: bool = True, nonfinite: str = "error"
+) -> TransformedCompressor:
     """The paper's ``ZFP_T``: ZFP(accuracy) wrapped in the log transform."""
     from repro.compressors.zfp import ZFPCompressor
 
-    return TransformedCompressor(ZFPCompressor("accuracy"), base=base, verify=verify)
+    return TransformedCompressor(
+        ZFPCompressor("accuracy"), base=base, verify=verify, nonfinite=nonfinite
+    )

@@ -11,6 +11,8 @@ The subpackage provides:
 * :mod:`repro.encoding.container` -- a small tagged section container so
   every compressor emits a genuine self-describing byte stream (compression
   ratios in the experiments are measured on these real bytes).
+* :mod:`repro.encoding.rs` -- pure-numpy GF(256) Reed-Solomon erasure
+  coding behind the v3 chunk-parity sections.
 """
 
 from repro.encoding.bitstream import (
@@ -42,6 +44,12 @@ from repro.encoding.container import (
 from repro.encoding.crc import crc32c
 from repro.encoding.huffman import HuffmanCodec
 from repro.encoding.range_coder import RangeCodec
+from repro.encoding.rs import (
+    MAX_GROUP_BLOCKS,
+    InsufficientParityError,
+    decode_blocks,
+    encode_parity,
+)
 
 __all__ = [
     "BitReader",
@@ -49,11 +57,15 @@ __all__ = [
     "ChecksumError",
     "Container",
     "ContainerError",
+    "InsufficientParityError",
+    "MAX_GROUP_BLOCKS",
     "StreamError",
     "TruncatedStreamError",
     "HuffmanCodec",
     "RangeCodec",
     "crc32c",
+    "decode_blocks",
+    "encode_parity",
     "decode_sign_bitmap",
     "deflate",
     "section_byte_ranges",

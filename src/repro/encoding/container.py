@@ -50,6 +50,12 @@ __all__ = [
 
 _MAGIC = b"RPRC"
 _VERSION = 2
+#: Version written for parity-bearing records (chunk-level erasure
+#: coding, see ``docs/formats.md``).  Same framing as v2 -- the bump is a
+#: format signal so pre-parity readers fail loudly instead of silently
+#: ignoring the parity sections they cannot honour.
+_VERSION_PARITY = 3
+_KNOWN_VERSIONS = (1, 2, 3)
 _CRC_BYTES = 4
 
 # dtype tokens are fixed so streams are portable across numpy versions.
@@ -217,10 +223,22 @@ class Container:
 
     # -- serialization -----------------------------------------------------
 
-    def to_bytes(self, checksums: bool = True) -> bytes:
-        """Serialize; ``checksums=False`` emits the legacy v1 framing."""
+    def to_bytes(self, checksums: bool = True, version: int | None = None) -> bytes:
+        """Serialize; ``checksums=False`` emits the legacy v1 framing.
+
+        ``version`` overrides the version byte (3 marks parity-bearing
+        records; same checksummed framing as v2).  v1 cannot be combined
+        with checksums and vice versa.
+        """
         t0 = time.perf_counter()
-        version = _VERSION if checksums else 1
+        if version is None:
+            version = _VERSION if checksums else 1
+        if version not in _KNOWN_VERSIONS:
+            raise ContainerError(f"unsupported container version {version}")
+        if (version >= 2) != checksums:
+            raise ContainerError(
+                f"container version {version} requires checksums={version >= 2}"
+            )
         parts = [_MAGIC, bytes([version])]
         codec = self.codec.encode("utf-8")
         parts.append(write_varint(len(codec)))
@@ -269,7 +287,7 @@ class Container:
         if data[:4] != _MAGIC:
             raise ContainerError("bad magic: not a repro compressed stream")
         version = data[4]
-        if version not in (1, 2):
+        if version not in _KNOWN_VERSIONS:
             raise ContainerError(f"unsupported container version {version}")
         if version >= 2 and verify_checksums and not partial:
             if len(data) < 5 + _CRC_BYTES:

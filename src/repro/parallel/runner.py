@@ -27,12 +27,48 @@ from repro.observe.tracer import span, spans_from_dicts
 from repro.parallel.comm import FakeComm, run_spmd
 
 __all__ = [
+    "RankDeadlineError",
     "RankTiming",
     "DumpSummary",
     "atomic_write_bytes",
     "dump_file_per_process",
     "load_file_per_process",
 ]
+
+
+class RankDeadlineError(TimeoutError):
+    """A rank blew through its dump/load deadline.
+
+    Like :class:`repro.core.chunked.ChunkTimeoutError` this is an
+    environment fault, not stream damage -- deliberately outside the
+    ``StreamError`` hierarchy.
+    """
+
+
+def _check_deadline(
+    rank: int, phase: str, started: float, deadline_s: float | None
+) -> None:
+    """Raise :class:`RankDeadlineError` when ``rank`` is over budget.
+
+    Checked at phase boundaries (after compress/decompress and after
+    I/O): a rank cannot be killed mid-syscall from its own thread, but a
+    straggler is reported -- and the whole dump/load failed loudly --
+    within one phase of the breach instead of hanging the job.
+    """
+    if deadline_s is None:
+        return
+    elapsed = time.perf_counter() - started
+    if elapsed <= deadline_s:
+        return
+    metrics().counter("rank.deadline_exceeded").inc()
+    emit_event(
+        "rank-deadline", rank=rank, phase=phase,
+        elapsed_s=round(elapsed, 6), deadline_s=deadline_s,
+    )
+    raise RankDeadlineError(
+        f"rank {rank} exceeded its {deadline_s}s deadline after {phase} "
+        f"({elapsed:.3f}s elapsed)"
+    )
 
 
 @dataclass(frozen=True)
@@ -117,6 +153,10 @@ def dump_file_per_process(
     workers: int | None = None,
     io_retries: int = 3,
     io_backoff_s: float = 0.05,
+    parity: int = 0,
+    group_size: int | None = None,
+    chunk_timeout: float | None = None,
+    deadline_s: float | None = None,
 ) -> DumpSummary:
     """Compress and write one file per rank (rank count = ``len(shards)``).
 
@@ -124,7 +164,14 @@ def dump_file_per_process(
     through a :class:`ChunkedCompressor` wrapping ``compressor``, with
     ``workers`` thread-pool jobs per rank (thread executor -- ranks are
     already threads here, and forking from a threaded process is unsafe;
-    swap in real MPI ranks for process-level parallelism).
+    swap in real MPI ranks for process-level parallelism).  ``parity``,
+    ``group_size`` and ``chunk_timeout`` pass straight through to the
+    :class:`~repro.core.chunked.ChunkedCompressor` (Reed-Solomon parity
+    per chunk group, per-chunk watchdog deadline).
+
+    ``deadline_s`` bounds each rank's whole dump: a rank over budget
+    raises :class:`RankDeadlineError` at its next phase boundary, failing
+    the dump loudly instead of letting one straggler stall the job.
 
     Writes are atomic (temp file + fsync + rename) and transient
     ``OSError``s are retried ``io_retries`` times with exponential
@@ -133,14 +180,19 @@ def dump_file_per_process(
     if not shards:
         raise ValueError("need at least one shard")
     if chunk_bytes is not None:
-        from repro.core.chunked import ChunkedCompressor
+        from repro.core.chunked import DEFAULT_GROUP_SIZE, ChunkedCompressor
 
         compressor = ChunkedCompressor(
             compressor,
             chunk_bytes=chunk_bytes,
             workers=workers if workers is not None else 1,
             executor="thread",
+            parity=parity,
+            group_size=group_size if group_size is not None else DEFAULT_GROUP_SIZE,
+            timeout=chunk_timeout,
         )
+    elif parity or chunk_timeout is not None:
+        raise ValueError("parity/chunk_timeout require chunk_bytes (chunked ranks)")
     os.makedirs(out_dir, exist_ok=True)
 
     def rank_work(rank: int) -> RankTiming:
@@ -149,12 +201,14 @@ def dump_file_per_process(
             t0 = time.perf_counter()
             blob = compressor.compress(shard, bound)
             t1 = time.perf_counter()
+            _check_deadline(rank, "compress", t0, deadline_s)
             with span("write-file"):
                 atomic_write_bytes(
                     _rank_path(out_dir, rank), blob,
                     retries=io_retries, backoff_s=io_backoff_s,
                 )
             t2 = time.perf_counter()
+            _check_deadline(rank, "write", t0, deadline_s)
             sp.add_bytes(in_=shard.nbytes, out=len(blob))
             emit_event(
                 "rank-dump",
@@ -184,18 +238,23 @@ def load_file_per_process(
     out_dir: str,
     nranks: int,
     tolerate_corruption: bool = False,
-    fill: float = float("nan"),
+    fill: float | str = "nan",
+    deadline_s: float | None = None,
 ):
     """Read and decompress every rank file.
 
     Returns ``(shards, summary)``; corrupt files raise ``StreamError``.
 
     With ``tolerate_corruption=True`` the return is ``(shards, summary,
-    reports)``: a damaged rank file no longer fails the load -- intact
-    chunks are recovered (:func:`repro.core.chunked.recover_array`),
-    damaged spans are filled with ``fill``, and ``reports[rank]`` is the
+    reports)``: a damaged rank file no longer fails the load -- chunks
+    covered by parity are rebuilt, remaining intact chunks are recovered
+    (:func:`repro.core.chunked.recover_array`), unrecoverable spans are
+    filled per ``fill`` (a float, or ``"nan"``/``"zero"``/``"nearest"``),
+    and ``reports[rank]`` is the
     :class:`~repro.core.chunked.RecoveryReport` (None for clean ranks).
     A rank whose geometry is unreadable yields a ``None`` shard.
+    ``deadline_s`` bounds each rank's whole load like in
+    :func:`dump_file_per_process`.
     """
     from repro import decompress
     from repro.core.chunked import recover_array
@@ -213,11 +272,13 @@ def load_file_per_process(
             t1 = time.perf_counter()
             reg.counter("io.read_s").inc(t1 - t0)
             reg.counter("io.bytes_read").inc(len(blob))
+            _check_deadline(rank, "read", t0, deadline_s)
             if tolerate_corruption:
                 shard, report = recover_array(blob, fill)
             else:
                 shard, report = decompress(blob), None
             t2 = time.perf_counter()
+            _check_deadline(rank, "decompress", t0, deadline_s)
             nbytes = shard.nbytes if shard is not None else 0
             sp.add_bytes(in_=len(blob), out=nbytes)
             emit_event(

@@ -149,6 +149,8 @@ class StreamStats:
     sections: dict[str, int]
     n_chunks: int | None
     inner_codec: str | None
+    #: ``(k, group_size)`` of a parity-bearing (v3) stream, else None.
+    parity: tuple[int, int] | None
     decode_s: float
     crc_verify_s: float
     metrics: dict[str, dict]
@@ -166,6 +168,10 @@ class StreamStats:
         if self.n_chunks is not None:
             inner = f" of {self.inner_codec}" if self.inner_codec else ""
             lines.append(f"chunks:        {self.n_chunks}{inner}")
+        if self.parity is not None:
+            lines.append(
+                f"parity:        k={self.parity[0]} per group of {self.parity[1]}"
+            )
         if self.recovery is not None:
             lines.append(f"recovery:      {self.recovery.summary()}")
         lines.append(
@@ -225,11 +231,13 @@ def build_report(blob: bytes, tolerate_corruption: bool = False) -> StreamStats:
     box = Container.from_bytes(
         blob, verify_checksums=False, partial=tolerate_corruption
     )
-    n_chunks = inner_codec = None
+    n_chunks = inner_codec = parity = None
     if box.codec == "CHUNKED" and "n_chunks" in box:
         n_chunks = box.get_u64("n_chunks")
         if "inner_codec" in box:
             inner_codec = box.get_str("inner_codec")
+        if "parity_k" in box and "group_size" in box:
+            parity = (box.get_u64("parity_k"), box.get_u64("group_size"))
     crc = delta.get("crc.verify_s")
     return StreamStats(
         codec=box.codec,
@@ -242,6 +250,7 @@ def build_report(blob: bytes, tolerate_corruption: bool = False) -> StreamStats:
         sections={key: len(box.get(key)) for key in box.keys()},
         n_chunks=n_chunks,
         inner_codec=inner_codec,
+        parity=parity,
         decode_s=decode_s,
         crc_verify_s=float(crc["value"]) if crc else 0.0,
         metrics=delta,

@@ -2,13 +2,14 @@
 
 :mod:`repro.testing.faults` provides the deterministic fault injectors
 (bit flips, truncation, section drops, flaky-filesystem shim, crashing
-executor) behind the corruption/fault test suites and the
+and stalling executors) behind the corruption/fault test suites and the
 ``repro-compress faults`` CLI.
 """
 
 from repro.testing.faults import (
     CrashingExecutor,
     FlakyFilesystem,
+    StallingExecutor,
     corrupt_chunk,
     corrupt_section,
     drop_section,
@@ -20,6 +21,7 @@ from repro.testing.faults import (
 __all__ = [
     "CrashingExecutor",
     "FlakyFilesystem",
+    "StallingExecutor",
     "corrupt_chunk",
     "corrupt_section",
     "drop_section",

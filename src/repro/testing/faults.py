@@ -17,12 +17,15 @@ Injector catalogue:
   named section or a single chunk of a CHUNKED stream,
 * :class:`FlakyFilesystem` -- ``open()`` for writing fails N times,
 * :class:`CrashingExecutor` -- the Nth submitted chunk task dies like a
-  crashed process-pool worker.
+  crashed process-pool worker,
+* :class:`StallingExecutor` -- the Nth submitted chunk task hangs (or is
+  delayed), for exercising the watchdog's timeout -> cancel -> retry path.
 """
 
 from __future__ import annotations
 
 import builtins
+import time
 from concurrent.futures import Executor, Future
 from concurrent.futures.process import BrokenProcessPool
 
@@ -33,6 +36,7 @@ from repro.encoding.container import Container, ContainerError, section_byte_ran
 __all__ = [
     "CrashingExecutor",
     "FlakyFilesystem",
+    "StallingExecutor",
     "corrupt_chunk",
     "corrupt_section",
     "drop_section",
@@ -94,7 +98,7 @@ def drop_section(blob: bytes, key: str) -> bytes:
     for k in box.keys():
         if k != key:
             out.put(k, box.get(k))
-    return out.to_bytes(checksums=box.version >= 2)
+    return out.to_bytes(checksums=box.version >= 2, version=box.version)
 
 
 def corrupt_section(blob: bytes, key: str, n_bits: int = 1, seed: int = 0) -> bytes:
@@ -189,6 +193,49 @@ class CrashingExecutor(Executor):
             return _FailedFuture(
                 BrokenProcessPool(f"injected worker crash on task {self.submitted}")
             )
+        return self.inner.submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True, **kwargs) -> None:
+        self.inner.shutdown(wait=wait, **kwargs)
+
+
+class StallingExecutor(Executor):
+    """Executor wrapper whose ``stall_on``-th submitted task hangs.
+
+    The deterministic companion to :class:`CrashingExecutor` for the
+    watchdog path: the doomed task's future never completes (the default,
+    ``delay_s=None`` -- a bare pending :class:`Future` that holds no
+    thread, so nothing blocks interpreter exit), or completes only after
+    ``delay_s`` seconds (a straggler rather than a corpse).  Every other
+    task runs on the wrapped executor untouched.  ``stall_on`` counts
+    submissions from 1; pass a collection to stall several.
+    """
+
+    def __init__(
+        self,
+        inner: Executor,
+        stall_on: int | tuple[int, ...] = 1,
+        delay_s: float | None = None,
+    ):
+        if delay_s is not None and delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {delay_s}")
+        self.inner = inner
+        self.stall_on = (stall_on,) if isinstance(stall_on, int) else tuple(stall_on)
+        self.delay_s = delay_s
+        self.submitted = 0
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        self.submitted += 1
+        if self.submitted in self.stall_on:
+            if self.delay_s is None:
+                return Future()  # pending forever; cancellable, joinless
+            delay = self.delay_s
+
+            def delayed(*a, **kw):
+                time.sleep(delay)
+                return fn(*a, **kw)
+
+            return self.inner.submit(delayed, *args, **kwargs)
         return self.inner.submit(fn, *args, **kwargs)
 
     def shutdown(self, wait: bool = True, **kwargs) -> None:

@@ -1,0 +1,114 @@
+"""Non-finite policy of the transformed compressors.
+
+``nonfinite="preserve"`` routes NaN/±Inf through the patch channel so
+they round-trip *exactly* -- the log transform never sees them (they are
+sanitised to the exact-zero sentinel value pre-transform), and the patch
+merge restores the original bit patterns on decode.  The default
+``"error"`` policy keeps rejecting them loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro import RelativeBound, decompress, make_sz_t, make_zfp_t
+from repro.core.chunked import ChunkedCompressor
+from repro.observe.metrics import metrics
+
+BOUND = RelativeBound(1e-2)
+
+FACTORIES = {"SZ_T": make_sz_t, "ZFP_T": make_zfp_t}
+
+
+def _field_with(values, size=3000, seed=7):
+    rng = np.random.default_rng(seed)
+    data = rng.lognormal(0.0, 1.0, size=size).astype(np.float32)
+    idx = rng.choice(size, size=len(values), replace=False)
+    data[idx] = values
+    return data, np.sort(idx)
+
+
+@pytest.mark.parametrize("name", ["SZ_T", "ZFP_T"])
+@pytest.mark.parametrize(
+    "specials",
+    [
+        [np.nan],
+        [np.inf],
+        [-np.inf],
+        [np.nan, np.inf, -np.inf, np.nan, np.inf],
+    ],
+    ids=["nan", "posinf", "neginf", "mixed"],
+)
+def test_preserve_round_trips_exactly(name, specials):
+    comp = FACTORIES[name](nonfinite="preserve")
+    data, idx = _field_with(np.array(specials, dtype=np.float32))
+    blob = comp.compress(data, BOUND)
+    recon = decompress(blob)
+    np.testing.assert_array_equal(recon[idx], data[idx])
+    finite = np.isfinite(data)
+    assert np.all(
+        np.abs(recon[finite] - data[finite]) <= BOUND.value * np.abs(data[finite])
+    )
+
+
+@pytest.mark.parametrize("name", ["SZ_T", "ZFP_T"])
+def test_error_policy_rejects(name):
+    comp = FACTORIES[name]()  # default nonfinite="error"
+    assert not comp.allows_nonfinite
+    data, _ = _field_with(np.array([np.nan], dtype=np.float32))
+    with pytest.raises(ValueError, match="non-finite"):
+        comp.compress(data, BOUND)
+
+
+def test_invalid_policy_rejected():
+    with pytest.raises(ValueError, match="nonfinite"):
+        make_sz_t(nonfinite="ignore")
+
+
+def test_preserve_with_signed_data_and_zeros():
+    comp = make_sz_t(nonfinite="preserve")
+    data, idx = _field_with(
+        np.array([np.nan, np.inf, -np.inf], dtype=np.float32), seed=11
+    )
+    data[::17] *= -1.0
+    data[5] = 0.0
+    recon = decompress(comp.compress(data, BOUND))
+    np.testing.assert_array_equal(recon[idx], data[idx])
+    assert recon[5] == 0.0
+    finite = np.isfinite(data)
+    assert np.all(
+        np.abs(recon[finite] - data[finite]) <= BOUND.value * np.abs(data[finite])
+    )
+
+
+def test_chunked_wrapper_honours_inner_policy():
+    """ChunkedCompressor defers the finite check to a preserving inner."""
+    data, idx = _field_with(
+        np.array([np.nan, -np.inf], dtype=np.float32), size=8000, seed=3
+    )
+    cc = ChunkedCompressor(
+        make_sz_t(nonfinite="preserve"), chunk_bytes=4000, executor="serial"
+    )
+    recon = decompress(cc.compress(data, BOUND))
+    np.testing.assert_array_equal(recon[idx], data[idx])
+    # The default-policy wrapper still rejects.
+    strict = ChunkedCompressor(chunk_bytes=4000, executor="serial")
+    with pytest.raises(ValueError, match="non-finite"):
+        strict.compress(data, BOUND)
+
+
+def test_nonfinite_counter_moves():
+    comp = make_sz_t(nonfinite="preserve")
+    data, _ = _field_with(np.array([np.nan] * 5, dtype=np.float32))
+    before = metrics().snapshot()
+    comp.compress(data, BOUND)
+    delta = metrics().diff(before)
+    assert delta.get("transform.nonfinite_points", {}).get("value") == 5
+
+
+def test_all_finite_preserve_is_byte_identical_to_error():
+    """The policy only matters when non-finite values are present."""
+    rng = np.random.default_rng(5)
+    data = rng.lognormal(0.0, 1.0, size=2000).astype(np.float32)
+    assert make_sz_t(nonfinite="preserve").compress(data, BOUND) == make_sz_t(
+        nonfinite="error"
+    ).compress(data, BOUND)

@@ -25,6 +25,7 @@ from repro.parallel.runner import atomic_write_bytes, dump_file_per_process
 from repro.testing import (
     CrashingExecutor,
     FlakyFilesystem,
+    StallingExecutor,
     corrupt_chunk,
     corrupt_section,
     drop_section,
@@ -309,3 +310,80 @@ class TestVerifyStream:
         report = verify_stream(b"not a stream at all")
         assert not report.ok
         assert report.problems[0].startswith("structure:")
+
+class TestStallingExecutor:
+    def test_stalled_future_is_pending_and_cancellable(self):
+        ex = StallingExecutor(ThreadPoolExecutor(1), stall_on=1)
+        fut = ex.submit(lambda: 42)
+        assert not fut.done()
+        assert fut.cancel()
+        assert ex.submit(lambda: 42).result(timeout=5) == 42
+        ex.shutdown()
+
+    def test_stall_on_tuple_counts_submissions(self):
+        ex = StallingExecutor(ThreadPoolExecutor(2), stall_on=(2, 3))
+        futs = [ex.submit(lambda i=i: i) for i in range(4)]
+        assert futs[0].result(timeout=5) == 0
+        assert futs[3].result(timeout=5) == 3
+        assert not futs[1].done() and not futs[2].done()
+        for f in futs[1:3]:
+            f.cancel()
+        ex.shutdown()
+
+    def test_delay_mode_eventually_completes(self):
+        ex = StallingExecutor(ThreadPoolExecutor(1), stall_on=1, delay_s=0.05)
+        assert ex.submit(lambda: "late").result(timeout=5) == "late"
+        ex.shutdown()
+
+
+class TestFillModes:
+    def test_fill_zero(self, chunked_blob):
+        damaged = corrupt_chunk(chunked_blob, 1, seed=SEED)
+        cc = ChunkedCompressor(executor="serial")
+        arr, report = cc.decompress_partial(damaged, fill="zero")
+        start, stop = report.failures[0].span
+        assert (arr.ravel()[start:stop] == 0.0).all()
+        assert not np.isnan(arr).any()
+        assert report.fill_mode == "zero"
+        assert report.filled_elements == stop - start
+
+    def test_fill_nearest_copies_survivors(self, field, chunked_blob):
+        damaged = corrupt_chunk(chunked_blob, 1, seed=SEED)
+        cc = ChunkedCompressor(executor="serial")
+        arr, report = cc.decompress_partial(damaged, fill="nearest")
+        start, stop = report.failures[0].span
+        assert not np.isnan(arr).any()
+        # Each filled element equals its nearest surviving neighbour.
+        assert arr.ravel()[start] == arr.ravel()[start - 1]
+        assert report.fill_mode == "nearest"
+
+    def test_fill_float_via_recover_array(self, chunked_blob):
+        damaged = corrupt_chunk(chunked_blob, 0, seed=SEED)
+        arr, report = recover_array(damaged, fill=7.5)
+        start, stop = report.failures[0].span
+        assert (arr.ravel()[start:stop] == 7.5).all()
+        assert report.fill_mode == "7.5"
+
+    def test_bad_fill_mode_rejected(self, chunked_blob):
+        cc = ChunkedCompressor(executor="serial")
+        with pytest.raises(ValueError, match="fill"):
+            cc.decompress_partial(chunked_blob, fill="interpolate")
+
+    def test_nearest_on_whole_stream_loss_keeps_nan(self, field):
+        blob = compress(field[:200], BOUND)
+        arr, report = recover_array(truncate(blob, len(blob) - 2), fill="nearest")
+        assert arr is not None and np.isnan(arr).all()
+        assert report is not None and not report.complete
+
+
+class TestDropSectionVersions:
+    def test_drop_section_preserves_v3(self, field):
+        from repro.encoding.container import Container
+
+        cc = ChunkedCompressor(chunk_bytes=4000, parity=1, executor="serial")
+        blob = cc.compress(field, BOUND)
+        assert Container.from_bytes(blob).version == 3
+        out = drop_section(blob, "parity_lens")
+        box = Container.from_bytes(out, partial=True)
+        assert box.version == 3
+        assert "parity_lens" not in box

@@ -197,3 +197,25 @@ class TestTolerateCorruption:
 
         with pytest.raises(ContainerError, match="unrecoverable"):
             build_report(b"this is not a stream at all", tolerate_corruption=True)
+
+
+class TestParityStats:
+    def test_v3_stream_reports_parity_geometry(self):
+        from repro.core.chunked import ChunkedCompressor
+
+        rng = np.random.default_rng(0)
+        data = rng.lognormal(size=4000).astype(np.float32)
+        blob = ChunkedCompressor(
+            chunk_bytes=4000, parity=2, group_size=4, executor="serial"
+        ).compress(data, RelativeBound(1e-2))
+        stats = build_report(blob)
+        assert stats.version == 3
+        assert stats.parity == (2, 4)
+        assert "k=2 per group of 4" in stats.format()
+        assert "parity" in stats.sections
+
+    def test_plain_stream_has_no_parity(self):
+        rng = np.random.default_rng(0)
+        data = rng.lognormal(size=500).astype(np.float32)
+        stats = build_report(compress(data, RelativeBound(1e-2)))
+        assert stats.parity is None
