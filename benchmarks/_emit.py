@@ -22,6 +22,7 @@ Report schema (version 1)::
           "MB_per_s": 812.5,          # when the test declares nbytes
           "ratio": 2.35,              # when the test declares out_bytes
           "spans": [...],             # when the test captures a trace
+          "codec_path": "vectorized", # entropy-coder variant in effect
           ...extra_info keys...
         }
       ]
@@ -50,6 +51,21 @@ def _default_dir() -> str:
     if override:
         return override
     return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _codec_path() -> str:
+    """Entropy-coder variant in effect for this run.
+
+    Stamped into every record so the regression gate can refuse to compare
+    timings taken with different coder implementations (e.g. a baseline
+    recorded before the vectorized Huffman path existed).  Reports written
+    before stamping carry no key; readers treat those as ``"scalar"``.
+    """
+    try:
+        from repro.encoding import huffman
+    except Exception:  # pragma: no cover - import breakage mid-refactor
+        return "unknown"
+    return getattr(huffman, "CODEC_PATH", "scalar")
 
 
 def record(bench: str, rec: dict) -> None:
@@ -91,6 +107,7 @@ def record_from_fixture(benchmark, request) -> None:
     ):
         rec.setdefault("ratio", round(nbytes / out_bytes, 3))
     rec.update(extra)
+    rec.setdefault("codec_path", _codec_path())
     record(bench, rec)
 
 

@@ -27,6 +27,17 @@ same name and fails (exit 1) on:
 * **coverage** -- a baseline test missing from the fresh report, or a
   baseline file with no fresh counterpart (a silently skipped benchmark
   reads as "no regression" otherwise).
+* **codec path** -- a test whose ``codec_path`` differs from the
+  baseline's fails: timings taken with different entropy-coder
+  implementations are not comparable, so a deliberate coder change must
+  re-record its baselines with ``--update-baselines``.  Baselines written
+  before path stamping are read as ``"scalar"``.
+* **vectorization speedup** -- the ``table3`` SZ_T round trip must run at
+  least ``--min-speedup`` times faster than the frozen pre-vectorization
+  reference (the scalar-coder baseline committed before the batch Huffman
+  + fused quantizer work), after normalizing by the preprocessing tests,
+  which run code untouched by the vectorization and therefore anchor the
+  host's speed relative to the reference host.
 
 Fresh tests without a baseline are reported but do not fail; run with
 ``--update-baselines`` to copy the fresh reports over the baselines
@@ -46,7 +57,25 @@ import sys
 DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
 
 #: Bench-record keys that are never compared as metrics.
-_META_KEYS = {"test", "group", "rounds", "spans"}
+_META_KEYS = {"test", "group", "rounds", "spans", "codec_path"}
+
+#: Frozen pre-vectorization reference for the speedup gate: the committed
+#: BENCH_table3.json of the scalar (per-symbol loop) Huffman coder.  The
+#: preprocessing tests exercise code the vectorization did not touch, so
+#: (fresh preprocessing MB/s) / (reference preprocessing MB/s) estimates
+#: how fast the current host is relative to the reference host, letting
+#: the gate assert an algorithmic speedup rather than a hardware one.
+_PREVEC_REFERENCE = {
+    "report": "BENCH_table3.json",
+    "test": "test_sz_t_roundtrip_traced",
+    "roundtrip_MB_s": 1.199,
+    "anchor_tests": (
+        "test_preprocessing[base2]",
+        "test_preprocessing[base_e]",
+        "test_preprocessing[base10]",
+    ),
+    "anchor_MB_s": (722.974 + 754.153 + 764.227) / 3.0,
+}
 
 
 def load_report(path: str) -> dict[str, dict]:
@@ -138,6 +167,79 @@ def check_bounds(fresh: dict[str, dict]) -> list[str]:
     return failures
 
 
+def check_codec_path(base: dict[str, dict], fresh: dict[str, dict]) -> list[str]:
+    """Fail tests whose entropy-coder variant differs from the baseline's.
+
+    A throughput comparison between different coder implementations is
+    meaningless -- a 10x vectorization win would mask any amount of
+    regression elsewhere (and vice versa).  Baselines recorded before
+    stamping existed are treated as ``"scalar"``, the only variant then.
+    """
+    failures = []
+    for test, f in sorted(fresh.items()):
+        b = base.get(test)
+        f_path = f.get("codec_path")
+        if b is None or f_path is None:
+            continue
+        b_path = b.get("codec_path", "scalar")
+        if f_path != b_path:
+            failures.append(
+                f"codec-path mismatch in {test}: baseline recorded with "
+                f"{b_path!r}, fresh run used {f_path!r}; timings are not "
+                "comparable across coder implementations -- if the change is "
+                "deliberate, re-record with --update-baselines"
+            )
+    return failures
+
+
+def check_speedup(fresh: dict[str, dict], min_speedup: float) -> tuple[list[str], list[str]]:
+    """(failures, notes) for the vectorization speedup gate.
+
+    Only meaningful for the table3 report; callers gate on the file name.
+    """
+    ref = _PREVEC_REFERENCE
+    rec = fresh.get(ref["test"])
+    tp = rec.get("MB_per_s") if rec else None
+    if not isinstance(tp, (int, float)) or tp <= 0:
+        return [
+            f"speedup gate: no fresh throughput for {ref['test']!r} "
+            "(benchmark not run?)"
+        ], []
+    anchors = [
+        f.get("MB_per_s")
+        for t in ref["anchor_tests"]
+        if isinstance((f := fresh.get(t, {})).get("MB_per_s"), (int, float))
+        and f["MB_per_s"] > 0
+    ]
+    notes = []
+    if anchors:
+        machine = (sum(anchors) / len(anchors)) / ref["anchor_MB_s"]
+        notes.append(
+            f"speedup gate: host speed {machine:.3f}x of the reference host "
+            f"({len(anchors)} preprocessing anchor(s))"
+        )
+    else:
+        machine = 1.0
+        notes.append(
+            "speedup gate: no preprocessing anchors in the fresh report; "
+            "comparing absolute throughput (unnormalized)"
+        )
+    speedup = tp / (ref["roundtrip_MB_s"] * machine)
+    notes.append(
+        f"speedup gate: round trip {tp:.3f} MB/s is {speedup:.2f}x the "
+        f"pre-vectorization reference ({ref['roundtrip_MB_s']:.3f} MB/s, "
+        f"machine-normalized; gate {min_speedup:.1f}x)"
+    )
+    failures = []
+    if speedup < min_speedup:
+        failures.append(
+            f"vectorization speedup regression: {ref['test']} runs "
+            f"{speedup:.2f}x the pre-vectorization reference, below the "
+            f"required {min_speedup:.1f}x"
+        )
+    return failures, notes
+
+
 def check_coverage(base: dict[str, dict], fresh: dict[str, dict]) -> tuple[list[str], list[str]]:
     missing = sorted(set(base) - set(fresh))
     new = sorted(set(fresh) - set(base))
@@ -150,7 +252,11 @@ def check_coverage(base: dict[str, dict], fresh: dict[str, dict]) -> tuple[list[
 
 
 def compare_file(
-    baseline_path: str, fresh_path: str, throughput_tol: float, ratio_tol: float
+    baseline_path: str,
+    fresh_path: str,
+    throughput_tol: float,
+    ratio_tol: float,
+    min_speedup: float = 0.0,
 ) -> tuple[list[str], list[str]]:
     base = load_report(baseline_path)
     fresh = load_report(fresh_path)
@@ -163,7 +269,12 @@ def compare_file(
         failures.extend(fails)
         notes.extend(extra)
     failures.extend(check_ratio(base, fresh, ratio_tol))
+    failures.extend(check_codec_path(base, fresh))
     failures.extend(check_bounds(fresh))
+    if min_speedup > 0 and os.path.basename(fresh_path) == _PREVEC_REFERENCE["report"]:
+        fails, extra = check_speedup(fresh, min_speedup)
+        failures.extend(fails)
+        notes.extend(extra)
     return failures, notes
 
 
@@ -180,12 +291,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ratio-tolerance", type=float, default=0.02,
                         help="max tolerated compression-ratio drop "
                              "(default 0.02 = 2%%)")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="required table3 round-trip speedup over the "
+                             "frozen pre-vectorization reference, after "
+                             "machine normalization (default 5.0; 0 disables). "
+                             "Measured speedup on the reference workload is "
+                             "7.6x-10x depending on run noise; the default "
+                             "leaves headroom so the gate trips on real "
+                             "regressions, not scheduler jitter")
     parser.add_argument("--update-baselines", action="store_true",
                         help="copy the fresh reports over the baselines "
                              "instead of comparing (commit the result)")
     args = parser.parse_args(argv)
     if not 0 < args.throughput_tolerance < 1 or not 0 < args.ratio_tolerance < 1:
         parser.error("tolerances must be in (0, 1)")
+    if args.min_speedup < 0:
+        parser.error("--min-speedup must be >= 0")
 
     fresh_files = sorted(glob.glob(os.path.join(args.fresh_dir, "BENCH_*.json")))
     if args.update_baselines:
@@ -218,6 +339,7 @@ def main(argv: list[str] | None = None) -> int:
         failures, notes = compare_file(
             baseline_path, fresh_path,
             args.throughput_tolerance, args.ratio_tolerance,
+            args.min_speedup,
         )
         for note in notes:
             print(f"   note: {note}")

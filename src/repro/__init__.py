@@ -60,6 +60,7 @@ from repro.encoding.container import (
     ContainerError,
     StreamError,
     TruncatedStreamError,
+    peek_codec,
 )
 
 __version__ = "1.0.0"
@@ -152,13 +153,23 @@ def decompress(blob: bytes) -> np.ndarray:
     truncated streams raise :class:`StreamError` subclasses; v2 streams
     are checksum-verified before any decoding happens.
     """
-    codec = Container.from_bytes(blob).codec
+    # Peek the codec name from the header only -- the dispatched
+    # compressor immediately re-parses with full CRC verification, so a
+    # complete verifying parse here would hash every byte twice.  If the
+    # header bytes are damaged, fall back to the verifying parse so
+    # checksummed streams report ChecksumError rather than a structural
+    # misread of corrupt header fields.
     try:
+        codec = peek_codec(blob)
         compressor = get_compressor(codec)
-    except KeyError:
-        raise ContainerError(
-            f"stream names unknown codec {codec!r} (corrupt header?)"
-        ) from None
+    except (StreamError, KeyError):
+        codec = Container.from_bytes(blob).codec
+        try:
+            compressor = get_compressor(codec)
+        except KeyError:
+            raise ContainerError(
+                f"stream names unknown codec {codec!r} (corrupt header?)"
+            ) from None
     return compressor.decompress(blob)
 
 

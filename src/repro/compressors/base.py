@@ -20,6 +20,7 @@ from __future__ import annotations
 import abc
 import functools
 import struct
+import threading
 import zlib
 from dataclasses import dataclass
 
@@ -194,6 +195,16 @@ def _traced_decompress(fn):
     return wrapper
 
 
+# Per-thread nesting depth of decompress_trusted() calls; while non-zero,
+# _open_container skips re-verifying the stream CRC (the caller's own
+# checksummed stream already covered the nested bytes).
+_TRUST = threading.local()
+
+
+def _trusted_depth() -> int:
+    return getattr(_TRUST, "depth", 0)
+
+
 class Compressor(abc.ABC):
     """Abstract error-bounded lossy compressor.
 
@@ -231,6 +242,34 @@ class Compressor(abc.ABC):
     @abc.abstractmethod
     def decompress(self, blob: bytes) -> np.ndarray:
         """Reconstruct the array (original shape and dtype) from bytes."""
+
+    def compress_verified(self, data: np.ndarray, bound: ErrorBound) -> tuple[bytes, np.ndarray]:
+        """Compress and also return the exact array ``decompress`` yields.
+
+        Verifying wrappers (e.g. the transformed compressor's bound check)
+        call this instead of ``compress`` + ``decompress``.  Codecs that
+        already materialize their decoder's reconstruction while encoding
+        (SZ must, to patch round-off violators) override it to skip the
+        redundant decode; this default simply round-trips.
+        """
+        blob = self.compress(data, bound)
+        return blob, self.decompress(blob)
+
+    def decompress_trusted(self, blob: bytes) -> np.ndarray:
+        """Decompress bytes whose integrity the caller already verified.
+
+        Wrappers that store an inner stream as a section of their own
+        checksummed container use this for the nested decode: the outer
+        stream CRC covered every byte of ``blob``, so re-hashing it here
+        would detect nothing new.  Structural and per-section validation
+        still run; only the whole-stream CRC check is skipped (and only
+        for the duration of this call, including deeper nesting).
+        """
+        _TRUST.depth = _trusted_depth() + 1
+        try:
+            return self.decompress(blob)
+        finally:
+            _TRUST.depth -= 1
 
     # -- shared helpers ----------------------------------------------------
 
@@ -272,7 +311,7 @@ class Compressor(abc.ABC):
 
     @staticmethod
     def _open_container(blob: bytes, codec: str) -> tuple[Container, tuple[int, ...], np.dtype]:
-        box = Container.from_bytes(blob)
+        box = Container.from_bytes(blob, verify_checksums=not _trusted_depth())
         if box.codec != codec:
             raise ContainerError(
                 f"stream was produced by {box.codec!r}, expected {codec!r}"

@@ -26,6 +26,9 @@ __all__ = [
     "CLIP_INDEX",
     "lattice_quantize",
     "lattice_reconstruct",
+    "quantize_lorenzo",
+    "residual_codes",
+    "restore_residuals",
 ]
 
 #: Fractional shrink applied to the user's bound before quantization.
@@ -53,6 +56,14 @@ def lattice_quantize(data: np.ndarray, eb: float) -> tuple[np.ndarray, np.ndarra
     step = 2.0 * internal_bound(eb)
     kf = np.rint(x / step)
     risky = np.abs(kf) > RISKY_INDEX
+    finite = np.isfinite(kf)
+    if not finite.all():
+        # NaN/Inf inputs: casting a non-finite float to int64 is undefined
+        # behaviour, and a NaN index would silently dodge the risky check
+        # (NaN comparisons are False).  Pin the index to 0 and flag the
+        # point risky so the caller stores it verbatim.
+        risky |= ~finite
+        kf = np.where(finite, kf, 0.0)
     k = np.clip(kf, -CLIP_INDEX, CLIP_INDEX).astype(np.int64)
     return k, risky
 
@@ -61,6 +72,56 @@ def lattice_reconstruct(k: np.ndarray, eb: float, dtype: np.dtype) -> np.ndarray
     """Reconstruct values ``k * 2 * eb_int`` in the target dtype."""
     step = 2.0 * internal_bound(eb)
     return (np.asarray(k, dtype=np.float64) * step).astype(dtype)
+
+
+def quantize_lorenzo(
+    data: np.ndarray, eb: float, ndim: int, order: int = 1
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fused lattice quantization + Lorenzo prediction.
+
+    One call covering SZ's first two stages: quantizes ``data`` onto the
+    lattice and differences the index array along the last ``ndim`` axes
+    (whole-array numpy passes, no per-point work).  Returns
+    ``(k, q, risky)`` -- indices, residuals, verbatim mask.  Shared by the
+    plain and blockwise SZ compressors so the float subtleties (non-finite
+    masking, clipping) live in exactly one place.
+    """
+    from repro.compressors.sz.predictor import lorenzo_residual
+
+    k, risky = lattice_quantize(data, eb)
+    q = lorenzo_residual(k, ndim, order)
+    return k, q, risky
+
+
+def residual_codes(
+    q: np.ndarray, risky: np.ndarray, radius: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Map residuals to Huffman symbols with an escape channel.
+
+    Residuals inside ``[-radius, radius]`` (and not risky) become codes
+    ``q + radius + 1``; everything else gets the escape code 0 and its
+    exact residual is returned in ``esc_q`` (encounter order).  Returns
+    ``(codes, esc_q)`` with ``codes`` flattened.
+    """
+    escape = (np.abs(q) > radius) | risky
+    codes = np.where(escape, 0, q + (radius + 1)).ravel()
+    return codes, q[escape]
+
+
+def restore_residuals(
+    codes: np.ndarray, esc_q: np.ndarray, radius: int, codec: str = "SZ"
+) -> np.ndarray:
+    """Inverse of :func:`residual_codes` (flat residual array).
+
+    Raises ``ValueError`` when the escape channel does not match the
+    number of escape codes in the stream; ``codec`` labels the message.
+    """
+    q = codes - (radius + 1)
+    escape = codes == 0
+    if int(escape.sum()) != esc_q.size:
+        raise ValueError(f"corrupt {codec} stream: escape channel size mismatch")
+    q[escape] = esc_q
+    return q
 
 
 def internal_bound(eb: float) -> float:

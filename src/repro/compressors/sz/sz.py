@@ -6,6 +6,10 @@ residual falls outside the quantization radius) escape to an exact side
 channel, and the encoder re-verifies the reconstruction it will produce,
 patching any point where float round-off would break the bound -- so the
 advertised absolute bound holds for 100% of points, always.
+
+Because the encoder materializes the decoder's exact output anyway (for
+the patch pass), :meth:`SZCompressor.compress_verified` hands it to
+verifying wrappers for free, sparing them a full decode.
 """
 
 from __future__ import annotations
@@ -13,8 +17,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compressors.base import AbsoluteBound, Compressor, ErrorBound
-from repro.compressors.sz.predictor import lorenzo_reconstruct, lorenzo_residual
-from repro.compressors.sz.quantizer import lattice_quantize, lattice_reconstruct
+from repro.compressors.sz.predictor import lorenzo_reconstruct
+from repro.compressors.sz.quantizer import (
+    lattice_reconstruct,
+    quantize_lorenzo,
+    residual_codes,
+    restore_residuals,
+)
 from repro.encoding import (
     HuffmanCodec,
     deflate,
@@ -23,6 +32,7 @@ from repro.encoding import (
     zigzag_encode,
 )
 from repro.encoding.container import Container
+from repro.observe.events import emit as _emit_event
 from repro.observe.tracer import span
 
 __all__ = ["SZCompressor", "DEFAULT_RADIUS"]
@@ -69,18 +79,32 @@ class SZCompressor(Compressor):
     # -- compression -------------------------------------------------------
 
     def compress(self, data: np.ndarray, bound: ErrorBound) -> bytes:
+        return self._compress_impl(data, bound)[0]
+
+    def compress_verified(self, data: np.ndarray, bound: ErrorBound) -> tuple[bytes, np.ndarray]:
+        # Mirrors the automatic `compress` span so traces look the same
+        # whichever entry point a wrapper uses.
+        with span("compress", codec=self.name) as sp:
+            blob, recon = self._compress_impl(data, bound)
+            sp.add_bytes(in_=getattr(data, "nbytes", 0), out=len(blob))
+            _emit_event(
+                "compress",
+                span=sp,
+                codec=self.name,
+                bytes_in=getattr(data, "nbytes", 0),
+                bytes_out=len(blob),
+            )
+        return blob, recon
+
+    def _compress_impl(self, data: np.ndarray, bound: ErrorBound) -> tuple[bytes, np.ndarray]:
+        """Shared pipeline; returns ``(blob, exact decoder output)``."""
         self._check_bound(bound)
         data = self._check_input(data)
         eb = float(bound.value)
 
-        with span("quantize"):
-            k, risky = lattice_quantize(data, eb)
-        with span("predict", order=self.order):
-            q = lorenzo_residual(k, data.ndim, self.order)
-
-            escape = (np.abs(q) > self.radius) | risky
-            codes = np.where(escape, 0, q + (self.radius + 1)).ravel()
-            esc_q = q[escape]
+        with span("quantize-predict", order=self.order):
+            k, q, risky = quantize_lorenzo(data, eb, data.ndim, self.order)
+            codes, esc_q = residual_codes(q, risky, self.radius)
 
         # Verify the exact reconstruction the decoder will compute and move
         # any bound violator (risky points included) to the patch channel.
@@ -100,7 +124,12 @@ class SZCompressor(Compressor):
         with span("serialize") as sp:
             blob = box.to_bytes()
             sp.add_bytes(out=len(blob))
-        return blob
+
+        final = recon.ravel()
+        if patch_idx.size:
+            final = final.copy()
+            final[patch_idx.astype(np.int64)] = patch_val
+        return blob, final.reshape(data.shape)
 
     def _pack_payload(
         self,
@@ -111,9 +140,11 @@ class SZCompressor(Compressor):
         patch_val: np.ndarray,
     ) -> None:
         """Entropy-code the quantization codes and side channels into ``box``."""
-        blob = self._huffman.encode(codes)
+        with span("huffman-encode"):
+            blob = self._huffman.encode(codes)
         if self.use_stage3:
-            squeezed = deflate(blob)
+            with span("stage3-deflate"):
+                squeezed = deflate(blob)
             if len(squeezed) < len(blob):
                 box.put_u64("stage3", 1)
                 blob = squeezed
@@ -154,15 +185,14 @@ class SZCompressor(Compressor):
         payload = box.get("codes")
         if box.get_u64("stage3"):
             payload = inflate(payload)
-        codes = self._huffman.decode(payload)
+        with span("huffman-decode"):
+            codes = self._huffman.decode(payload)
 
-        q = codes - (radius + 1)
-        escape = codes == 0
         n_esc = box.get_u64("n_esc")
         esc_q = zigzag_decode(np.frombuffer(inflate(box.get("escq")), dtype=np.uint64))
-        if esc_q.size != n_esc or int(escape.sum()) != n_esc:
+        if esc_q.size != n_esc:
             raise ValueError("corrupt SZ stream: escape channel size mismatch")
-        q[escape] = esc_q
+        q = restore_residuals(codes, esc_q, radius)
 
         n_patch = box.get_u64("n_patch")
         patch_idx = np.frombuffer(inflate(box.get("patch_idx")), dtype=np.uint64)

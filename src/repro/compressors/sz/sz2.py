@@ -30,10 +30,15 @@ from repro.compressors.sz.predictor import lorenzo_reconstruct, lorenzo_residual
 from repro.compressors.sz.quantizer import (
     CLIP_INDEX,
     EB_SHRINK,
-    RISKY_INDEX,
+    lattice_quantize,
+    lattice_reconstruct,
+    residual_codes,
+    restore_residuals,
 )
 from repro.compressors.sz.sz import DEFAULT_RADIUS
 from repro.encoding import HuffmanCodec, deflate, inflate, zigzag_decode, zigzag_encode
+from repro.observe.events import emit as _emit_event
+from repro.observe.tracer import span as _span
 from repro.utils.blocking import block_merge, block_partition
 
 __all__ = ["SZ2Compressor", "DEFAULT_EDGES"]
@@ -76,6 +81,25 @@ class SZ2Compressor(Compressor):
     # -- compression -------------------------------------------------------
 
     def compress(self, data: np.ndarray, bound: ErrorBound) -> bytes:
+        return self._compress_impl(data, bound)[0]
+
+    def compress_verified(self, data: np.ndarray, bound: ErrorBound) -> tuple[bytes, np.ndarray]:
+        # Mirrors the automatic `compress` span so traces look the same
+        # whichever entry point a wrapper uses.
+        with _span("compress", codec=self.name) as sp:
+            blob, recon = self._compress_impl(data, bound)
+            sp.add_bytes(in_=getattr(data, "nbytes", 0), out=len(blob))
+            _emit_event(
+                "compress",
+                span=sp,
+                codec=self.name,
+                bytes_in=getattr(data, "nbytes", 0),
+                bytes_out=len(blob),
+            )
+        return blob, recon
+
+    def _compress_impl(self, data: np.ndarray, bound: ErrorBound) -> tuple[bytes, np.ndarray]:
+        """Shared pipeline; returns ``(blob, exact decoder output)``."""
         self._check_bound(bound)
         data = self._check_input(data)
         eb = float(bound.value)
@@ -87,9 +111,10 @@ class SZ2Compressor(Compressor):
         step = 2.0 * eb * EB_SHRINK
 
         x64 = tiles.astype(np.float64)
-        kf = np.rint(x64 / step)
-        risky = np.abs(kf) > RISKY_INDEX
-        k = np.clip(kf, -CLIP_INDEX, CLIP_INDEX).astype(np.int64)
+        # Shared lattice quantizer (same step: 2*eb*EB_SHRINK associates
+        # exactly -- doubling is a power-of-two scale), including the
+        # non-finite -> risky masking.
+        k, risky = lattice_quantize(x64, eb)
 
         # Candidate 1: within-block Lorenzo residuals.
         q_lor = lorenzo_residual(k, ndim)
@@ -113,11 +138,9 @@ class SZ2Compressor(Compressor):
         use_reg = cost_reg < cost_lor
         q = np.where(use_reg.reshape((-1,) + (1,) * ndim), q_reg, q_lor)
 
-        escape = (np.abs(q) > self.radius) | risky
-        codes = np.where(escape, 0, q + (self.radius + 1)).ravel()
-        esc_q = q[escape]
+        codes, esc_q = residual_codes(q, risky, self.radius)
 
-        recon = (k.astype(np.float64) * step).astype(data.dtype)
+        recon = lattice_reconstruct(k, eb, data.dtype)
         viol = np.abs(x64 - recon.astype(np.float64)) > eb
         patch = (viol | risky).reshape(-1)
         patch_idx = np.flatnonzero(patch).astype(np.uint64)
@@ -145,7 +168,18 @@ class SZ2Compressor(Compressor):
         box.put("patch_idx", deflate(patch_idx.tobytes()))
         box.put("patch_val", deflate(np.ascontiguousarray(patch_val).tobytes()))
         box.put_u64("n_patch", patch_idx.size)
-        return box.to_bytes()
+        blob = box.to_bytes()
+
+        # Exact decoder output: patched reconstruction tiles, merged back
+        # to the original shape.
+        flat = recon.reshape(-1)
+        if patch_idx.size:
+            flat = flat.copy()
+            flat[patch_idx.astype(np.int64)] = patch_val
+        merged = block_merge(
+            flat.reshape((nblocks,) + (edge,) * ndim), padded_shape, edge, data.shape
+        )
+        return blob, merged
 
     @staticmethod
     def _quantize_coeffs(coeffs: np.ndarray, eb: float, edge: int) -> np.ndarray:
@@ -192,12 +226,10 @@ class SZ2Compressor(Compressor):
         if box.get_u64("stage3"):
             payload = inflate(payload)
         codes = self._huffman.decode(payload)
-        q = codes - (radius + 1)
-        escape = codes == 0
         esc_q = zigzag_decode(np.frombuffer(inflate(box.get("escq")), dtype=np.uint64))
-        if esc_q.size != box.get_u64("n_esc") or int(escape.sum()) != esc_q.size:
+        if esc_q.size != box.get_u64("n_esc"):
             raise ValueError("corrupt SZ2 stream: escape channel size mismatch")
-        q[escape] = esc_q
+        q = restore_residuals(codes, esc_q, radius, codec="SZ2")
         q = q.reshape((nblocks,) + (edge,) * ndim)
 
         # Lorenzo blocks: invert the in-block stencil.  Regression blocks:

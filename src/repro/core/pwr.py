@@ -132,10 +132,12 @@ class TransformedCompressor(Compressor):
         with span("log-transform", base=tf.base):
             # Provisional bound to break the sentinel <-> max|log| circularity:
             # nonzero magnitudes bound their own logs; the sentinel magnitude
-            # is known analytically from the format floor.
+            # is known analytically from the format floor.  The logs are
+            # taken once; only the zero sentinel depends on the bound.
             ba0 = abs_bound_for(br, tf.base)
             eps0 = machine_eps0(data.dtype)
-            logs_nz = tf.forward(magnitudes, ba0)
+            raw_logs = tf.forward_logs(magnitudes)
+            logs_nz = tf.plant_sentinel(raw_logs, magnitudes, ba0)
             max_log = max(
                 tf.max_log_magnitude(logs_nz),
                 abs(tf.floor_log(data.dtype)) + 4.0 * ba0 + 1.0,
@@ -145,26 +147,35 @@ class TransformedCompressor(Compressor):
             else:
                 ba = ba0
 
-            d = tf.forward(magnitudes, ba)
+            d = tf.plant_sentinel(raw_logs, magnitudes, ba)
             n_zeros = int(magnitudes.size - np.count_nonzero(magnitudes))
         reg.counter("transform.exact_zeros").inc(n_zeros)
-
-        inner_blob = self.inner.compress(d, AbsoluteBound(ba))
 
         patch_idx = np.zeros(0, dtype=np.uint64)
         patch_val = np.zeros(0, dtype=data.dtype)
         if self.verify:
+            # The inner codec hands back the exact array its decoder will
+            # produce (SZ materializes it anyway for its own patch pass),
+            # so verification costs one inverse transform instead of a
+            # full second decode of the blob just produced.
+            inner_blob, d_rec = self.inner.compress_verified(d, AbsoluteBound(ba))
             with span("verify"):
-                recon = self._reconstruct(
-                    inner_blob, ba, data.shape, data.dtype, all_nonneg, sign_payload
+                recon = self._postprocess(
+                    d_rec, ba, data.shape, data.dtype, all_nonneg, sign_payload
                 )
-                err = np.abs(recon.astype(np.float64) - data.astype(np.float64))
-                viol = (err > br * np.abs(data.astype(np.float64))).ravel()
+                # |x| as float64 equals the float64 cast of the float32
+                # |x| already in hand -- abs and widening are both exact.
+                x64 = data.astype(np.float64).ravel()
+                absx = magnitudes.astype(np.float64, copy=False).ravel()
+                err = np.abs(recon.astype(np.float64).ravel() - x64)
+                viol = err > br * absx
                 patch_idx = np.flatnonzero(viol).astype(np.uint64)
                 patch_val = data.ravel()[patch_idx.astype(np.int64)]
                 self._feed_audit(
-                    data, recon, br, err.ravel(), viol, ba, ba0, eps0, max_log
+                    recon, br, absx, err, viol, patch_idx.size, ba, ba0, eps0, max_log
                 )
+        else:
+            inner_blob = self.inner.compress(d, AbsoluteBound(ba))
         if nonfinite_idx.size:
             patch_idx = np.union1d(patch_idx, nonfinite_idx).astype(np.uint64)
             patch_val = original.ravel()[patch_idx.astype(np.int64)]
@@ -188,11 +199,12 @@ class TransformedCompressor(Compressor):
 
     def _feed_audit(
         self,
-        data: np.ndarray,
         recon: np.ndarray,
         br: float,
+        absx: np.ndarray,
         err: np.ndarray,
         viol: np.ndarray,
+        patched: int,
         ba: float,
         ba0: float,
         eps0: float,
@@ -206,30 +218,32 @@ class TransformedCompressor(Compressor):
         the globally installed :class:`~repro.observe.audit.BoundAuditor`,
         if any.  Residuals are reported post-patch -- patched points are
         stored exactly, so the stream's conformance is what's recorded.
+        ``absx``/``err``/``viol`` come straight from the verify pass, so
+        nothing is recomputed here; patched points are masked out of both
+        maxima (they carry no residual error).
         """
         from repro.observe.audit import ChunkAudit, get_auditor, record_audit_metrics
         from repro.observe.events import emit as emit_event
 
         lemma2_ba = ba0 - max_log * eps0
-        x = data.astype(np.float64).ravel()
-        nz = x != 0
-        rel = np.zeros_like(err)
-        rel[nz] = err[nz] / np.abs(x[nz])
-        rel[viol] = 0.0  # patched points carry no residual error
+        nz = absx != 0
+        mask = nz if not patched else nz & ~viol
+        rel = np.divide(err, absx, out=np.zeros_like(err), where=mask)
+        max_abs = err if not patched else np.where(viol, 0.0, err)
         flat = recon.ravel()
         audit = ChunkAudit(
             index=None,
             codec=self.name,
-            n=int(x.size),
+            n=int(absx.size),
             bound_kind="rel",
             bound_value=br,
             max_rel=float(rel.max(initial=0.0)),
-            max_abs=float(np.where(viol, 0.0, err).max(initial=0.0)),
+            max_abs=float(max_abs.max(initial=0.0)),
             bounded_fraction=1.0,
             violations=0,
             zeros=int((flat == 0).sum()),
             negatives=int((flat < 0).sum()),
-            patched=int(viol.sum()),
+            patched=patched,
             effective_ba=ba,
             theorem2_ba=ba0,
             lemma2_ba=lemma2_ba,
@@ -312,9 +326,29 @@ class TransformedCompressor(Compressor):
         sign_payload: bytes,
         transform: LogTransform | None = None,
     ) -> np.ndarray:
-        """Inner decompress -> inverse log map -> sign restoration."""
+        """Inner decompress -> inverse log map -> sign restoration.
+
+        The inner blob is a section of this compressor's own checksummed
+        container, so its bytes were already covered by the outer stream
+        CRC -- the nested decode skips re-hashing them.
+        """
+        d_rec = self.inner.decompress_trusted(inner_blob)
+        return self._postprocess(
+            d_rec, ba, shape, dtype, all_nonneg, sign_payload, transform=transform
+        )
+
+    def _postprocess(
+        self,
+        d_rec: np.ndarray,
+        ba: float,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        all_nonneg: bool,
+        sign_payload: bytes,
+        transform: LogTransform | None = None,
+    ) -> np.ndarray:
+        """Inverse log map + sign restoration over decoded log-space data."""
         tf = transform if transform is not None else self.transform
-        d_rec = self.inner.decompress(inner_blob)
         with span("inverse-transform", base=tf.base):
             magnitudes = tf.inverse(d_rec, ba, dtype)
         if all_nonneg:

@@ -62,10 +62,21 @@ class LogTransform:
         The output stays in the input's precision -- that precision's
         machine epsilon is the ``eps0`` of Lemma 2.
         """
+        return self.plant_sentinel(
+            self.forward_logs(magnitudes), magnitudes, abs_bound
+        )
+
+    def forward_logs(self, magnitudes: np.ndarray) -> np.ndarray:
+        """Raw ``log_base`` of the magnitudes (``-inf`` at zeros).
+
+        The log itself does not depend on the bound -- only the zero
+        sentinel does -- so callers that need the same data mapped under
+        two bounds (the provisional ``b_a`` and the Lemma-2-adjusted one)
+        can take the logs once and call :meth:`plant_sentinel` twice.
+        """
         x = np.asarray(magnitudes)
         if (x < 0).any():
             raise ValueError("forward() expects magnitudes (non-negative values)")
-        sentinel = np.asarray(self.zero_sentinel(abs_bound, x.dtype), dtype=x.dtype)
         with np.errstate(divide="ignore"):
             if self.base == 2.0:
                 d = np.log2(x)
@@ -75,7 +86,15 @@ class LogTransform:
                 d = np.log10(x)
             else:
                 d = np.log2(x) / np.asarray(math.log2(self.base), dtype=x.dtype)
-        return np.where(x == 0, sentinel, d)
+        return d
+
+    def plant_sentinel(
+        self, logs: np.ndarray, magnitudes: np.ndarray, abs_bound: float
+    ) -> np.ndarray:
+        """Replace the logs of exact zeros with the bound's sentinel."""
+        x = np.asarray(magnitudes)
+        sentinel = np.asarray(self.zero_sentinel(abs_bound, x.dtype), dtype=x.dtype)
+        return np.where(x == 0, sentinel, logs)
 
     def max_finite_log(self, dtype: np.dtype) -> float:
         """``log_base`` of the largest finite value of ``dtype``."""

@@ -36,7 +36,7 @@ from collections.abc import Iterator
 import numpy as np
 
 from repro.encoding.codecs import read_varint, write_varint
-from repro.encoding.crc import crc32c
+from repro.encoding.crc import crc32c, crc32c_combine
 from repro.observe.metrics import metrics as _metrics
 
 __all__ = [
@@ -45,6 +45,7 @@ __all__ = [
     "ChecksumError",
     "StreamError",
     "TruncatedStreamError",
+    "peek_codec",
     "section_byte_ranges",
 ]
 
@@ -244,20 +245,34 @@ class Container:
         parts.append(write_varint(len(codec)))
         parts.append(codec)
         parts.append(write_varint(len(self._sections)))
-        for key, payload in self._sections.items():
-            k = key.encode("utf-8")
-            parts.append(write_varint(len(k)))
-            parts.append(k)
-            parts.append(write_varint(len(payload)))
-            parts.append(payload)
-            if checksums:
-                parts.append(struct.pack("<I", crc32c(payload)))
         if checksums:
-            running = 0
-            for part in parts:
-                running = crc32c(part, running)
-            parts.append(struct.pack("<I", running))
-        blob = b"".join(parts)
+            # The stream CRC is assembled incrementally: framing bytes are
+            # hashed as they are emitted and each payload's own CRC (which
+            # the v2 format stores anyway) is folded in with
+            # crc32c_combine, so payload bytes are read once, not twice.
+            stream_crc = crc32c(b"".join(parts))
+            for key, payload in self._sections.items():
+                k = key.encode("utf-8")
+                head = b"".join(
+                    (write_varint(len(k)), k, write_varint(len(payload)))
+                )
+                sec_crc = crc32c(payload)
+                tail = struct.pack("<I", sec_crc)
+                parts.extend((head, payload, tail))
+                stream_crc = crc32c_combine(
+                    crc32c(head, stream_crc), sec_crc, len(payload)
+                )
+                stream_crc = crc32c(tail, stream_crc)
+            parts.append(struct.pack("<I", stream_crc))
+            blob = b"".join(parts)
+        else:
+            for key, payload in self._sections.items():
+                k = key.encode("utf-8")
+                parts.append(write_varint(len(k)))
+                parts.append(k)
+                parts.append(write_varint(len(payload)))
+                parts.append(payload)
+            blob = b"".join(parts)
         reg = _metrics()
         reg.counter("container.encode_s").inc(time.perf_counter() - t0)
         reg.counter("container.encode_bytes").inc(len(blob))
@@ -390,6 +405,34 @@ class Container:
     def nbytes(self) -> int:
         """Serialized size in bytes."""
         return len(self.to_bytes())
+
+
+def peek_codec(data: bytes) -> str:
+    """Codec name from a container header, without parsing the body.
+
+    Dispatchers use this to route a blob to its compressor; the
+    compressor's own parse then does the full (checksummed) read, so
+    peeking never skips verification -- it just avoids paying for the
+    whole-stream CRC twice.
+    """
+    if len(data) < 5:
+        if data[: len(data)] == _MAGIC[: len(data)]:
+            raise TruncatedStreamError("stream shorter than the 5-byte header")
+        raise ContainerError("bad magic: not a repro compressed stream")
+    if data[:4] != _MAGIC:
+        raise ContainerError("bad magic: not a repro compressed stream")
+    if data[4] not in _KNOWN_VERSIONS:
+        raise ContainerError(f"unsupported container version {data[4]}")
+    try:
+        n, pos = read_varint(data, 5)
+    except ValueError as exc:
+        raise TruncatedStreamError(str(exc)) from None
+    if pos + n > len(data):
+        raise TruncatedStreamError("truncated codec name")
+    try:
+        return data[pos : pos + n].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ContainerError(f"corrupt codec name: {exc}") from None
 
 
 def section_byte_ranges(data: bytes) -> dict[str, tuple[int, int]]:

@@ -70,3 +70,42 @@ class TestQuantize:
         recon = lattice_reconstruct(k, eb, np.float64)
         ok = ~risky
         assert (np.abs(recon[ok] - x[ok]) <= eb).all()
+
+
+class TestNonFinite:
+    """NaN/Inf inputs must be flagged risky, never cast to int64.
+
+    Regression tests for the undefined-behaviour cast: a NaN index
+    compares False against RISKY_INDEX, so before the fix non-finite
+    points could slip through unflagged with a garbage index.
+    """
+
+    def test_nan_and_inf_flagged_risky_with_zero_index(self):
+        x = np.array([np.nan, np.inf, -np.inf, 1.0, 0.0])
+        k, risky = lattice_quantize(x, 1e-3)
+        assert risky[:3].all()
+        assert not risky[3:].any()
+        assert (k[:3] == 0).all()
+
+    def test_no_invalid_cast_warning(self):
+        import warnings
+
+        x = np.array([np.nan, np.inf, 2.5])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            k, risky = lattice_quantize(x, 1e-2)
+        assert risky[:2].all() and not risky[2]
+
+    def test_fused_lorenzo_path_keeps_residuals_finite(self):
+        from repro.compressors.sz.quantizer import quantize_lorenzo
+
+        x = np.array([[1.0, np.nan], [np.inf, 4.0]])
+        k, q, risky = quantize_lorenzo(x, 1e-3, ndim=2)
+        assert risky.sum() == 2
+        assert np.isfinite(q).all()
+        assert np.abs(k).max() <= CLIP_INDEX
+
+    def test_all_nonfinite_input(self):
+        x = np.full(16, np.nan)
+        k, risky = lattice_quantize(x, 1.0)
+        assert risky.all() and (k == 0).all()

@@ -4,7 +4,7 @@ vectorized path vs a bitwise reference."""
 import numpy as np
 import pytest
 
-from repro.encoding.crc import crc32c
+from repro.encoding.crc import crc32c, crc32c_combine
 
 
 def crc32c_reference(data: bytes, value: int = 0) -> int:
@@ -75,3 +75,29 @@ class TestAgainstReference:
             flipped = bytearray(data)
             flipped[bit // 8] ^= 0x80 >> (bit % 8)
             assert crc32c(bytes(flipped)) != baseline
+
+
+class TestCombine:
+    """crc32c_combine must agree with hashing the concatenation."""
+
+    @pytest.mark.parametrize("len_a, len_b", [
+        (0, 0), (0, 100), (100, 0), (1, 1), (3, 61),
+        (63, 64), (64, 65), (500, 1024), (1025, 4096), (10_000, 7),
+    ])
+    def test_combine_equals_whole(self, len_a, len_b):
+        rng = np.random.default_rng(len_a * 131 + len_b)
+        a = rng.integers(0, 256, len_a, np.uint8).tobytes()
+        b = rng.integers(0, 256, len_b, np.uint8).tobytes()
+        assert crc32c_combine(crc32c(a), crc32c(b), len(b)) == crc32c(a + b)
+
+    def test_three_way_combine(self):
+        rng = np.random.default_rng(42)
+        parts = [rng.integers(0, 256, n, np.uint8).tobytes() for n in (200, 3000, 77)]
+        crc = crc32c(parts[0])
+        for part in parts[1:]:
+            crc = crc32c_combine(crc, crc32c(part), len(part))
+        assert crc == crc32c(b"".join(parts))
+
+    def test_matches_bitwise_reference(self):
+        a, b = b"hello ", b"world"
+        assert crc32c_combine(crc32c(a), crc32c(b), len(b)) == crc32c_reference(a + b)

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.encoding import HuffmanCodec
 from repro.encoding.huffman import huffman_code_lengths
+from repro.encoding.huffman_ref import ReferenceHuffmanCodec, reference_code_lengths
 
 
 class TestCodeLengths:
@@ -113,6 +114,21 @@ class TestRoundtrip:
         codec = HuffmanCodec(chunk_size=chunk)
         np.testing.assert_array_equal(codec.decode(codec.encode(syms)), syms)
 
+    def test_corrupt_payload_raises_value_error(self):
+        codec = HuffmanCodec()
+        syms = np.arange(64).repeat(np.arange(1, 65))
+        blob = bytearray(codec.encode(syms))
+        blob[-3] ^= 0xFF  # damage the bit payload, not the tables
+        with pytest.raises(ValueError):
+            codec.decode(bytes(blob))
+
+    def test_truncated_payload_raises_value_error(self):
+        codec = HuffmanCodec()
+        syms = np.arange(256).repeat(np.arange(1, 257))
+        blob = codec.encode(syms)
+        with pytest.raises(ValueError):
+            codec.decode(blob[:-4])
+
     def test_rate_close_to_entropy(self):
         rng = np.random.default_rng(4)
         probs = np.array([0.5, 0.25, 0.125, 0.0625, 0.0625])
@@ -121,3 +137,70 @@ class TestRoundtrip:
         entropy = -(probs * np.log2(probs)).sum()
         bits_per_symbol = 8 * len(blob) / syms.size
         assert bits_per_symbol < entropy * 1.1 + 0.1  # dyadic probs: ~optimal
+
+
+class TestReferenceEquivalence:
+    """The vectorized codec against the retained pre-vectorization one.
+
+    ``huffman_ref`` is the frozen specification of the blob format:
+    every stream the fast codec writes must be byte-identical to what the
+    reference writes, and each decoder must read the other's output.
+    """
+
+    def assert_equivalent(self, syms, chunk=256):
+        fast = HuffmanCodec(chunk_size=chunk)
+        ref = ReferenceHuffmanCodec(chunk_size=chunk)
+        blob_fast = fast.encode(syms)
+        blob_ref = ref.encode(syms)
+        assert blob_fast == blob_ref
+        expect = np.asarray(syms, dtype=np.int64).ravel()
+        np.testing.assert_array_equal(fast.decode(blob_ref), expect)
+        np.testing.assert_array_equal(ref.decode(blob_fast), expect)
+
+    def test_empty_stream(self):
+        self.assert_equivalent(np.zeros(0, dtype=np.int64))
+
+    def test_single_distinct_symbol(self):
+        self.assert_equivalent(np.full(1000, 7, dtype=np.int64))
+        self.assert_equivalent(np.array([3], dtype=np.int64), chunk=16)
+
+    def test_skewed_distribution(self):
+        rng = np.random.default_rng(10)
+        syms = np.where(rng.random(50_000) < 0.9, 2, rng.integers(0, 512, 50_000))
+        self.assert_equivalent(syms)
+
+    def test_large_alphabet(self):
+        rng = np.random.default_rng(11)
+        self.assert_equivalent(rng.integers(0, 40_000, size=30_000))
+
+    @pytest.mark.parametrize("dtype", [np.int64, np.int32, np.uint16])
+    def test_input_dtypes(self, dtype):
+        rng = np.random.default_rng(12)
+        self.assert_equivalent(rng.integers(0, 200, size=5000).astype(dtype))
+
+    def test_codes_longer_than_decode_table(self):
+        # Fibonacci counts force codeword lengths past the fast decoder's
+        # first-level table, exercising its canonical-extension path
+        # against the reference's bit-by-bit walk.
+        counts = [1, 1]
+        while len(counts) < 25:
+            counts.append(counts[-1] + counts[-2])
+        syms = np.repeat(np.arange(len(counts)), counts)
+        lengths = huffman_code_lengths(np.bincount(syms))
+        assert lengths.max() > 16  # the premise of this test
+        self.assert_equivalent(syms)
+
+    def test_code_lengths_match_reference(self):
+        rng = np.random.default_rng(13)
+        for _ in range(20):
+            counts = rng.integers(0, 2000, size=rng.integers(2, 400))
+            np.testing.assert_array_equal(
+                huffman_code_lengths(counts), reference_code_lengths(counts)
+            )
+
+    @given(
+        st.lists(st.integers(0, 1000), min_size=0, max_size=1500),
+        st.sampled_from([7, 64, 256, 4096]),
+    )
+    def test_property_byte_identical(self, raw, chunk):
+        self.assert_equivalent(np.array(raw, dtype=np.int64), chunk=chunk)

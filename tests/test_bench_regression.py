@@ -148,3 +148,99 @@ def test_committed_baselines_are_self_consistent():
     assert gate.main(
         ["--fresh-dir", str(baselines), "--baseline-dir", str(baselines)]
     ) == 0
+
+
+class TestCodecPathGate:
+    def test_mismatch_fails_with_update_hint(self, dirs, capsys):
+        base, fresh = dirs
+        write_report(base, [rec("t", codec_path="scalar")])
+        write_report(fresh, [rec("t", codec_path="vectorized")])
+        assert run(base, fresh) == 1
+        assert "--update-baselines" in capsys.readouterr().out
+
+    def test_matching_paths_pass(self, dirs):
+        base, fresh = dirs
+        write_report(base, [rec("t", codec_path="vectorized")])
+        write_report(fresh, [rec("t", codec_path="vectorized")])
+        assert run(base, fresh) == 0
+
+    def test_unstamped_baseline_reads_as_scalar(self, dirs):
+        """Baselines written before stamping existed imply the scalar coder."""
+        base, fresh = dirs
+        write_report(base, [rec("t")])
+        write_report(fresh, [rec("t", codec_path="vectorized")])
+        assert run(base, fresh) == 1
+        write_report(fresh, [rec("t", codec_path="scalar")])
+        assert run(base, fresh) == 0
+
+    def test_unstamped_fresh_record_is_not_checked(self, dirs):
+        base, fresh = dirs
+        write_report(base, [rec("t", codec_path="vectorized")])
+        write_report(fresh, [rec("t")])
+        assert run(base, fresh) == 0
+
+
+def table3_records(roundtrip_mb_s, host_factor=1.0):
+    """A minimal table3-shaped report at ``host_factor`` x reference speed."""
+    ref = gate._PREVEC_REFERENCE
+    recs = [
+        rec(t, mb_per_s=round(ref["anchor_MB_s"] * host_factor, 3), ratio=None)
+        for t in ref["anchor_tests"]
+    ]
+    recs.append(rec(ref["test"], mb_per_s=roundtrip_mb_s))
+    return recs
+
+
+class TestSpeedupGate:
+    """The table3 round trip is gated against a frozen scalar-coder reference."""
+
+    NAME = "BENCH_table3.json"
+
+    def test_fast_roundtrip_passes(self, dirs, capsys):
+        base, fresh = dirs
+        recs = table3_records(roundtrip_mb_s=12.0)  # 10x the 1.199 reference
+        write_report(base, recs, name=self.NAME)
+        write_report(fresh, recs, name=self.NAME)
+        assert run(base, fresh) == 0
+        assert "speedup gate" in capsys.readouterr().out
+
+    def test_scalar_era_throughput_fails(self, dirs, capsys):
+        base, fresh = dirs
+        recs = table3_records(roundtrip_mb_s=1.2)  # ~1x: the vectorization lost
+        write_report(base, recs, name=self.NAME)
+        write_report(fresh, recs, name=self.NAME)
+        assert run(base, fresh) == 1
+        assert "speedup regression" in capsys.readouterr().out
+
+    def test_normalized_by_host_speed(self, dirs):
+        """On a half-speed host, half the absolute throughput still passes."""
+        base, fresh = dirs
+        recs = table3_records(roundtrip_mb_s=6.0, host_factor=0.5)
+        write_report(base, recs, name=self.NAME)
+        write_report(fresh, recs, name=self.NAME)
+        assert run(base, fresh) == 0  # 6.0 / (1.199 * 0.5) ~ 10x
+        slow = table3_records(roundtrip_mb_s=6.0, host_factor=2.0)
+        write_report(base, slow, name=self.NAME)
+        write_report(fresh, slow, name=self.NAME)
+        assert run(base, fresh) == 1  # 6.0 / (1.199 * 2.0) ~ 2.5x
+
+    def test_zero_disables_the_gate(self, dirs):
+        base, fresh = dirs
+        recs = table3_records(roundtrip_mb_s=1.2)
+        write_report(base, recs, name=self.NAME)
+        write_report(fresh, recs, name=self.NAME)
+        assert run(base, fresh, "--min-speedup", "0") == 0
+
+    def test_missing_roundtrip_record_fails(self, dirs):
+        base, fresh = dirs
+        recs = table3_records(roundtrip_mb_s=12.0)[:-1]
+        write_report(base, recs, name=self.NAME)
+        write_report(fresh, recs, name=self.NAME)
+        assert run(base, fresh) == 1
+
+    def test_other_reports_not_gated(self, dirs):
+        base, fresh = dirs
+        recs = table3_records(roundtrip_mb_s=1.2)
+        write_report(base, recs, name="BENCH_other.json")
+        write_report(fresh, recs, name="BENCH_other.json")
+        assert run(base, fresh) == 0
