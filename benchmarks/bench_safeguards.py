@@ -1,0 +1,106 @@
+"""Safeguards bench: the compliant-codec overhead budget, enforced.
+
+The safeguards layer's design promise is *near-zero overhead when the
+wrapped codec complies*: the verify pass's reconstruction is reused, each
+safeguard costs one vectorized mask pass, and the patch channel is empty.
+This module puts a number on that promise and wires it into CI:
+
+* ``szt-roundtrip`` pair -- raw ``SZ_T`` vs ``SAFE(SZ_T, rel)`` round
+  trips over the same field.  Both records carry ``overhead_pair`` /
+  ``overhead_role`` extra-info; ``scripts/check_bench_regression.py``
+  pairs them and **fails when the safeguarded round trip exceeds the
+  baseline by more than ``overhead_budget``** (10%).  The gate is
+  baseline-file-independent, so it also runs on fresh reports.
+* ``SAFE(ZFP_P, rel)`` -- the non-compliant direction: a precision codec
+  made rel-bounded by patching.  The record carries ``max_rel_err`` /
+  ``rel_bound`` so the existing bound-conformance gate proves the wrap
+  delivers the bound ZFP_P alone cannot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Container, PrecisionBound, RelativeBound, decompress
+from repro.compressors.base import get_compressor
+from repro.safeguards import SafeguardedCompressor
+
+BOUND = 1e-3
+
+#: Allowed round-trip slowdown of SAFE(SZ_T) over raw SZ_T.
+OVERHEAD_BUDGET = 0.10
+
+
+@pytest.fixture(scope="module")
+def field() -> np.ndarray:
+    """4 MB float32 smooth positive field (compresses the SZ_T happy path)."""
+    n = 2**20
+    x = np.linspace(0.0, 40.0 * np.pi, n)
+    data = 2.0 + np.sin(x) + 0.1 * np.sin(5.7 * x)
+    return data.astype(np.float32)
+
+
+@pytest.mark.benchmark(group="safeguards-overhead", min_rounds=5)
+def test_szt_roundtrip_baseline(benchmark, field):
+    sz_t = get_compressor("SZ_T")
+    bound = RelativeBound(BOUND)
+
+    def roundtrip():
+        blob = sz_t.compress(field, bound)
+        decompress(blob)
+        return blob
+
+    blob = benchmark(roundtrip)
+    benchmark.extra_info["nbytes"] = field.nbytes
+    benchmark.extra_info["out_bytes"] = len(blob)
+    benchmark.extra_info["overhead_pair"] = "szt-roundtrip"
+    benchmark.extra_info["overhead_role"] = "baseline"
+
+
+@pytest.mark.benchmark(group="safeguards-overhead", min_rounds=5)
+def test_szt_roundtrip_safeguarded(benchmark, field):
+    safe = SafeguardedCompressor("SZ_T", [f"rel:{BOUND!r}"])
+    bound = RelativeBound(BOUND)
+
+    def roundtrip():
+        blob = safe.compress(field, bound)
+        decompress(blob)
+        return blob
+
+    blob = benchmark(roundtrip)
+    box = Container.from_bytes(blob)
+    assert box.get_u64("n_patch") == 0, "SZ_T must comply with its own bound"
+    benchmark.extra_info["nbytes"] = field.nbytes
+    benchmark.extra_info["out_bytes"] = len(blob)
+    benchmark.extra_info["overhead_pair"] = "szt-roundtrip"
+    benchmark.extra_info["overhead_role"] = "safeguarded"
+    benchmark.extra_info["overhead_budget"] = OVERHEAD_BUDGET
+    benchmark.extra_info["n_patch"] = 0
+
+
+@pytest.mark.benchmark(group="safeguards-zfp", min_rounds=3)
+def test_zfp_p_safeguarded_holds_rel_bound(benchmark):
+    """The non-compliant direction: precision codec -> guaranteed rel bound.
+
+    A wide-dynamic-range field, where 20 bits of precision genuinely
+    violate ``rel:1e-3`` at a minority of points (~10%, ``n_patch`` > 0
+    in the record): the patches are the cost being measured.
+    """
+    rng = np.random.default_rng(7)
+    field = rng.lognormal(mean=0.0, sigma=1.0, size=(64, 64, 64)).astype(np.float32)
+    safe = SafeguardedCompressor("ZFP_P", [f"rel:{BOUND!r}"])
+    bound = PrecisionBound(20)
+
+    blob = benchmark(safe.compress, field, bound)
+    recon = decompress(blob)
+    x64 = field.astype(np.float64)
+    nz = x64 != 0
+    max_rel = float(
+        (np.abs(recon.astype(np.float64) - x64)[nz] / np.abs(x64)[nz]).max()
+    )
+    benchmark.extra_info["nbytes"] = field.nbytes
+    benchmark.extra_info["out_bytes"] = len(blob)
+    benchmark.extra_info["rel_bound"] = BOUND
+    benchmark.extra_info["max_rel_err"] = max_rel
+    benchmark.extra_info["n_patch"] = Container.from_bytes(blob).get_u64("n_patch")

@@ -62,6 +62,7 @@ from repro.encoding.container import (
     TruncatedStreamError,
     peek_codec,
 )
+from repro.safeguards import Safeguard, SafeguardedCompressor, parse_safeguard
 
 __version__ = "1.0.0"
 
@@ -83,6 +84,8 @@ __all__ = [
     "RateBound",
     "RecoveryReport",
     "RelativeBound",
+    "Safeguard",
+    "SafeguardedCompressor",
     "StreamError",
     "TruncatedStreamError",
     "SZ2Compressor",
@@ -99,6 +102,7 @@ __all__ = [
     "get_compressor",
     "make_sz_t",
     "make_zfp_t",
+    "parse_safeguard",
     "recover_array",
     "register_compressor",
     "repair_stream",
@@ -129,6 +133,9 @@ register_compressor("ZFP_T", make_zfp_t)
 # which may run inside worker threads where forking a process pool is
 # unsafe.  Chunk streams decode identically under any executor.
 register_compressor("CHUNKED", lambda: ChunkedCompressor(executor="thread"))
+# Decode-only instance: safeguarded streams carry their declared properties
+# and patches inline, so dispatch needs no constructor arguments.
+register_compressor("SAFE", SafeguardedCompressor)
 
 
 def compress(

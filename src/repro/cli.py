@@ -4,6 +4,9 @@ Mirrors the ergonomics of the SZ/ZFP command-line utilities::
 
     repro-compress compress field.f32 field.rpz --shape 512,512,512 \
         --rel-bound 1e-3 --compressor SZ_T
+    repro-compress compress field.f32 field.rpz --shape 512,512,512 \
+        --precision 16 --compressor ZFP_P \
+        --safeguard rel:1e-3 --safeguard sign --safeguard monotone:axis=0
     repro-compress decompress field.rpz field.out.f32
     repro-compress info field.rpz
     repro-compress stats field.rpz
@@ -104,6 +107,17 @@ def _parse_keep(text: str) -> int | float:
         )
 
 
+def _parse_safeguard_spec(text: str) -> str:
+    """Validate a ``--safeguard`` spec early; the string itself is kept."""
+    from repro.safeguards import parse_safeguard
+
+    try:
+        parse_safeguard(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return text
+
+
 def _bound_from(args) -> AbsoluteBound | RelativeBound | PrecisionBound:
     chosen = [
         b for b in (
@@ -131,7 +145,13 @@ def _read_blob(path: str) -> bytes:
 def _cmd_compress(args) -> int:
     data = load_array(args.input, args.shape, np.dtype(args.dtype))
     bound = _bound_from(args)
+    compressor: object = args.compressor
     label = args.compressor
+    if args.safeguard:
+        from repro.safeguards import SafeguardedCompressor
+
+        compressor = SafeguardedCompressor(args.compressor, args.safeguard)
+        label = f"SAFE({args.compressor}; {'; '.join(args.safeguard)})"
     chunked_opts = (args.chunk_size, args.workers, args.parity, args.chunk_timeout)
     if any(v is not None for v in chunked_opts):
         from repro.core.chunked import ChunkedCompressor
@@ -146,24 +166,29 @@ def _cmd_compress(args) -> int:
             kwargs["group_size"] = args.group_size
         if args.chunk_timeout is not None:
             kwargs["timeout"] = args.chunk_timeout
-        chunked = ChunkedCompressor(args.compressor, **kwargs)
+        chunked = ChunkedCompressor(compressor, **kwargs)
         blob = compress(data, bound, compressor=chunked)
         label = (
-            f"{args.compressor} ({chunked.last_chunk_count} chunks x "
+            f"{label} ({chunked.last_chunk_count} chunks x "
             f"{chunked.workers} workers"
             + (f", k={chunked.parity} parity" if chunked.parity else "")
             + ")"
         )
     else:
-        blob = compress(data, bound, compressor=args.compressor)
+        blob = compress(data, bound, compressor=compressor)
     with open(args.output, "wb") as fh:
         fh.write(blob)
     line = (
         f"{args.input}: {data.nbytes} -> {len(blob)} bytes "
         f"({data.nbytes / len(blob):.2f}x) with {label}"
     )
-    if isinstance(bound, RelativeBound):
-        stats = bounded_fraction(data, decompress(blob), bound.value)
+    rel_value = bound.value if isinstance(bound, RelativeBound) else None
+    if rel_value is None and args.safeguard:
+        # A declared rel:BR safeguard guarantees the bound even when the
+        # inner codec was driven by an absolute/precision bound.
+        rel_value = getattr(compressor, "declared_rel_bound", None)
+    if rel_value is not None:
+        stats = bounded_fraction(data, decompress(blob), rel_value)
         line += f", bounded {stats.bounded_label()}, max rel err {stats.max_rel:.3e}"
     print(line)
     if args.report:
@@ -200,6 +225,11 @@ def _cmd_info(args) -> int:
     print(f"dtype:  {box.get_dtype('dtype').name}")
     print(f"bytes:  {len(blob)}")
     print(f"format: v{box.version}" + (" (checksummed)" if box.checksummed else ""))
+    if box.codec == "SAFE":
+        specs = box.get_str("safeguards")
+        print(f"inner:  {box.get_str('inner_codec')}")
+        print(f"safeguards: {specs.replace(';', '; ') if specs else '(none)'}")
+        print(f"patched: {box.get_u64('n_patch')} point(s)")
     if box.codec == "CHUNKED":
         print(f"inner:  {box.get_str('inner_codec')}")
         print(f"chunks: {box.get_u64('n_chunks')}")
@@ -281,6 +311,8 @@ def _cmd_faults(args) -> int:
         out = faults.drop_section(blob, args.key)
     elif args.mode == "corrupt-section":
         out = faults.corrupt_section(blob, args.key, n_bits=args.count, seed=args.seed)
+    elif args.mode == "corrupt-safeguards":
+        out = faults.corrupt_safeguards(blob, n_bits=args.count, seed=args.seed)
     else:  # corrupt-chunk
         out = faults.corrupt_chunk(blob, args.index, n_bits=args.count, seed=args.seed)
     with open(args.output, "wb") as fh:
@@ -312,6 +344,12 @@ def main(argv: list[str] | None = None) -> int:
                       help="absolute error bound")
     comp.add_argument("--precision", type=int, default=None,
                       help="bit precision (FPZIP / ZFP_P)")
+    comp.add_argument("--safeguard", action="append", type=_parse_safeguard_spec,
+                      default=None, metavar="SPEC",
+                      help="wrap the compressor so a point-wise property is "
+                           "guaranteed bit-exactly (repeatable): abs:EB, "
+                           "rel:BR, ulp:K, sign, zero, nonfinite, "
+                           "monotone:axis=N, range or range:LO,HI")
     comp.add_argument("--report", action="store_true",
                       help="print a full quality report after compressing")
     comp.add_argument("--chunk-size", type=_parse_size, default=None, metavar="SIZE",
@@ -406,6 +444,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     flt.add_argument("mode", choices=[
         "bit-flip", "truncate", "drop-section", "corrupt-section", "corrupt-chunk",
+        "corrupt-safeguards",
     ])
     flt.add_argument("input")
     flt.add_argument("output")

@@ -53,16 +53,30 @@ def lattice_quantize(data: np.ndarray, eb: float) -> tuple[np.ndarray, np.ndarra
     if eb <= 0 or not np.isfinite(eb):
         raise ValueError(f"absolute bound must be positive and finite, got {eb}")
     x = np.asarray(data, dtype=np.float64)
+    if not np.isfinite(x).all():
+        # A NaN index compares False against RISKY_INDEX and casting a
+        # non-finite float to int64 is undefined behaviour; pinning such
+        # points to index 0 (the pre-safeguards behaviour) poisons the
+        # Lorenzo predictions of every neighbour.  Lattice quantization of
+        # non-finite values is undefined, full stop: callers sanitize
+        # NaN/Inf out and restore them bit-exactly through the safeguard
+        # patch channel (see SZCompressor / repro.safeguards).
+        raise ValueError(
+            "cannot quantize non-finite values; sanitize NaN/Inf and route "
+            "them through the safeguard patch channel"
+        )
     step = 2.0 * internal_bound(eb)
-    kf = np.rint(x / step)
+    with np.errstate(over="ignore"):
+        # |x| / step may overflow to Inf for huge inputs and tiny bounds;
+        # the Inf index lands in the risky mask below, not in a warning.
+        kf = np.rint(x / step)
     risky = np.abs(kf) > RISKY_INDEX
     finite = np.isfinite(kf)
     if not finite.all():
-        # NaN/Inf inputs: casting a non-finite float to int64 is undefined
-        # behaviour, and a NaN index would silently dodge the risky check
-        # (NaN comparisons are False).  Pin the index to 0 and flag the
-        # point risky so the caller stores it verbatim.
-        risky |= ~finite
+        # |x| / step can still overflow to Inf for huge finite inputs;
+        # those points are already flagged risky (Inf > RISKY_INDEX), so
+        # the caller stores them verbatim -- the index only needs to be
+        # safely castable.
         kf = np.where(finite, kf, 0.0)
     k = np.clip(kf, -CLIP_INDEX, CLIP_INDEX).astype(np.int64)
     return k, risky
@@ -84,7 +98,7 @@ def quantize_lorenzo(
     (whole-array numpy passes, no per-point work).  Returns
     ``(k, q, risky)`` -- indices, residuals, verbatim mask.  Shared by the
     plain and blockwise SZ compressors so the float subtleties (non-finite
-    masking, clipping) live in exactly one place.
+    rejection, clipping) live in exactly one place.
     """
     from repro.compressors.sz.predictor import lorenzo_residual
 

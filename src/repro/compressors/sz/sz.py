@@ -3,9 +3,12 @@
 Stages: Lorenzo prediction -> linear-scaling quantization -> canonical
 Huffman -> optional DEFLATE (SZ's stage III).  Unpredictable points (their
 residual falls outside the quantization radius) escape to an exact side
-channel, and the encoder re-verifies the reconstruction it will produce,
+channel, and the encoder re-verifies the reconstruction it will produce
+through the safeguard engine (absolute bound + non-finite preservation),
 patching any point where float round-off would break the bound -- so the
-advertised absolute bound holds for 100% of points, always.
+advertised absolute bound holds for 100% of points, always.  NaN/±Inf
+inputs are sanitized to 0.0 for the prediction stages and restored
+bit-exactly from the patch channel.
 
 Because the encoder materializes the decoder's exact output anyway (for
 the patch pass), :meth:`SZCompressor.compress_verified` hands it to
@@ -34,6 +37,12 @@ from repro.encoding import (
 from repro.encoding.container import Container
 from repro.observe.events import emit as _emit_event
 from repro.observe.tracer import span
+from repro.safeguards.engine import (
+    compute_patch_channel,
+    put_patch_sections,
+    read_patch_sections,
+)
+from repro.safeguards.kinds import AbsErrorSafeguard, NonFiniteSafeguard
 
 __all__ = ["SZCompressor", "DEFAULT_RADIUS"]
 
@@ -60,6 +69,9 @@ class SZCompressor(Compressor):
 
     name = "SZ_ABS"
     supported_bounds = (AbsoluteBound,)
+    #: NaN/±Inf ride the patch channel (stored verbatim), so the advertised
+    #: bound on finite points is unaffected by non-finite neighbours.
+    allows_nonfinite = True
 
     def __init__(
         self,
@@ -99,21 +111,35 @@ class SZCompressor(Compressor):
     def _compress_impl(self, data: np.ndarray, bound: ErrorBound) -> tuple[bytes, np.ndarray]:
         """Shared pipeline; returns ``(blob, exact decoder output)``."""
         self._check_bound(bound)
-        data = self._check_input(data)
+        data = self._check_input(data, allow_nonfinite=True)
         eb = float(bound.value)
 
+        # Non-finite points cannot ride the lattice; sanitize them to 0.0
+        # for the prediction stages -- the safeguard pass below restores
+        # their original bit patterns through the patch channel.
+        quantizable = data
+        nonfinite = ~np.isfinite(data)
+        if nonfinite.any():
+            quantizable = np.where(nonfinite, 0.0, data).astype(data.dtype, copy=False)
+
         with span("quantize-predict", order=self.order):
-            k, q, risky = quantize_lorenzo(data, eb, data.ndim, self.order)
+            k, q, risky = quantize_lorenzo(quantizable, eb, data.ndim, self.order)
             codes, esc_q = residual_codes(q, risky, self.radius)
 
         # Verify the exact reconstruction the decoder will compute and move
-        # any bound violator (risky points included) to the patch channel.
+        # every safeguard violator (risky points included) to the patch
+        # channel: absolute bound on finite points, bit-exact NaN/±Inf.
         with span("verify"):
             recon = lattice_reconstruct(k, eb, data.dtype)
-            viol = np.abs(data.astype(np.float64) - recon.astype(np.float64)) > eb
-            patch = (viol | risky).ravel()
-            patch_idx = np.flatnonzero(patch).astype(np.uint64)
-            patch_val = data.ravel()[patch_idx.astype(np.int64)]
+            channel = compute_patch_channel(
+                (AbsErrorSafeguard(eb), NonFiniteSafeguard()), data, recon
+            )
+            patch_idx, patch_val = channel.patch_idx, channel.patch_val
+            if risky.any():
+                patch_idx = np.union1d(
+                    patch_idx, np.flatnonzero(risky.ravel()).astype(np.uint64)
+                ).astype(np.uint64)
+                patch_val = data.ravel()[patch_idx.astype(np.int64)]
 
         box = self._new_container(self.name, data)
         box.put_f64("eb", eb)
@@ -155,9 +181,7 @@ class SZCompressor(Compressor):
         box.put("codes", blob)
         box.put("escq", deflate(zigzag_encode(esc_q).tobytes()))
         box.put_u64("n_esc", esc_q.size)
-        box.put("patch_idx", deflate(patch_idx.tobytes()))
-        box.put("patch_val", deflate(np.ascontiguousarray(patch_val).tobytes()))
-        box.put_u64("n_patch", patch_idx.size)
+        put_patch_sections(box, patch_idx, patch_val)
 
     # -- decompression -----------------------------------------------------
 
@@ -194,9 +218,5 @@ class SZCompressor(Compressor):
             raise ValueError("corrupt SZ stream: escape channel size mismatch")
         q = restore_residuals(codes, esc_q, radius)
 
-        n_patch = box.get_u64("n_patch")
-        patch_idx = np.frombuffer(inflate(box.get("patch_idx")), dtype=np.uint64)
-        patch_val = np.frombuffer(inflate(box.get("patch_val")), dtype=dtype)
-        if patch_idx.size != n_patch or patch_val.size != n_patch:
-            raise ValueError("corrupt SZ stream: patch channel size mismatch")
+        patch_idx, patch_val = read_patch_sections(box, dtype, "SZ")
         return q, patch_idx, patch_val

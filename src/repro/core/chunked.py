@@ -534,7 +534,8 @@ class ChunkedCompressor(Compressor):
         """Rebuild the pool-wide audit aggregate from the registry delta.
 
         Worker processes' verify passes move the ``audit.*`` counters and
-        histograms; :func:`repro.observe.run_traced` ships the deltas back
+        histograms -- and a safeguarded inner codec moves ``safeguard.*`` per
+        chunk; :func:`repro.observe.run_traced` ships the deltas back
         and :func:`absorb` merges them into this process's registry, so by
         the time ``_map`` returns the delta since ``before`` is the whole
         run's audit -- whichever executor ran the chunks.
@@ -544,15 +545,18 @@ class ChunkedCompressor(Compressor):
         delta = {
             k: v
             for k, v in metrics().diff(before).items()
-            if k.startswith("audit.")
+            if k.startswith(("audit.", "safeguard."))
         }
         if delta:
+            bound_value = (
+                float(bound.value) if isinstance(bound, RelativeBound) else None
+            )
+            if bound_value is None:
+                # A safeguarded inner codec guarantees its declared relative
+                # bound regardless of the bound kind handed to it.
+                bound_value = getattr(self.inner, "declared_rel_bound", None)
             self.last_audit = AuditReport.from_metrics(
-                delta,
-                codec=self.name,
-                bound_value=(
-                    float(bound.value) if isinstance(bound, RelativeBound) else None
-                ),
+                delta, codec=self.name, bound_value=bound_value
             )
 
     # -- chunk geometry ------------------------------------------------------

@@ -7,12 +7,14 @@ compressor:
 2. map magnitudes to log space, planting zeros at the sentinel,
 3. compute the adjusted absolute bound ``b_a'`` (Theorem 2 + Lemma 2),
 4. run the inner compressor on the transformed data with ``b_a'``,
-5. *verify*: decompress what was just produced, map it back, and record
-   any point whose relative error still exceeds ``b_r`` in an exact patch
-   channel.  With the Lemma-2 adjustment in place this channel is empty in
-   practice (the tests assert as much); it turns "bounded with probability
-   1 minus round-off" into "bounded, period", and its size is reported so
-   the round-off ablation can quantify Lemma 2's effect.
+5. *verify*: decompress what was just produced, map it back, and repair
+   every violating point through a safeguard stack (relative bound +
+   non-finite preservation, evaluated by :mod:`repro.safeguards`) whose
+   bit-exact patches land in the stream's patch channel.  With the
+   Lemma-2 adjustment in place this channel is empty in practice (the
+   tests assert as much); it turns "bounded with probability 1 minus
+   round-off" into "bounded, period", and its size is reported so the
+   round-off ablation can quantify Lemma 2's effect.
 
 ``make_sz_t()`` / ``make_zfp_t()`` build the paper's ``SZ_T`` and
 ``ZFP_T``.
@@ -32,9 +34,15 @@ from repro.compressors.base import (
 )
 from repro.core.error_bounds import abs_bound_for, adjusted_abs_bound, machine_eps0
 from repro.core.transform import LogTransform
-from repro.encoding import decode_sign_bitmap, deflate, encode_sign_bitmap, inflate
+from repro.encoding import decode_sign_bitmap, encode_sign_bitmap
 from repro.observe.metrics import metrics
 from repro.observe.tracer import span
+from repro.safeguards.engine import (
+    apply_patch_sections,
+    compute_patch_channel,
+    put_patch_sections,
+)
+from repro.safeguards.kinds import NonFiniteSafeguard, RelErrorSafeguard
 
 __all__ = ["TransformedCompressor", "make_sz_t", "make_zfp_t"]
 
@@ -103,11 +111,35 @@ class TransformedCompressor(Compressor):
     # -- compression -------------------------------------------------------
 
     def compress(self, data: np.ndarray, bound: ErrorBound) -> bytes:
+        return self._compress_impl(data, bound)[0]
+
+    def compress_verified(
+        self, data: np.ndarray, bound: ErrorBound
+    ) -> tuple[bytes, np.ndarray]:
+        """Compress and return the exact array ``decompress`` yields.
+
+        With ``verify`` on, the bound check already materializes the
+        decoder's reconstruction (the inner codec hands back its own
+        decode, the inverse transform is deterministic, and the patch
+        channel is applied on top) — so the round trip the base-class
+        default would run is pure waste.  Wrappers like the safeguards
+        adapter rely on this to keep compliant-codec overhead near zero.
+        """
+        with span("compress", codec=self.name) as sp:
+            blob, final = self._compress_impl(data, bound)
+            sp.add_bytes(in_=getattr(data, "nbytes", 0), out=len(blob))
+        if final is None:
+            return blob, self.decompress(blob)
+        return blob, final
+
+    def _compress_impl(
+        self, data: np.ndarray, bound: ErrorBound
+    ) -> tuple[bytes, np.ndarray | None]:
         self._check_bound(bound)
         br = float(bound.value)
         tf = self.transform
         if np.asarray(data).size == 0:
-            return self._compress_empty(np.asarray(data), br)
+            return self._compress_empty(np.asarray(data), br), None
         data = self._check_input(data, allow_nonfinite=self.allows_nonfinite)
         reg = metrics()
 
@@ -153,32 +185,43 @@ class TransformedCompressor(Compressor):
 
         patch_idx = np.zeros(0, dtype=np.uint64)
         patch_val = np.zeros(0, dtype=data.dtype)
+        final: np.ndarray | None = None
         if self.verify:
             # The inner codec hands back the exact array its decoder will
             # produce (SZ materializes it anyway for its own patch pass),
             # so verification costs one inverse transform instead of a
-            # full second decode of the blob just produced.
+            # full second decode of the blob just produced.  The patch set
+            # is the safeguard stack's: relative bound + non-finite
+            # preservation evaluated against the pristine input.
             inner_blob, d_rec = self.inner.compress_verified(d, AbsoluteBound(ba))
             with span("verify"):
                 recon = self._postprocess(
                     d_rec, ba, data.shape, data.dtype, all_nonneg, sign_payload
                 )
+                stack = (RelErrorSafeguard(br), NonFiniteSafeguard())
+                channel = compute_patch_channel(stack, original, recon)
+                patch_idx, patch_val = channel.patch_idx, channel.patch_val
                 # |x| as float64 equals the float64 cast of the float32
                 # |x| already in hand -- abs and widening are both exact.
                 x64 = data.astype(np.float64).ravel()
                 absx = magnitudes.astype(np.float64, copy=False).ravel()
                 err = np.abs(recon.astype(np.float64).ravel() - x64)
-                viol = err > br * absx
-                patch_idx = np.flatnonzero(viol).astype(np.uint64)
-                patch_val = data.ravel()[patch_idx.astype(np.int64)]
+                viol = channel.masks[stack[0].spec()]
                 self._feed_audit(
-                    recon, br, absx, err, viol, patch_idx.size, ba, ba0, eps0, max_log
+                    recon, br, absx, err, viol,
+                    channel.counts.get(stack[0].spec(), 0),
+                    ba, ba0, eps0, max_log,
                 )
+            # What decompress() will produce: the verified reconstruction
+            # with the patch channel applied on top.
+            final = np.ascontiguousarray(recon)
+            if patch_idx.size:
+                final.ravel()[patch_idx.astype(np.int64)] = patch_val
         else:
             inner_blob = self.inner.compress(d, AbsoluteBound(ba))
-        if nonfinite_idx.size:
-            patch_idx = np.union1d(patch_idx, nonfinite_idx).astype(np.uint64)
-            patch_val = original.ravel()[patch_idx.astype(np.int64)]
+            if nonfinite_idx.size:
+                patch_idx = nonfinite_idx
+                patch_val = original.ravel()[patch_idx.astype(np.int64)]
         self.last_patch_count = int(patch_idx.size)
         reg.counter("transform.patched_points").inc(self.last_patch_count)
 
@@ -190,12 +233,10 @@ class TransformedCompressor(Compressor):
             box.put_u64("all_nonneg", int(all_nonneg))
             box.put("signs", sign_payload)
             box.put("inner", inner_blob)
-            box.put("patch_idx", deflate(patch_idx.tobytes()))
-            box.put("patch_val", deflate(np.ascontiguousarray(patch_val).tobytes()))
-            box.put_u64("n_patch", patch_idx.size)
+            put_patch_sections(box, patch_idx, patch_val)
             blob = box.to_bytes()
             sp.add_bytes(out=len(blob))
-        return blob
+        return blob, final
 
     def _feed_audit(
         self,
@@ -278,9 +319,9 @@ class TransformedCompressor(Compressor):
         box.put("signs", b"")
         box.put("inner", b"")
         self.last_patch_count = 0
-        box.put("patch_idx", deflate(b""))
-        box.put("patch_val", deflate(b""))
-        box.put_u64("n_patch", 0)
+        put_patch_sections(
+            box, np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=data.dtype)
+        )
         return box.to_bytes()
 
     # -- decompression -----------------------------------------------------
@@ -306,14 +347,8 @@ class TransformedCompressor(Compressor):
             transform=tf,
         )
         with span("patch-apply"):
-            patch_idx = np.frombuffer(inflate(box.get("patch_idx")), dtype=np.uint64)
-            patch_val = np.frombuffer(inflate(box.get("patch_val")), dtype=dtype)
-            if patch_idx.size != box.get_u64("n_patch") or patch_val.size != patch_idx.size:
-                raise ValueError(
-                    f"corrupt {self.name} stream: patch channel size mismatch"
-                )
             flat = recon.ravel()
-            flat[patch_idx.astype(np.int64)] = patch_val
+            apply_patch_sections(flat, box, dtype, self.name)
         return flat.reshape(shape)
 
     def _reconstruct(

@@ -212,6 +212,12 @@ def pack_varbits(values: np.ndarray, widths: np.ndarray) -> bytes:
     vals = values & _low_mask(w64)  # keep the low `width` bits only
     word = starts >> 6
     bitoff = (starts & 63).astype(np.uint64)
+    # Zero-width fields carry no bits, and one starting exactly at the end
+    # of the stream would scatter past the accumulator -- drop them.
+    if widths.min() == 0:
+        keep = w64 > 0
+        vals, w64 = vals[keep], w64[keep]
+        word, bitoff = word[keep], bitoff[keep]
     # Left-align each field inside the 128-bit window over words
     # [word, word+1]: high half when the field fits above bit 64 of the
     # window, both halves when it straddles.

@@ -56,7 +56,12 @@ _VERSION = 2
 #: format signal so pre-parity readers fail loudly instead of silently
 #: ignoring the parity sections they cannot honour.
 _VERSION_PARITY = 3
-_KNOWN_VERSIONS = (1, 2, 3)
+#: Version written for safeguard-bearing records (codec ``SAFE``, see
+#: ``docs/safeguards.md``).  Same framing as v2/v3 -- the bump signals that
+#: honouring the stream's guarantees requires applying the patch sections,
+#: so pre-safeguard readers fail loudly rather than dropping them.
+_VERSION_SAFEGUARDS = 4
+_KNOWN_VERSIONS = (1, 2, 3, 4)
 _CRC_BYTES = 4
 
 # dtype tokens are fixed so streams are portable across numpy versions.

@@ -4,7 +4,9 @@ Zero handling follows the paper's convention: a point whose original value
 is exactly zero counts as *bounded* iff it decompresses to exactly zero
 (a compressor that "modifies original 0" earns the table's ``*`` marker);
 its relative error is excluded from the Avg E / Max E statistics, which
-are otherwise ``|x - x_d| / |x|``.
+are otherwise ``|x - x_d| / |x|``.  Non-finite originals (NaN/Inf, legal
+input for codecs with ``allows_nonfinite``) follow the same idea: bounded
+iff preserved exactly, excluded from the relative statistics.
 """
 
 from __future__ import annotations
@@ -60,13 +62,24 @@ def bounded_fraction(
     xd = np.asarray(recon, dtype=np.float64).ravel()
     if x.shape != xd.shape:
         raise ValueError(f"shape mismatch: {x.shape} vs {xd.shape}")
-    err = np.abs(xd - x)
-    zeros = x == 0
+    finite = np.isfinite(x)
+    with np.errstate(invalid="ignore"):
+        err = np.abs(xd - x)
+    zeros = finite & (x == 0)
+    nz = finite & ~zeros
     zeros_modified = int((err[zeros] > 0).sum())
-    rel = err[~zeros] / np.abs(x[~zeros])
-    ok = int((rel <= rel_bound).sum()) + int((err[zeros] == 0).sum())
+    rel = err[nz] / np.abs(x[nz])
+    # A non-finite original is bounded iff reproduced exactly (NaN counts
+    # as matching NaN); its relative error is meaningless, so it is
+    # excluded from the max/avg statistics like a zero.
+    nonfinite_kept = (~finite) & ((xd == x) | (np.isnan(x) & np.isnan(xd)))
+    ok = (
+        int((rel <= rel_bound).sum())
+        + int((err[zeros] == 0).sum())
+        + int(nonfinite_kept.sum())
+    )
     return ErrorStats(
-        max_abs=float(err.max(initial=0.0)),
+        max_abs=float(err[finite].max(initial=0.0)),
         max_rel=float(rel.max(initial=0.0)),
         avg_rel=float(rel.mean()) if rel.size else 0.0,
         # an empty reconstruction satisfies the bound vacuously

@@ -75,11 +75,16 @@ class ChunkAudit:
     theorem2_ba: float | None  # unshrunk g(b_r) for the stream's base
     lemma2_ba: float | None  # Lemma 2's b_a' recomputed from decoded data
     lemma2_ok: bool | None  # effective_ba within Lemma 2's formula
+    safeguards: tuple[str, ...] | None = None  # declared safeguard specs
+    #: Per-spec recomputed violation counts (SAFE streams with original).
+    safeguard_violations: dict[str, int] | None = None
 
     @property
     def ok(self) -> bool:
-        """No bound violation and no looser-than-Lemma-2 bound in use."""
-        return (self.violations or 0) == 0 and self.lemma2_ok is not False
+        """No bound violation, no looser-than-Lemma-2 bound, safeguards hold."""
+        if (self.violations or 0) != 0 or self.lemma2_ok is False:
+            return False
+        return not any((self.safeguard_violations or {}).values())
 
 
 @dataclass(frozen=True)
@@ -116,10 +121,15 @@ class AuditReport:
     chunks: tuple[ChunkAudit, ...] = ()
     theorem3: Theorem3Check | None = None
     notes: tuple[str, ...] = ()
+    safeguards: tuple[str, ...] = ()
+    #: Per-spec violation counts summed over chunks (empty when clean).
+    safeguard_violations: dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         if self.violations:
+            return False
+        if any(self.safeguard_violations.values()):
             return False
         if any(not c.ok for c in self.chunks):
             return False
@@ -156,6 +166,16 @@ class AuditReport:
         lines.append(
             f"zeros/negatives/patched: {self.zeros}/{self.negatives}/{self.patched}"
         )
+        if self.safeguards:
+            counts = self.safeguard_violations
+            status = (
+                "all hold"
+                if not any(counts.values())
+                else ", ".join(f"{s}: {n}" for s, n in counts.items() if n)
+            )
+            lines.append(
+                f"safeguards:     {'; '.join(self.safeguards)} ({status})"
+            )
         bad = [c for c in self.chunks if not c.ok]
         for c in bad:
             where = "stream" if c.index is None else f"chunk {c.index}"
@@ -168,6 +188,9 @@ class AuditReport:
                     f"b_a'={c.effective_ba:.9g} looser than Lemma 2's "
                     f"{c.lemma2_ba:.9g}"
                 )
+            for spec, n_bad in (c.safeguard_violations or {}).items():
+                if n_bad:
+                    why.append(f"safeguard {spec} violated at {n_bad} point(s)")
             lines.append(f"VIOLATION:      {where}: {'; '.join(why)}")
         if self.theorem3 is not None:
             t = self.theorem3
@@ -200,6 +223,13 @@ class AuditReport:
             else None
         )
         first = next((c for c in chunks if c.bound_kind is not None), None)
+        safeguards: tuple[str, ...] = ()
+        sg_viol: dict[str, int] = {}
+        for c in chunks:
+            if c.safeguards and not safeguards:
+                safeguards = c.safeguards
+            for spec, count in (c.safeguard_violations or {}).items():
+                sg_viol[spec] = sg_viol.get(spec, 0) + count
         return cls(
             codec=codec,
             bound_kind=first.bound_kind if first else None,
@@ -216,6 +246,8 @@ class AuditReport:
             chunks=tuple(chunks),
             theorem3=theorem3,
             notes=notes,
+            safeguards=safeguards,
+            safeguard_violations=sg_viol,
         )
 
     @classmethod
@@ -235,24 +267,30 @@ class AuditReport:
             snap = delta.get(name)
             return float(snap.get("value", 0.0)) if snap else 0.0
 
+        # A safeguarded wrapper moves safeguard.* counters; its inner codec
+        # (when it audits itself, like SZ_T) moves audit.* for the same
+        # points.  Prefer the inner audit's coverage, fall back to the
+        # safeguard pass, and count patches from both layers.
         h = delta.get("audit.max_rel") or {}
-        n_points = int(val("audit.points"))
+        hs = delta.get("safeguard.max_rel") or {}
+        n_points = int(val("audit.points")) or int(val("safeguard.points"))
         violations = int(val("audit.violations"))
+        maxima = [float(src["max"]) for src in (h, hs) if "max" in src]
         return cls(
             codec=codec,
             bound_kind="rel" if bound_value is not None else None,
             bound_value=bound_value,
             n_points=n_points,
-            n_chunks=int(h.get("n", 0)),
+            n_chunks=max(int(h.get("n", 0)), int(hs.get("n", 0))),
             violations=violations,
-            max_rel=float(h["max"]) if "max" in h else None,
+            max_rel=max(maxima) if maxima else None,
             max_abs=None,
             bounded_fraction=(
                 1.0 - violations / n_points if n_points else None
             ),
             zeros=int(val("audit.zeros")),
             negatives=int(val("audit.negatives")),
-            patched=int(val("audit.patched")),
+            patched=int(val("audit.patched")) + int(val("safeguard.patched")),
         )
 
 
@@ -457,6 +495,32 @@ def lemma2_recomputed(
     return ba0, lemma2 + eps0 * (ba0 + 1.0)
 
 
+def _recheck_safeguards(
+    specs: tuple[str, ...], original: np.ndarray, recon: np.ndarray
+) -> dict[str, int]:
+    """Recompute a SAFE stream's declared properties against the original.
+
+    Bit-identical points are never violations (mirroring the encoder-side
+    engine); unparseable specs -- e.g. kinds from a future version -- are
+    reported with a count of -1 rather than crashing the audit, so the
+    verdict stays conservative without hiding the unknown declaration.
+    """
+    from repro.safeguards.kinds import bit_view, parse_safeguard
+
+    x = np.asarray(original).reshape(recon.shape).astype(recon.dtype, copy=False)
+    x = np.ascontiguousarray(x)
+    same = bit_view(x) == bit_view(np.ascontiguousarray(recon))
+    counts: dict[str, int] = {}
+    for spec in specs:
+        try:
+            sg = parse_safeguard(spec)
+            mask = sg.violation_mask(x, recon) & ~same
+            counts[spec] = int(np.count_nonzero(mask))
+        except ValueError:
+            counts[spec] = -1
+    return counts
+
+
 def _audit_one(
     chunk_blob: bytes, original: np.ndarray | None, index: int | None
 ) -> ChunkAudit:
@@ -482,26 +546,39 @@ def _audit_one(
         )
         lemma2_ok = bool(effective_ba <= lemma2_ba)
 
+    safeguards = None
+    safeguard_violations = None
+    if box.codec == "SAFE" and "safeguards" in box:
+        safeguards = tuple(
+            s for s in box.get_str("safeguards").split(";") if s.strip()
+        )
+        if original is not None:
+            safeguard_violations = _recheck_safeguards(
+                safeguards, original, recon
+            )
+
     max_rel = max_abs = bf = None
     violations = None
     if original is not None:
-        x = np.asarray(original, dtype=np.float64).ravel()
-        if x.size != flat.size:
-            raise ValueError(
-                f"original has {x.size} elements, stream reconstructs {flat.size}"
-            )
-        xd = flat.astype(np.float64)
-        err = np.abs(xd - x)
-        nz = x != 0
-        rel = err[nz] / np.abs(x[nz])
-        max_rel = float(rel.max(initial=0.0))
-        max_abs = float(err.max(initial=0.0))
-        if kind == "rel":
-            violations = int((rel > value).sum()) + int((err[~nz] > 0).sum())
-        elif kind == "abs":
-            violations = int((err > value).sum())
-        if violations is not None:
-            bf = 1.0 - violations / x.size if x.size else 1.0
+        with np.errstate(invalid="ignore"):
+            x = np.asarray(original, dtype=np.float64).ravel()
+            if x.size != flat.size:
+                raise ValueError(
+                    f"original has {x.size} elements, stream reconstructs {flat.size}"
+                )
+            xd = flat.astype(np.float64)
+            err = np.abs(xd - x)
+            nz = (x != 0) & np.isfinite(x)
+            rel = err[nz] / np.abs(x[nz])
+            max_rel = float(rel.max(initial=0.0))
+            max_abs = float(err[~np.isnan(err)].max(initial=0.0))
+            if kind == "rel":
+                zero = np.isfinite(x) & (x == 0)
+                violations = int((rel > value).sum()) + int((err[zero] > 0).sum())
+            elif kind == "abs":
+                violations = int((err > value).sum())
+            if violations is not None:
+                bf = 1.0 - violations / x.size if x.size else 1.0
 
     return ChunkAudit(
         index=index,
@@ -520,6 +597,8 @@ def _audit_one(
         theorem2_ba=theorem2_ba,
         lemma2_ba=lemma2_ba,
         lemma2_ok=lemma2_ok,
+        safeguards=safeguards,
+        safeguard_violations=safeguard_violations,
     )
 
 

@@ -75,8 +75,28 @@ def stream_bound(box: Container) -> tuple[str | None, float | None]:
     """``(kind, value)`` of the native bound a container carries.
 
     ``(None, None)`` when the codec has no recoverable bound (lossless,
-    CHUNKED wrappers) or the expected section is absent.
+    CHUNKED wrappers) or the expected section is absent.  SAFE streams
+    derive their bound from the declared safeguards: a relative-error
+    safeguard outranks an absolute one; other kinds carry no error bound.
     """
+    if box.codec == "SAFE":
+        if "safeguards" not in box:
+            return None, None
+        from repro.safeguards.kinds import parse_safeguard
+
+        guards = []
+        for spec in box.get_str("safeguards").split(";"):
+            if not spec.strip():
+                continue
+            try:
+                guards.append(parse_safeguard(spec))
+            except ValueError:
+                continue
+        for kind in ("rel", "abs"):
+            for sg in guards:
+                if sg.kind == kind:
+                    return kind, float(sg.value)
+        return None, None
     key = _BOUND_KEYS.get(box.codec)
     if key is None or key[0] not in box:
         return None, None
@@ -157,6 +177,9 @@ class StreamStats:
     #: Damage-recovery outcome when ``build_report(tolerate_corruption=True)``
     #: had to fall back to partial decoding; None on a clean decode.
     recovery: "RecoveryReport | None" = None
+    #: Declared safeguard specs and patch count of a SAFE (v4) stream.
+    safeguards: tuple[str, ...] | None = None
+    patched: int | None = None
 
     def format(self) -> str:
         lines = [
@@ -171,6 +194,16 @@ class StreamStats:
         if self.parity is not None:
             lines.append(
                 f"parity:        k={self.parity[0]} per group of {self.parity[1]}"
+            )
+        if self.safeguards is not None:
+            patched = (
+                f", {self.patched} point(s) patched"
+                if self.patched is not None
+                else ""
+            )
+            inner = f" over {self.inner_codec}" if self.inner_codec else ""
+            lines.append(
+                f"safeguards:    {'; '.join(self.safeguards)}{inner}{patched}"
             )
         if self.recovery is not None:
             lines.append(f"recovery:      {self.recovery.summary()}")
@@ -232,12 +265,22 @@ def build_report(blob: bytes, tolerate_corruption: bool = False) -> StreamStats:
         blob, verify_checksums=False, partial=tolerate_corruption
     )
     n_chunks = inner_codec = parity = None
+    safeguards = patched = None
     if box.codec == "CHUNKED" and "n_chunks" in box:
         n_chunks = box.get_u64("n_chunks")
         if "inner_codec" in box:
             inner_codec = box.get_str("inner_codec")
         if "parity_k" in box and "group_size" in box:
             parity = (box.get_u64("parity_k"), box.get_u64("group_size"))
+    if box.codec == "SAFE":
+        if "safeguards" in box:
+            safeguards = tuple(
+                s for s in box.get_str("safeguards").split(";") if s.strip()
+            )
+        if "inner_codec" in box:
+            inner_codec = box.get_str("inner_codec")
+        if "n_patch" in box:
+            patched = int(box.get_u64("n_patch"))
     crc = delta.get("crc.verify_s")
     return StreamStats(
         codec=box.codec,
@@ -255,6 +298,8 @@ def build_report(blob: bytes, tolerate_corruption: bool = False) -> StreamStats:
         crc_verify_s=float(crc["value"]) if crc else 0.0,
         metrics=delta,
         recovery=recovery,
+        safeguards=safeguards,
+        patched=patched,
     )
 
 

@@ -15,6 +15,8 @@ Injector catalogue:
   with valid checksums, exercising structural validation),
 * :func:`corrupt_section` / :func:`corrupt_chunk` -- damage aimed at a
   named section or a single chunk of a CHUNKED stream,
+* :func:`corrupt_safeguards` -- damage aimed at the safeguard machinery
+  of a SAFE stream (spec list, patch channel, patch count),
 * :class:`FlakyFilesystem` -- ``open()`` for writing fails N times,
 * :class:`CrashingExecutor` -- the Nth submitted chunk task dies like a
   crashed process-pool worker,
@@ -38,6 +40,7 @@ __all__ = [
     "FlakyFilesystem",
     "StallingExecutor",
     "corrupt_chunk",
+    "corrupt_safeguards",
     "corrupt_section",
     "drop_section",
     "flip_bit",
@@ -126,6 +129,29 @@ def corrupt_chunk(blob: bytes, index: int, n_bits: int = 1, seed: int = 0) -> by
     return flip_random_bits(
         blob, n=n_bits, seed=seed, start=start, stop=start + int(lens[index])
     )
+
+
+def corrupt_safeguards(blob: bytes, n_bits: int = 1, seed: int = 0) -> bytes:
+    """Flip ``n_bits`` random bits inside a SAFE stream's safeguard machinery.
+
+    Picks one of the safeguard-bearing sections -- the spec list
+    (``safeguards``), the patch channel (``patch_idx``, ``patch_val``) or
+    the patch count (``n_patch``) -- by ``seed``, skipping empty ones, so a
+    seed sweep covers every part of the machinery.  Decoding the result
+    must raise a clean ``StreamError``; a guaranteed property silently not
+    holding is the one failure mode the safeguards layer may never have.
+    """
+    box = Container.from_bytes(blob, verify_checksums=False)
+    if box.codec != "SAFE":
+        raise ContainerError(f"stream is {box.codec!r}, not SAFE")
+    targets = [
+        key
+        for key in ("safeguards", "patch_idx", "patch_val", "n_patch")
+        if key in box and len(box.get(key))
+    ]
+    if not targets:
+        raise ValueError("stream has no non-empty safeguard sections to corrupt")
+    return corrupt_section(blob, targets[seed % len(targets)], n_bits=n_bits, seed=seed)
 
 
 # -- environment shims -------------------------------------------------------

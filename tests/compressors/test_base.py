@@ -63,17 +63,22 @@ class TestInputValidation:
         with pytest.raises(ValueError):
             self.comp.compress(np.zeros((2, 2, 2, 2), dtype=np.float32), self.bound)
 
-    def test_nan_rejected(self):
+    def test_nan_preserved_bit_exactly(self):
+        # SZ_ABS routes non-finite points through the safeguard patch
+        # channel instead of rejecting them (see tests/safeguards/
+        # test_sz_nonfinite.py for the full matrix).
         data = np.ones(10, dtype=np.float32)
         data[3] = np.nan
-        with pytest.raises(ValueError, match="NaN"):
-            self.comp.compress(data, self.bound)
+        recon = self.comp.decompress(self.comp.compress(data, self.bound))
+        assert np.isnan(recon[3])
+        assert np.abs(recon[~np.isnan(data)] - 1.0).max() <= 1e-3
 
-    def test_inf_rejected(self):
+    def test_inf_preserved_bit_exactly(self):
         data = np.ones(10, dtype=np.float64)
         data[0] = np.inf
-        with pytest.raises(ValueError):
-            self.comp.compress(data, self.bound)
+        recon = self.comp.decompress(self.comp.compress(data, self.bound))
+        assert recon[0] == np.inf
+        assert np.abs(recon[1:] - 1.0).max() <= 1e-3
 
     def test_noncontiguous_input_accepted(self):
         data = np.ones((20, 20), dtype=np.float32)[::2, ::2]

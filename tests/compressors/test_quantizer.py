@@ -73,39 +73,36 @@ class TestQuantize:
 
 
 class TestNonFinite:
-    """NaN/Inf inputs must be flagged risky, never cast to int64.
+    """NaN/Inf inputs are rejected by the lattice, routed via safeguards.
 
-    Regression tests for the undefined-behaviour cast: a NaN index
-    compares False against RISKY_INDEX, so before the fix non-finite
-    points could slip through unflagged with a garbage index.
+    Pinning non-finite points to index 0 (the pre-safeguards behaviour)
+    poisoned the Lorenzo predictions of every neighbour; quantization of
+    non-finite values is now a caller error -- ``SZCompressor`` sanitizes
+    them out and restores the exact bit patterns from the safeguard patch
+    channel (see ``tests/safeguards/test_sz_nonfinite.py``).
     """
 
-    def test_nan_and_inf_flagged_risky_with_zero_index(self):
-        x = np.array([np.nan, np.inf, -np.inf, 1.0, 0.0])
-        k, risky = lattice_quantize(x, 1e-3)
-        assert risky[:3].all()
-        assert not risky[3:].any()
-        assert (k[:3] == 0).all()
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_lattice_rejects_nonfinite(self, bad):
+        x = np.array([1.0, bad, 2.5])
+        with pytest.raises(ValueError, match="non-finite"):
+            lattice_quantize(x, 1e-3)
 
-    def test_no_invalid_cast_warning(self):
-        import warnings
-
-        x = np.array([np.nan, np.inf, 2.5])
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            k, risky = lattice_quantize(x, 1e-2)
-        assert risky[:2].all() and not risky[2]
-
-    def test_fused_lorenzo_path_keeps_residuals_finite(self):
+    def test_fused_lorenzo_path_rejects_nonfinite(self):
         from repro.compressors.sz.quantizer import quantize_lorenzo
 
         x = np.array([[1.0, np.nan], [np.inf, 4.0]])
-        k, q, risky = quantize_lorenzo(x, 1e-3, ndim=2)
-        assert risky.sum() == 2
-        assert np.isfinite(q).all()
-        assert np.abs(k).max() <= CLIP_INDEX
+        with pytest.raises(ValueError, match="non-finite"):
+            quantize_lorenzo(x, 1e-3, ndim=2)
 
-    def test_all_nonfinite_input(self):
-        x = np.full(16, np.nan)
-        k, risky = lattice_quantize(x, 1.0)
-        assert risky.all() and (k == 0).all()
+    def test_index_overflow_of_finite_input_stays_risky(self):
+        # |x| / step overflows float64 -> Inf index; the point must be
+        # flagged risky (stored verbatim) with a safely castable index.
+        import warnings
+
+        x = np.array([1e300, -1e300, 2.5])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            k, risky = lattice_quantize(x, 1e-10)
+        assert risky[:2].all() and not risky[2]
+        assert np.abs(k).max() <= CLIP_INDEX

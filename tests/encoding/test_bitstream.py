@@ -147,6 +147,18 @@ class TestVarBits:
         assert pack_varbits(np.zeros(0, np.uint64), np.zeros(0, np.int64)) == b""
         assert unpack_varbits(b"", np.zeros(0, np.int64)).size == 0
 
+    def test_zero_width_field_at_word_boundary(self):
+        # A zero-width field starting exactly at a 64-bit boundary at the
+        # end of the stream used to scatter one word past the accumulator.
+        values = np.array([7, 0], dtype=np.uint64)
+        widths = np.array([64, 0], dtype=np.int64)
+        out = unpack_varbits(pack_varbits(values, widths), widths)
+        np.testing.assert_array_equal(out, values)
+        values = np.array([1, 0, 3, 0], dtype=np.uint64)
+        widths = np.array([32, 0, 96 - 32, 0], dtype=np.int64)
+        out = unpack_varbits(pack_varbits(values, widths), widths)
+        np.testing.assert_array_equal(out, values)
+
     def test_length_mismatch_rejected(self):
         with pytest.raises(ValueError):
             pack_varbits(np.zeros(2, np.uint64), np.zeros(3, np.int64))

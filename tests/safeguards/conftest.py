@@ -1,0 +1,82 @@
+"""Shared fixtures: an adversarial codec for exercising the safeguards layer.
+
+``EvilCodec`` stores the array verbatim but corrupts its reconstruction in a
+named, deterministic way at decode time -- the corruption is therefore visible
+to the adapter's verify pass (``compress_verified`` round-trips) and happens
+identically on every decode, exactly like a codec with a systematic defect.
+"""
+
+import zlib
+
+import numpy as np
+
+from repro.compressors.base import (
+    AbsoluteBound,
+    Compressor,
+    PrecisionBound,
+    RelativeBound,
+    register_compressor,
+)
+
+
+class EvilCodec(Compressor):
+    """Lossless storage + a deterministic decode-time defect.
+
+    Modes (stored in the stream, so the registry's zero-arg instance decodes
+    any of them):
+
+    * ``faithful`` -- no corruption (the compliant-codec case),
+    * ``perturb``  -- every 3rd point multiplied by 1.01 (breaks rel/abs/ulp),
+    * ``negate``   -- every 5th point sign-flipped (breaks sign),
+    * ``zero``     -- exact zeros replaced by 1e-30, -0.0 by +0.0 (breaks zero),
+    * ``swap``     -- adjacent pairs along the first axis swapped (breaks
+      monotonicity),
+    * ``spike``    -- every 7th point sent to 1e30 (breaks range),
+    * ``unfinite`` -- non-finite points replaced by 0 (breaks nonfinite).
+    """
+
+    name = "EVIL"
+    supported_bounds = (AbsoluteBound, RelativeBound, PrecisionBound)
+    allows_nonfinite = True
+
+    def __init__(self, mode: str = "faithful") -> None:
+        self.mode = mode
+
+    def compress(self, data, bound):
+        data = self._check_input(data, allow_nonfinite=True)
+        box = self._new_container(self.name, data)
+        box.put_str("mode", self.mode)
+        box.put("payload", zlib.compress(data.tobytes()))
+        return box.to_bytes()
+
+    def decompress(self, blob):
+        box, shape, dtype = self._open_container(blob, self.name)
+        raw = zlib.decompress(box.get("payload"))
+        x = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+        mode = box.get_str("mode")
+        flat = x.ravel()
+        if mode == "perturb":
+            flat[::3] = flat[::3] * np.asarray(1.01, dtype=dtype)
+        elif mode == "negate":
+            flat[::5] = -flat[::5]
+        elif mode == "zero":
+            sel = flat == 0
+            flat[sel] = np.asarray(1e-30, dtype=dtype)
+        elif mode == "swap":
+            even = (x.shape[0] // 2) * 2
+            tmp = x[0:even:2].copy()
+            x[0:even:2] = x[1:even:2]
+            x[1:even:2] = tmp
+        elif mode == "spike":
+            flat[::7] = np.asarray(1e30, dtype=dtype)
+        elif mode == "nanify":
+            flat[::11] = np.asarray(np.nan, dtype=dtype)
+        elif mode == "unfinite":
+            flat[~np.isfinite(flat)] = 0
+        return x
+
+
+try:
+    register_compressor("EVIL", EvilCodec)
+except ValueError:
+    pass  # already registered by a sibling test module

@@ -1,0 +1,80 @@
+"""Fault injection against SAFE streams: corruption fails loud, never silent.
+
+The one failure mode the safeguards layer may never exhibit is a stream that
+decodes successfully but without the declared properties.  Every injected
+fault must therefore surface as a clean :class:`StreamError` (or repair to a
+byte-identical stream) -- no tracebacks, no silently-wrong arrays.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AbsoluteBound, StreamError, decompress
+from repro.safeguards import SafeguardedCompressor, bit_view
+from repro.testing import faults
+
+from .conftest import EvilCodec
+
+BOUND = AbsoluteBound(1e30)
+
+
+@pytest.fixture()
+def stream():
+    rng = np.random.default_rng(2)
+    data = np.exp(rng.normal(0, 1, size=500)).astype(np.float32)
+    data[3] = np.nan
+    blob = SafeguardedCompressor(
+        EvilCodec("perturb"), ["rel:1e-3", "sign"]
+    ).compress(data, BOUND)
+    return data, blob
+
+
+class TestSafeguardSectionCorruption:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bit_flips_in_safeguard_sections_fail_loud(self, stream, seed):
+        data, blob = stream
+        bad = faults.corrupt_safeguards(blob, n_bits=2, seed=seed)
+        with pytest.raises(StreamError):
+            decompress(bad)
+
+    @pytest.mark.parametrize("frac", [0.2, 0.6, 0.95])
+    def test_truncation_fails_loud(self, stream, frac):
+        _, blob = stream
+        with pytest.raises(StreamError):
+            decompress(faults.truncate(blob, frac))
+
+    @pytest.mark.parametrize("key", ["patch_idx", "patch_val", "n_patch",
+                                     "safeguards", "inner_codec"])
+    def test_dropped_sections_fail_loud(self, stream, key):
+        # drop_section re-serializes with VALID checksums: only structural
+        # validation stands between the reader and silent property loss.
+        _, blob = stream
+        with pytest.raises(StreamError):
+            decompress(faults.drop_section(blob, key))
+
+    def test_inner_stream_corruption_fails_loud(self, stream):
+        _, blob = stream
+        with pytest.raises(StreamError):
+            decompress(faults.corrupt_section(blob, "inner", n_bits=4, seed=1))
+
+    def test_never_silent_property_loss(self, stream):
+        # Sweep many faults: every outcome is either a StreamError or a
+        # byte-identical decode (a flip the CRC caught and repair fixed is
+        # not possible here -- SAFE streams carry no parity).
+        data, blob = stream
+        expected = decompress(blob)
+        for seed in range(20):
+            bad = faults.flip_random_bits(blob, n=1, seed=seed)
+            try:
+                recon = bad == blob and decompress(bad)
+            except StreamError:
+                continue
+            if recon is not False:
+                np.testing.assert_array_equal(
+                    bit_view(recon), bit_view(expected)
+                )
+
+    def test_requires_safe_stream(self):
+        inner = EvilCodec().compress(np.ones(8, dtype=np.float32), BOUND)
+        with pytest.raises(StreamError, match="not SAFE"):
+            faults.corrupt_safeguards(inner)

@@ -1,0 +1,102 @@
+"""Non-finite values through SZ: sanitized for the lattice, patched back.
+
+``lattice_quantize`` now rejects NaN/Inf outright (pinning them to index 0
+poisoned every neighbouring Lorenzo prediction); ``SZCompressor`` sanitizes
+them to 0 before quantization and restores the exact bit patterns from the
+safeguard patch channel.  These tests pin the behaviour down where it is
+most fragile: values sitting exactly on chunk boundaries of a
+``ChunkedCompressor`` split, where each worker sees a different slice.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AbsoluteBound, decompress
+from repro.compressors.base import get_compressor
+from repro.core.chunked import ChunkedCompressor
+from repro.safeguards import SafeguardedCompressor, bit_view
+
+BOUND = AbsoluteBound(1e-3)
+
+#: floats per 4096-byte chunk for float32 data.
+PER_CHUNK = 1024
+
+
+def boundary_field(n_chunks=4, dtype=np.float32):
+    """A field with NaN/+-Inf/-0.0 at the edges of every chunk split."""
+    rng = np.random.default_rng(11)
+    data = rng.normal(0, 1, size=n_chunks * PER_CHUNK).astype(dtype)
+    for c in range(1, n_chunks):
+        data[c * PER_CHUNK - 1] = [np.nan, np.inf, -np.inf][c % 3]
+        data[c * PER_CHUNK] = [-np.inf, np.nan, np.inf][c % 3]
+    data[0] = np.nan
+    data[-1] = -np.inf
+    data[PER_CHUNK // 2] = -0.0
+    return data
+
+
+class TestPlainSZ:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_nonfinite_round_trip_bit_exact(self, dtype):
+        data = np.linspace(-4, 4, 256).astype(dtype)
+        data[0] = np.nan
+        data[100] = np.inf
+        data[255] = -np.inf
+        sz = get_compressor("SZ_ABS")
+        recon = sz.decompress(sz.compress(data, BOUND))
+        nf = ~np.isfinite(data)
+        np.testing.assert_array_equal(bit_view(recon)[nf], bit_view(data)[nf])
+        fin = ~nf
+        assert np.abs(recon[fin] - data[fin]).max() <= 1e-3
+
+    def test_all_nonfinite_input(self):
+        data = np.full(32, np.nan, dtype=np.float32)
+        data[::2] = np.inf
+        sz = get_compressor("SZ_ABS")
+        recon = sz.decompress(sz.compress(data, BOUND))
+        np.testing.assert_array_equal(bit_view(recon), bit_view(data))
+
+    def test_neighbours_of_nonfinite_stay_bounded(self):
+        # The old pin-to-index-0 behaviour dragged the Lorenzo prediction
+        # of the NEXT point toward zero; sanitize-and-patch must not.
+        data = np.full(64, 100.0, dtype=np.float64)
+        data[32] = np.nan
+        sz = get_compressor("SZ_ABS")
+        recon = sz.decompress(sz.compress(data, BOUND))
+        fin = np.isfinite(data)
+        assert np.abs(recon[fin] - data[fin]).max() <= 1e-3
+
+
+class TestChunkBoundaries:
+    def test_chunked_sz_nonfinite_at_splits(self):
+        data = boundary_field()
+        chunked = ChunkedCompressor("SZ_ABS", chunk_bytes=4096, workers=2)
+        recon = decompress(chunked.compress(data, BOUND))
+        nf = ~np.isfinite(data)
+        assert nf.sum() >= 8
+        np.testing.assert_array_equal(bit_view(recon)[nf], bit_view(data)[nf])
+        fin = ~nf
+        assert np.abs(recon[fin] - data[fin]).max() <= 1e-3
+
+    def test_chunked_safe_preserves_negative_zero_at_split(self):
+        # SZ's lattice reconstructs -0.0 as +0.0 (value-equal); the zero
+        # safeguard upgrades that to bit-exact, also across chunk splits.
+        data = boundary_field()
+        data[PER_CHUNK - 1] = -0.0  # overwrite a boundary slot
+        safe = SafeguardedCompressor("SZ_ABS", ["abs:1e-3", "zero"])
+        chunked = ChunkedCompressor(safe, chunk_bytes=4096, workers=2)
+        recon = decompress(chunked.compress(data, BOUND))
+        zeros = (data == 0) & np.isfinite(data)
+        np.testing.assert_array_equal(
+            bit_view(recon)[zeros], bit_view(data)[zeros]
+        )
+
+    def test_single_point_chunks_tail(self):
+        # A nonfinite value in a final, smaller-than-nominal chunk.
+        data = np.ones(PER_CHUNK + 3, dtype=np.float32)
+        data[-1] = np.nan
+        data[-2] = np.inf
+        chunked = ChunkedCompressor("SZ_ABS", chunk_bytes=4096, workers=2)
+        recon = decompress(chunked.compress(data, BOUND))
+        nf = ~np.isfinite(data)
+        np.testing.assert_array_equal(bit_view(recon)[nf], bit_view(data)[nf])

@@ -71,16 +71,26 @@ class TestQualityReport:
 class TestStreamBoundEveryCodec:
     """Every registered codec either exposes its bound or is known boundless."""
 
-    #: Codecs with deliberately no recoverable bound: lossless, and the
-    #: CHUNKED wrapper (its per-chunk inner streams carry the bounds).
-    BOUNDLESS = {"GZIP", "CHUNKED"}
+    #: Codecs with deliberately no recoverable bound: lossless, the
+    #: CHUNKED wrapper (its per-chunk inner streams carry the bounds),
+    #: and the adversarial EVIL codec registered by the safeguards suite
+    #: when it runs in the same session.
+    BOUNDLESS = {"GZIP", "CHUNKED", "EVIL"}
+    #: Codecs whose bound is derived from another stream section rather
+    #: than a ``_BOUND_KEYS`` entry: SAFE reads its ``safeguards`` list.
+    DERIVED = {"SAFE"}
     EXPECTED_VALUE = {"abs": 0.5, "rel": 1e-2, "prec": 19.0, "rate": 8.0}
 
     def test_registry_and_bound_keys_in_sync(self):
         from repro.compressors.base import available_compressors
         from repro.report import _BOUND_KEYS
 
-        unmapped = set(available_compressors()) - set(_BOUND_KEYS) - self.BOUNDLESS
+        unmapped = (
+            set(available_compressors())
+            - set(_BOUND_KEYS)
+            - self.BOUNDLESS
+            - self.DERIVED
+        )
         assert not unmapped, (
             f"codecs {sorted(unmapped)} are registered but have no _BOUND_KEYS "
             "entry; add one (or list them as deliberately boundless)"
@@ -109,15 +119,24 @@ class TestStreamBoundEveryCodec:
         from repro.encoding.container import Container
         from repro.report import _BOUND_KEYS, stream_bound
 
-        comp = get_compressor(codec)
+        if codec == "SAFE":
+            from repro.safeguards import SafeguardedCompressor
+
+            comp = SafeguardedCompressor("SZ_T", ["rel:1e-2"])
+        else:
+            comp = get_compressor(codec)
         if codec == "GZIP":
             blob = comp.compress(smooth_positive_3d)
+        elif codec == "SAFE":
+            blob = comp.compress(smooth_positive_3d, self._bound_for("rel"))
         else:
             kind = _BOUND_KEYS[codec][1] if codec in _BOUND_KEYS else "rel"
             blob = comp.compress(smooth_positive_3d, self._bound_for(kind))
         got_kind, got_value = stream_bound(Container.from_bytes(blob))
         if codec in self.BOUNDLESS:
             assert (got_kind, got_value) == (None, None)
+        elif codec in self.DERIVED:
+            assert (got_kind, got_value) == ("rel", 1e-2)
         else:
             want_kind = _BOUND_KEYS[codec][1]
             assert got_kind == want_kind
