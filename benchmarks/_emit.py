@@ -40,11 +40,18 @@ from __future__ import annotations
 import json
 import os
 import time
+import uuid
 
 _RECORDS: dict[str, list[dict]] = {}
 
 #: Env override for where the BENCH_*.json files land (default: repo root).
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+#: Tests whose throughput anchors machine-speed normalization: they run
+#: preprocessing code no perf PR has touched, so their MB/s measures the
+#: host, not the pipeline.  Stamped into reports and ledger entries as the
+#: normalization reference.
+_ANCHOR_PREFIX = "test_preprocessing["
 
 
 def _default_dir() -> str:
@@ -134,23 +141,76 @@ def trace_once(fn, *args, **kwargs):
     return result, [sp.to_dict() for sp in captured]
 
 
+def _normalization(records: list[dict]) -> dict | None:
+    """Machine-speed normalization reference from this run's anchors."""
+    anchors = [
+        (r["test"], r["MB_per_s"])
+        for r in records
+        if isinstance(r.get("test"), str)
+        and r["test"].startswith(_ANCHOR_PREFIX)
+        and isinstance(r.get("MB_per_s"), (int, float))
+        and r["MB_per_s"] > 0
+    ]
+    if not anchors:
+        return None
+    return {
+        "anchor_tests": [t for t, _ in anchors],
+        "anchor_MB_s": round(sum(v for _, v in anchors) / len(anchors), 3),
+    }
+
+
 def write_reports(out_dir: str | None = None) -> list[str]:
-    """Write one ``BENCH_<name>.json`` per benchmark module with records."""
+    """Write one ``BENCH_<name>.json`` per benchmark module with records.
+
+    Every report carries a ``stamp`` (git revision, machine fingerprint,
+    unique ``run_id``, normalization reference) and -- unless
+    ``REPRO_LEDGER=off`` -- one entry per bench is appended to the perf
+    ledger (default ``<repo>/results/ledger.jsonl``) so
+    ``scripts/perf_report.py`` and the ledger-trend regression gate see
+    the run's history.  Ledger failures never fail the benchmark run.
+    """
+    from repro.observe import ledger as _ledger
+
     out_dir = out_dir or _default_dir()
     os.makedirs(out_dir, exist_ok=True)
+    repo_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    run_id = uuid.uuid4().hex
+    git = _ledger.git_revision(repo_dir)
+    machine = _ledger.machine_fingerprint()
+    ledger_path = _ledger.resolve_ledger_path(repo_dir)
     written = []
     for bench in sorted(_RECORDS):
         path = os.path.join(out_dir, f"BENCH_{bench}.json")
+        records = _RECORDS[bench]
+        stamp = {
+            "run_id": run_id,
+            "git": git,
+            "machine": machine,
+        }
+        norm = _normalization(records)
+        if norm:
+            stamp["normalization"] = norm
         payload = {
             "version": 1,
             "bench": bench,
             "generated_unix": time.time(),
-            "records": _RECORDS[bench],
+            "stamp": stamp,
+            "records": records,
         }
         with open(path, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=False)
             fh.write("\n")
         written.append(path)
+        if ledger_path:
+            try:
+                entry = _ledger.make_entry(
+                    bench, records, run_id,
+                    git=git, machine=machine, normalization=norm,
+                    ts=payload["generated_unix"],
+                )
+                _ledger.append_entry(ledger_path, entry)
+            except OSError:
+                pass  # read-only checkout / full disk: reports still count
     return written
 
 

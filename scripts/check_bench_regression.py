@@ -45,6 +45,17 @@ same name and fails (exit 1) on:
   which run code untouched by the vectorization and therefore anchor the
   host's speed relative to the reference host.
 
+* **ledger trend** (opt-in via ``--ledger results/ledger.jsonl``) -- the
+  fresh run is additionally compared against a *synthetic* baseline
+  built from the perf ledger: per test, the median MB/s and ratio over
+  the last ``--ledger-window`` runs (the fresh run's own appended entry
+  is excluded via its ``run_id`` stamp).  This catches slow drift that a
+  single frozen baseline file misses -- a 3%/PR regression never trips a
+  10% point gate but moves the trailing median.  Uses the same
+  median-normalized throughput comparison, with its own
+  ``--ledger-tolerance``; an empty or too-short ledger is a note, not a
+  failure, so the gate bootstraps cleanly.
+
 Fresh tests without a baseline are reported but do not fail; run with
 ``--update-baselines`` to copy the fresh reports over the baselines
 (the intended escape hatch after a deliberate perf change -- commit the
@@ -59,6 +70,10 @@ import json
 import os
 import shutil
 import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
 
 DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
 
@@ -84,12 +99,17 @@ _PREVEC_REFERENCE = {
 }
 
 
-def load_report(path: str) -> dict[str, dict]:
-    """``{test name: record}`` from one BENCH_*.json."""
+def load_payload(path: str) -> dict:
     with open(path) as fh:
         payload = json.load(fh)
     if payload.get("version") != 1:
         raise ValueError(f"{path}: unsupported report version {payload.get('version')!r}")
+    return payload
+
+
+def load_report(path: str) -> dict[str, dict]:
+    """``{test name: record}`` from one BENCH_*.json."""
+    payload = load_payload(path)
     return {rec["test"]: rec for rec in payload.get("records", []) if "test" in rec}
 
 
@@ -296,6 +316,85 @@ def check_speedup(fresh: dict[str, dict], min_speedup: float) -> tuple[list[str]
     return failures, notes
 
 
+def ledger_baseline(
+    entries: list[dict],
+    bench: str,
+    window: int,
+    exclude_run_id: str | None,
+    fresh: dict[str, dict],
+) -> tuple[dict[str, dict], int]:
+    """Synthetic ``{test: record}`` baseline from a ledger's trailing runs.
+
+    Per test: the median MB/s and ratio over the bench's last ``window``
+    entries, skipping the fresh run's own appended entry
+    (``exclude_run_id``) and any record taken with a different
+    ``codec_path`` than the fresh one (not comparable).  Returns the
+    synthetic baseline and how many runs fed it.
+    """
+    runs = [
+        e for e in entries
+        if e.get("bench") == bench and e.get("run_id") != exclude_run_id
+    ]
+    runs.sort(key=lambda e: e.get("ts") or 0.0)
+    runs = runs[-window:]
+    values: dict[str, dict[str, list[float]]] = {}
+    for entry in runs:
+        for rec in entry.get("records", ()):
+            test = rec.get("test")
+            if not isinstance(test, str):
+                continue
+            f_path = fresh.get(test, {}).get("codec_path")
+            if f_path is not None and rec.get("codec_path", "scalar") != f_path:
+                continue
+            slot = values.setdefault(test, {"MB_per_s": [], "ratio": []})
+            for key in ("MB_per_s", "ratio"):
+                v = rec.get(key)
+                if isinstance(v, (int, float)) and v > 0:
+                    slot[key].append(float(v))
+    synth: dict[str, dict] = {}
+    for test, slot in values.items():
+        rec: dict = {"test": test}
+        for key, vals in slot.items():
+            if vals:
+                rec[key] = _median(vals)
+        if len(rec) > 1:
+            synth[test] = rec
+    return synth, len(runs)
+
+
+def check_ledger_trend(
+    ledger_path: str,
+    fresh_path: str,
+    window: int,
+    throughput_tol: float,
+    ratio_tol: float,
+) -> tuple[list[str], list[str]]:
+    """(failures, notes) comparing a fresh report to its ledger trend."""
+    try:
+        from repro.observe.ledger import read_ledger
+    except ImportError:  # pragma: no cover - src/ not on the path
+        return [], ["ledger gate skipped: repro package not importable"]
+    payload = load_payload(fresh_path)
+    bench = payload.get("bench")
+    run_id = (payload.get("stamp") or {}).get("run_id")
+    fresh = {r["test"]: r for r in payload.get("records", []) if "test" in r}
+    entries = read_ledger(ledger_path, strict=False)
+    synth, n_runs = ledger_baseline(entries, bench, window, run_id, fresh)
+    if not synth:
+        return [], [
+            f"ledger trend: no prior runs for bench {bench!r} in "
+            f"{ledger_path} (gate bootstraps once history accumulates)"
+        ]
+    notes = [
+        f"ledger trend: comparing against the median of the last "
+        f"{n_runs} run(s), {len(synth)} test(s)"
+    ]
+    failures, extra = check_throughput(synth, fresh, throughput_tol)
+    notes.extend(f"ledger trend: {n}" for n in extra)
+    failures.extend(check_ratio(synth, fresh, ratio_tol))
+    return [f"ledger trend: {f}" for f in failures], notes
+
+
 def check_coverage(base: dict[str, dict], fresh: dict[str, dict]) -> tuple[list[str], list[str]]:
     missing = sorted(set(base) - set(fresh))
     new = sorted(set(fresh) - set(base))
@@ -361,11 +460,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--update-baselines", action="store_true",
                         help="copy the fresh reports over the baselines "
                              "instead of comparing (commit the result)")
+    parser.add_argument("--ledger", default=None, metavar="PATH",
+                        help="also gate on the perf-ledger trend: compare "
+                             "each fresh report to the median of its last "
+                             "--ledger-window runs in this ledger file "
+                             "(default: off)")
+    parser.add_argument("--ledger-window", type=int, default=5,
+                        help="ledger runs feeding the trend median "
+                             "(default 5)")
+    parser.add_argument("--ledger-tolerance", type=float, default=0.15,
+                        help="max tolerated throughput drop vs the ledger "
+                             "trend median, after normalization "
+                             "(default 0.15 = 15%%; wider than the baseline "
+                             "gate because the trailing median drifts)")
     args = parser.parse_args(argv)
     if not 0 < args.throughput_tolerance < 1 or not 0 < args.ratio_tolerance < 1:
         parser.error("tolerances must be in (0, 1)")
     if args.min_speedup < 0:
         parser.error("--min-speedup must be >= 0")
+    if args.ledger is not None and args.ledger_window < 1:
+        parser.error("--ledger-window must be >= 1")
+    if not 0 < args.ledger_tolerance < 1:
+        parser.error("--ledger-tolerance must be in (0, 1)")
 
     fresh_files = sorted(glob.glob(os.path.join(args.fresh_dir, "BENCH_*.json")))
     if args.update_baselines:
@@ -382,9 +498,13 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline_files = sorted(glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json")))
     if not baseline_files:
-        print(f"error: no baselines in {args.baseline_dir}; run with "
-              "--update-baselines to record them", file=sys.stderr)
-        return 1
+        if args.ledger is None:
+            print(f"error: no baselines in {args.baseline_dir}; run with "
+                  "--update-baselines to record them", file=sys.stderr)
+            return 1
+        # Ledger-only mode: the trend gate below still applies.
+        print(f"note: no baselines in {args.baseline_dir}; "
+              "gating on the ledger trend only")
 
     all_failures: list[str] = []
     for baseline_path in baseline_files:
@@ -423,6 +543,22 @@ def main(argv: list[str] | None = None) -> int:
         for failure in failures:
             print(f"   FAIL: {failure}")
         all_failures.extend(f"{name}: {f}" for f in failures)
+
+    if args.ledger is not None:
+        for path in fresh_files:
+            name = os.path.basename(path)
+            print(f"== {name} (ledger trend)")
+            failures, notes = check_ledger_trend(
+                args.ledger, path,
+                args.ledger_window, args.ledger_tolerance, args.ratio_tolerance,
+            )
+            for note in notes:
+                print(f"   note: {note}")
+            for failure in failures:
+                print(f"   FAIL: {failure}")
+            if not failures:
+                print("   OK")
+            all_failures.extend(f"{name}: {f}" for f in failures)
 
     if all_failures:
         print(f"\nFAIL: {len(all_failures)} regression(s)", file=sys.stderr)

@@ -3,14 +3,34 @@
 
 Usage::
 
-    python scripts/check_trace_overhead.py [--threshold 0.05] [--repeats 5]
+    python scripts/check_trace_overhead.py [--threshold 0.05] [--repeats 5] \
+        [--profile-hz 97 --profile-threshold 0.05]
 
-Times an SZ_T round-trip on a synthetic 64^3 field twice -- once with
-tracing enabled, once disabled -- taking the best of ``--repeats`` runs
-each (best-of defends against scheduler noise on shared CI runners).
-Exits 1 when ``enabled/disabled - 1`` exceeds the threshold, which is the
-acceptance bar for the observability layer: instrumentation must stay out
-of the hot path when ``REPRO_TRACE=off``.
+Times an SZ_T round-trip on a synthetic 64^3 field in every mode --
+tracing disabled, tracing enabled and (with ``--profile-hz``) profiled
+-- for ``--repeats`` rounds each, interleaved round-robin rather than
+as back-to-back blocks.  The reported overhead is the **median of the
+per-round ratios** (round i's traced time over round i's untraced
+time): adjacent interleaved rounds see the same machine state, so
+sustained drift (CPU frequency scaling, noisy CI neighbours) cancels
+out of each ratio instead of biasing whichever block it landed on, and
+the median discards rounds where a stall hit one mode only.  Exits 1
+when the overhead exceeds the threshold, which is the acceptance bar
+for the observability layer: instrumentation must stay out of the hot
+path when ``REPRO_TRACE=off``.
+
+Two further checks ride along:
+
+* **no-op allocation** (always on) -- with tracing off and no profiler
+  installed, disabled ``span()`` entries and the ``_traced_compress`` /
+  ``_traced_decompress`` wrappers must not retain memory per call:
+  tracemalloc's net traced allocation over many disabled entries must
+  stay at zero (and the tracer buffer must stay empty).  This pins the
+  fast path the overhead budget depends on.
+* **profiler overhead** (``--profile-hz N``, used by CI with 97) -- the
+  same best-of round-trip with a sampling profiler installed at N Hz
+  must stay within ``--profile-threshold`` (default 5%) of the
+  uninstrumented run.
 
 The enabled-mode run keeps the tracer buffer cleared between rounds so
 the measurement covers span recording, not buffer growth.
@@ -21,11 +41,20 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import tracemalloc
 
 import numpy as np
 
 from repro import RelativeBound, compress, decompress
-from repro.observe import enable_tracing, get_tracer
+from repro.compressors import get_compressor
+from repro.observe import (
+    enable_tracing,
+    get_tracer,
+    install_profiler,
+    run_traced,
+    span,
+    uninstall_profiler,
+)
 
 
 def make_field(n: int = 64) -> np.ndarray:
@@ -35,15 +64,110 @@ def make_field(n: int = 64) -> np.ndarray:
     return (mags * signs).astype(np.float32)
 
 
-def best_roundtrip_s(data: np.ndarray, repeats: int) -> float:
+def one_roundtrip_s(data: np.ndarray) -> float:
     bound = RelativeBound(1e-3)
-    best = float("inf")
+    get_tracer().clear()
+    t0 = time.perf_counter()
+    decompress(compress(data, bound, compressor="SZ_T"))
+    return time.perf_counter() - t0
+
+
+def measure_modes(
+    data: np.ndarray, repeats: int, profile_hz: float
+) -> dict[str, list[float]]:
+    """``repeats`` round-trip times per mode, rounds interleaved.
+
+    Modes: ``off`` (tracing disabled), ``on`` (tracing enabled) and --
+    when ``profile_hz > 0`` -- ``prof`` (tracing enabled plus a live
+    sampler at that rate).  Round i of every mode runs back-to-back, so
+    ``times["on"][i] / times["off"][i]`` compares measurements taken
+    under the same machine state.
+    """
+    modes = ["off", "on"] + (["prof"] if profile_hz > 0 else [])
+    times: dict[str, list[float]] = {mode: [] for mode in modes}
+
+    def run(mode: str) -> float:
+        if mode == "off":
+            enable_tracing(False)
+            return one_roundtrip_s(data)
+        enable_tracing(True)
+        if mode == "prof":
+            install_profiler(hz=profile_hz)
+            try:
+                return one_roundtrip_s(data)
+            finally:
+                uninstall_profiler()
+        return one_roundtrip_s(data)
+
+    for mode in modes:  # warm caches/allocators on every path first
+        run(mode)
     for _ in range(repeats):
-        get_tracer().clear()
-        t0 = time.perf_counter()
-        decompress(compress(data, bound, compressor="SZ_T"))
-        best = min(best, time.perf_counter() - t0)
-    return best
+        for mode in modes:
+            times[mode].append(run(mode))
+    get_tracer().clear()
+    return times
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def paired_overhead(
+    numer: list[float], denom: list[float], floor_s: float
+) -> float:
+    """Median of per-round ``numer[i]/denom[i] - 1`` (drift-immune)."""
+    return _median(
+        [n / max(d, floor_s) - 1.0 for n, d in zip(numer, denom)]
+    )
+
+
+def _noop() -> None:
+    pass
+
+
+def check_noop_allocation(n_calls: int, budget_bytes: int) -> tuple[int, bool]:
+    """Net bytes retained by ``n_calls`` disabled instrumentation entries.
+
+    With tracing off and no profiler installed, ``span()`` entries, the
+    compressor trace wrappers, and ``run_traced`` must not buffer
+    anything: tracemalloc's net traced allocation over a measured round
+    must stay under ``budget_bytes`` (a small slack for interned caches),
+    and the tracer buffer must stay empty.  Returns
+    ``(net_retained_bytes, ok)``.
+    """
+    import gc
+
+    enable_tracing(False)
+    tracer = get_tracer()
+    tracer.clear()
+    comp = get_compressor("SZ_T")
+    data = np.linspace(1.0, 2.0, 4096).astype(np.float32)
+    blob = comp.compress(data, RelativeBound(1e-3))
+
+    def one_round() -> None:
+        for _ in range(n_calls):
+            with span("noop", codec="SZ_T"):
+                pass
+        for _ in range(64):
+            run_traced(_noop)
+        comp.decompress(blob)
+
+    one_round()  # warm caches/allocators outside the measurement
+    gc.collect()
+    tracemalloc.start()
+    try:
+        before = tracemalloc.get_traced_memory()[0]
+        one_round()
+        gc.collect()
+        retained = tracemalloc.get_traced_memory()[0] - before
+    finally:
+        tracemalloc.stop()
+    buffered = bool(tracer.render())
+    return retained, (retained <= budget_bytes and not buffered)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -58,35 +182,65 @@ def main(argv: list[str] | None = None) -> int:
                              "turn scheduler jitter into huge phantom relative "
                              "overheads, so the ratio is taken against at "
                              "least this much")
+    parser.add_argument("--profile-hz", type=float, default=0.0,
+                        help="also measure the sampling profiler's overhead "
+                             "at this rate (0 = skip; CI uses 97)")
+    parser.add_argument("--profile-threshold", type=float, default=0.05,
+                        help="max tolerated profiler overhead vs the traced "
+                             "run (default 0.05 = 5%%)")
+    parser.add_argument("--alloc-calls", type=int, default=20000,
+                        help="disabled span entries in the no-op allocation "
+                             "check (default 20000)")
+    parser.add_argument("--alloc-budget", type=int, default=65536,
+                        help="max net bytes those entries may retain "
+                             "(default 64 KiB of cache slack)")
     args = parser.parse_args(argv)
     if args.floor_s <= 0:
         parser.error("--floor-s must be positive")
+    if args.profile_hz < 0:
+        parser.error("--profile-hz must be >= 0")
 
     data = make_field()
-    # Warm up caches/allocators on both code paths before measuring.
-    enable_tracing(False)
-    best_roundtrip_s(data, 1)
-    enable_tracing(True)
-    best_roundtrip_s(data, 1)
+    times = measure_modes(data, args.repeats, args.profile_hz)
+    off_s, on_s = min(times["off"]), min(times["on"])
 
-    enable_tracing(False)
-    off_s = best_roundtrip_s(data, args.repeats)
-    enable_tracing(True)
-    on_s = best_roundtrip_s(data, args.repeats)
-    get_tracer().clear()
-
-    # Guard the ratio against a near-zero baseline: on a fast machine (or a
-    # tiny field) off_s can approach timer noise, where "on/off - 1" would
-    # amplify microseconds of jitter into a spurious failure.
-    denom = max(off_s, args.floor_s)
-    overhead = on_s / denom - 1.0
-    floored = " (floored baseline)" if denom != off_s else ""
-    print(f"round-trip best-of-{args.repeats}: "
-          f"traced {on_s * 1e3:.2f} ms, untraced {off_s * 1e3:.2f} ms, "
-          f"overhead {overhead * 100:+.2f}%{floored} "
+    # The --floor-s guard protects the per-round ratios against a
+    # near-zero baseline: on a fast machine (or a tiny field) a round
+    # can approach timer noise, where "on/off - 1" would amplify
+    # microseconds of jitter into a spurious failure.
+    overhead = paired_overhead(times["on"], times["off"], args.floor_s)
+    print(f"round-trip over {args.repeats} interleaved rounds: "
+          f"traced best {on_s * 1e3:.2f} ms, untraced best {off_s * 1e3:.2f} ms, "
+          f"median paired overhead {overhead * 100:+.2f}% "
           f"(budget {args.threshold * 100:.0f}%)")
+    failed = False
     if overhead > args.threshold:
         print("FAIL: tracing overhead exceeds budget", file=sys.stderr)
+        failed = True
+
+    if args.profile_hz > 0:
+        # Profiler overhead vs the traced rounds (the profiler always
+        # runs alongside tracing: samples need spans for attribution).
+        prof_s = min(times["prof"])
+        prof_overhead = paired_overhead(times["prof"], times["on"], args.floor_s)
+        print(f"profiler at {args.profile_hz:g} Hz: "
+              f"best {prof_s * 1e3:.2f} ms vs {on_s * 1e3:.2f} ms traced, "
+              f"median paired overhead {prof_overhead * 100:+.2f}% "
+              f"(budget {args.profile_threshold * 100:.0f}%)")
+        if prof_overhead > args.profile_threshold:
+            print("FAIL: profiler overhead exceeds budget", file=sys.stderr)
+            failed = True
+
+    retained, alloc_ok = check_noop_allocation(args.alloc_calls, args.alloc_budget)
+    print(f"no-op fast path: {retained:+d} net bytes retained over "
+          f"{args.alloc_calls} disabled span entries "
+          f"(budget {args.alloc_budget} B)")
+    if not alloc_ok:
+        print("FAIL: disabled instrumentation retains memory per call "
+              "(or buffered spans with tracing off)", file=sys.stderr)
+        failed = True
+
+    if failed:
         return 1
     print("OK")
     return 0

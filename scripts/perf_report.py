@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Render a markdown perf trend report from the benchmark ledger.
+
+Usage::
+
+    python scripts/perf_report.py [--ledger results/ledger.jsonl] \
+        [--last 10] [--out perf_report.md]
+
+Reads the append-only perf ledger that ``benchmarks/_emit.py`` grows on
+every benchmark run (see ``repro.observe.ledger``) and renders the trend
+report: per-bench tables of latest throughput/ratio with deltas vs the
+median of prior runs, sparkline history, and the top regressions and
+improvements.  Also available as ``repro perf report``.
+
+Without ``--out`` the markdown goes to stdout.  Exit 0 even for an empty
+ledger (the report says so); exit 1 only when the ledger is unreadable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.observe.ledger import (  # noqa: E402
+    LedgerError,
+    read_ledger,
+    render_trend_report,
+    resolve_ledger_path,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        help="ledger path (default: $REPRO_LEDGER or <repo>/results/ledger.jsonl)",
+    )
+    parser.add_argument(
+        "--last", type=int, default=10,
+        help="trend window: newest N runs per bench (default 10)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="write the markdown here instead of stdout",
+    )
+    parser.add_argument(
+        "--lenient", action="store_true",
+        help="skip corrupt interior ledger lines instead of failing",
+    )
+    args = parser.parse_args(argv)
+    if args.last < 1:
+        parser.error("--last must be >= 1")
+
+    repo_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    path = args.ledger or resolve_ledger_path(repo_dir)
+    if not path:
+        print("error: ledger disabled (REPRO_LEDGER=off) and no --ledger given",
+              file=sys.stderr)
+        return 1
+    try:
+        entries = read_ledger(path, strict=not args.lenient)
+    except LedgerError as exc:
+        print(f"error: {exc} (re-run with --lenient to skip)", file=sys.stderr)
+        return 1
+    report = render_trend_report(entries, last_n=args.last)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+        print(f"wrote {args.out} ({len(entries)} ledger entries)")
+    else:
+        sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

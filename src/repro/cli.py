@@ -9,7 +9,10 @@ Mirrors the ergonomics of the SZ/ZFP command-line utilities::
         --safeguard rel:1e-3 --safeguard sign --safeguard monotone:axis=0
     repro-compress decompress field.rpz field.out.f32
     repro-compress info field.rpz
-    repro-compress stats field.rpz
+    repro-compress stats field.rpz --top 10
+    repro-compress profile --profile-out prof.speedscope.json \
+        compress field.f32 field.rpz --shape 512,512,512 --rel-bound 1e-3
+    repro-compress perf report --out perf_report.md
     repro-compress verify field.rpz
     repro-compress repair damaged.rpz repaired.rpz --json report.json
     repro-compress faults bit-flip field.rpz damaged.rpz --seed 3
@@ -247,7 +250,109 @@ def _cmd_info(args) -> int:
 def _cmd_stats(args) -> int:
     from repro.report import build_report
 
-    print(build_report(_read_blob(args.input)).format())
+    blob = _read_blob(args.input)
+    if args.top:
+        # Hot-spot table wants the decode's span tree: force tracing on
+        # for this command and capture into a private sink.
+        from repro.observe import get_tracer, render_top_spans
+
+        tracer = get_tracer()
+        was_enabled = tracer.enabled
+        tracer.enabled = True
+        try:
+            with tracer.capture() as captured:
+                report = build_report(blob)
+        finally:
+            tracer.enabled = was_enabled
+        print(report.format())
+        print()
+        print(render_top_spans(captured, n=args.top))
+    else:
+        print(build_report(blob).format())
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    rest = list(args.cmd)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print("error: profile: missing command to run, e.g. "
+              "repro-compress profile compress in.npy out.rpz --rel-bound 1e-3",
+              file=sys.stderr)
+        return 2
+    if rest[0] == "profile":
+        print("error: profile: cannot nest profile commands", file=sys.stderr)
+        return 2
+    from repro.observe import (
+        enable_tracing,
+        get_tracer,
+        install_profiler,
+        uninstall_profiler,
+    )
+
+    # Samples are attributed to the innermost open span, so tracing must
+    # be on for the duration even when the wrapped command didn't ask.
+    enable_tracing(True)
+    get_tracer().clear()
+    try:
+        install_profiler(hz=args.hz, memory=args.memory)
+    except ValueError as exc:
+        print(f"error: profile: {exc}", file=sys.stderr)
+        return 2
+    try:
+        try:
+            code = main(rest)
+        except SystemExit as exc:  # nested argparse error: still report
+            code = exc.code if isinstance(exc.code, int) else 2
+    finally:
+        profile = uninstall_profiler()
+    fmt = args.format or ("speedscope" if args.profile_out else "table")
+    if fmt == "speedscope":
+        text = profile.speedscope_json(name=" ".join(rest), indent=2) + "\n"
+    elif fmt == "collapsed":
+        text = profile.collapsed()
+    else:
+        text = profile.table() + "\n"
+    if args.profile_out:
+        with open(args.profile_out, "w") as fh:
+            fh.write(text)
+        print(
+            f"profile: {profile.n_samples} samples over "
+            f"{profile.duration_s:.3f}s at {profile.hz:g} Hz -> "
+            f"{args.profile_out} ({fmt})",
+            file=sys.stderr,
+        )
+    else:
+        sys.stdout.write(text)
+    return code
+
+
+def _cmd_perf(args) -> int:
+    from repro.observe.ledger import (
+        LedgerError,
+        read_ledger,
+        render_trend_report,
+        resolve_ledger_path,
+    )
+
+    path = args.ledger or resolve_ledger_path()
+    if not path:
+        print("error: perf: ledger disabled (REPRO_LEDGER=off) and no --ledger",
+              file=sys.stderr)
+        return 2
+    try:
+        entries = read_ledger(path)
+    except LedgerError as exc:
+        print(f"error: perf: {exc}", file=sys.stderr)
+        return 2
+    report = render_trend_report(entries, last_n=args.last)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+        print(f"perf: wrote {args.out} ({len(entries)} ledger entries)")
+    else:
+        sys.stdout.write(report)
     return 0
 
 
@@ -387,6 +492,50 @@ def main(argv: list[str] | None = None) -> int:
              "sizes and decode-side telemetry (CRC verification time)",
     )
     stats.add_argument("input")
+    stats.add_argument("--top", type=_positive_int, default=None, metavar="N",
+                       help="also print the N slowest pipeline spans by "
+                            "self-time (wall and CPU), from the decode's "
+                            "trace tree")
+
+    prof = sub.add_parser(
+        "profile",
+        help="run another repro-compress command under the sampling "
+             "profiler and emit a span-attributed profile "
+             "(speedscope flamegraph JSON, collapsed stacks, or a table)",
+    )
+    prof.add_argument("--hz", type=float, default=97.0,
+                      help="sampling rate in Hz (default 97; prime so it "
+                           "cannot phase-lock with periodic work)")
+    prof.add_argument("--memory", action="store_true",
+                      help="also run tracemalloc and record per-span "
+                           "allocation high-water marks")
+    prof.add_argument("--profile-out", default=None, metavar="PATH",
+                      help="write the profile here (default: stdout)")
+    prof.add_argument("--format", choices=["speedscope", "collapsed", "table"],
+                      default=None,
+                      help="output format (default: speedscope with "
+                           "--profile-out, table otherwise)")
+    prof.add_argument("cmd", nargs=argparse.REMAINDER, metavar="command",
+                      help="the repro-compress command to profile, e.g. "
+                           "compress in.npy out.rpz --rel-bound 1e-3")
+
+    perf = sub.add_parser(
+        "perf",
+        help="performance-ledger tooling (see docs/observability.md)",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    perf_report = perf_sub.add_parser(
+        "report",
+        help="render the markdown trend report from the benchmark ledger",
+    )
+    perf_report.add_argument("--ledger", default=None, metavar="PATH",
+                             help="ledger path (default: $REPRO_LEDGER or "
+                                  "./results/ledger.jsonl)")
+    perf_report.add_argument("--last", type=_positive_int, default=10,
+                             help="trend window: newest N runs per bench "
+                                  "(default 10)")
+    perf_report.add_argument("--out", default=None, metavar="PATH",
+                             help="write the markdown here instead of stdout")
 
     audit = sub.add_parser(
         "audit",
@@ -471,6 +620,8 @@ def main(argv: list[str] | None = None) -> int:
         "verify": _cmd_verify,
         "repair": _cmd_repair,
         "faults": _cmd_faults,
+        "profile": _cmd_profile,
+        "perf": _cmd_perf,
     }[args.command]
     tracing = bool(getattr(args, "trace", False) or getattr(args, "trace_json", None))
     if tracing:

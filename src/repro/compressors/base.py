@@ -28,6 +28,8 @@ import numpy as np
 
 from repro.encoding.container import Container, ContainerError, StreamError
 from repro.observe.events import emit as _emit_event
+from repro.observe.events import get_event_log as _get_event_log
+from repro.observe.tracer import get_tracer as _get_tracer
 from repro.observe.tracer import span as _span
 
 __all__ = [
@@ -157,6 +159,11 @@ def _traced_compress(fn):
 
     @functools.wraps(fn)
     def wrapper(self, *args, **kwargs):
+        if not _get_tracer().enabled and _get_event_log() is None:
+            # No-op fast path: with tracing off and no event sink there is
+            # nothing to record -- skip span/event setup entirely so the
+            # disabled wrapper allocates nothing per call.
+            return fn(self, *args, **kwargs)
         with _span("compress", codec=self.name) as sp:
             blob = fn(self, *args, **kwargs)
             data = args[0] if args else kwargs.get("data")
@@ -179,6 +186,8 @@ def _traced_decompress(fn):
 
     @functools.wraps(fn)
     def wrapper(self, blob, *args, **kwargs):
+        if not _get_tracer().enabled and _get_event_log() is None:
+            return fn(self, blob, *args, **kwargs)
         with _span("decompress", codec=self.name) as sp:
             out = fn(self, blob, *args, **kwargs)
             sp.add_bytes(in_=len(blob), out=getattr(out, "nbytes", 0))

@@ -1,6 +1,6 @@
 """Zero-dependency pipeline telemetry: tracing, metrics, audit, export.
 
-Five parts (see ``docs/observability.md``):
+Seven parts (see ``docs/observability.md``):
 
 * :mod:`repro.observe.tracer` -- nested :class:`Span` trees with wall/CPU
   time and byte counters per pipeline stage, rendered as a tree
@@ -17,7 +17,14 @@ Five parts (see ``docs/observability.md``):
 * :mod:`repro.observe.export` / :mod:`repro.observe.events` -- renderers
   for standard formats (OpenMetrics text, JSON lines) and a structured
   JSON-lines event log (``REPRO_EVENTS=<path>``) whose records carry
-  trace-span correlation ids.
+  trace-span correlation ids;
+* :mod:`repro.observe.profile` -- span-attached sampling profiler
+  (``sys._current_frames`` at a configurable Hz) with per-function
+  self/cumulative tables, collapsed stacks and speedscope flamegraph
+  export, propagated across process pools like spans are;
+* :mod:`repro.observe.ledger` -- append-only JSON-lines perf history
+  (``results/ledger.jsonl``) every benchmark run appends to, plus the
+  markdown trend report behind ``repro perf report``.
 
 Tracing is on by default; ``REPRO_TRACE=off`` (or
 :func:`enable_tracing(False) <enable_tracing>`) reduces every
@@ -58,6 +65,22 @@ from repro.observe.metrics import (
     MetricsRegistry,
     metrics,
 )
+from repro.observe.ledger import (
+    append_entry,
+    machine_fingerprint,
+    make_entry,
+    read_ledger,
+    render_trend_report,
+)
+from repro.observe.profile import (
+    Profile,
+    SamplingProfiler,
+    get_profiler,
+    install_profiler,
+    profiler_active,
+    profiling,
+    uninstall_profiler,
+)
 from repro.observe.propagate import TaskTelemetry, absorb, run_traced
 from repro.observe.tracer import (
     Span,
@@ -67,8 +90,11 @@ from repro.observe.tracer import (
     export_spans,
     get_tracer,
     render_spans,
+    render_top_spans,
     span,
+    span_label,
     spans_from_dicts,
+    top_spans,
     tracing_enabled,
 )
 
@@ -81,11 +107,14 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Profile",
+    "SamplingProfiler",
     "Span",
     "TaskTelemetry",
     "Theorem3Check",
     "Tracer",
     "absorb",
+    "append_entry",
     "audit_stream",
     "auditing",
     "current_span",
@@ -95,20 +124,32 @@ __all__ = [
     "export_spans",
     "get_auditor",
     "get_event_log",
+    "get_profiler",
     "get_tracer",
     "install_auditor",
     "install_event_log",
+    "install_profiler",
+    "machine_fingerprint",
+    "make_entry",
     "metric_name",
     "metrics",
     "metrics_to_jsonl",
     "parse_openmetrics",
+    "profiler_active",
+    "profiling",
     "read_events",
+    "read_ledger",
     "render_spans",
+    "render_top_spans",
+    "render_trend_report",
     "run_traced",
     "span",
+    "span_label",
     "spans_from_dicts",
     "spans_to_jsonl",
     "theorem3_check",
     "to_openmetrics",
+    "top_spans",
     "tracing_enabled",
+    "uninstall_profiler",
 ]

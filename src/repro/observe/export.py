@@ -37,6 +37,9 @@ __all__ = [
     "to_openmetrics",
 ]
 
+#: Percentiles exported as ``<family>_p<q>`` gauges next to each histogram.
+_QUANTILES = (50, 90, 99)
+
 _NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _SAMPLE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
@@ -98,6 +101,16 @@ def to_openmetrics(snapshot: dict[str, dict], prefix: str = "repro") -> str:
                 if stat in snap:
                     lines.append(f"# TYPE {base}_{stat} gauge")
                     lines.append(f"{base}_{stat} {_fmt(snap[stat])}")
+            if snap.get("n", 0) and snap.get("buckets"):
+                # Quantile gauges dashboards can plot directly, computed
+                # from the power-of-two buckets (same resolution caveats
+                # as Histogram.percentile; see percentile_from_snapshot).
+                from repro.observe.metrics import percentile_from_snapshot
+
+                for q in _QUANTILES:
+                    val = percentile_from_snapshot(snap, q)
+                    lines.append(f"# TYPE {base}_p{q:g} gauge")
+                    lines.append(f"{base}_p{q:g} {_fmt(val)}")
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
 
@@ -160,6 +173,30 @@ def parse_openmetrics(text: str) -> dict[str, dict]:
         ]
         if any(b[1] > a[1] or b[0] > a[0] for a, b in zip(cum[1:], cum)):
             raise ValueError(f"histogram {family} buckets not cumulative/ordered")
+
+        def _gauge(suffix: str) -> float | None:
+            fam = families.get(family + suffix)
+            if fam is None or fam["type"] != "gauge" or not fam["samples"]:
+                return None
+            return fam["samples"][0][2]
+
+        quantiles = [(q, v) for q in _QUANTILES if (v := _gauge(f"_p{q:g}")) is not None]
+        if quantiles:
+            if [q for q, _ in quantiles] != list(_QUANTILES):
+                raise ValueError(
+                    f"histogram {family} exports only a subset of the "
+                    f"p{'/p'.join(str(q) for q in _QUANTILES)} quantile gauges"
+                )
+            values = [v for _, v in quantiles]
+            if any(b < a for a, b in zip(values, values[1:])):
+                raise ValueError(f"histogram {family} quantiles not non-decreasing")
+            lo, hi = _gauge("_min"), _gauge("_max")
+            if lo is not None and hi is not None and not all(
+                lo <= v <= hi for v in values
+            ):
+                raise ValueError(
+                    f"histogram {family} quantiles outside the observed [min, max]"
+                )
     return families
 
 

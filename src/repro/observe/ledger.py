@@ -1,0 +1,354 @@
+"""Append-only performance ledger: every bench run leaves a line behind.
+
+``BENCH_<name>.json`` reports are point-in-time snapshots; the ledger is
+their history.  ``benchmarks/_emit.py`` appends one JSON line per bench
+per run to ``results/ledger.jsonl`` (override with ``REPRO_LEDGER=<path>``
+or disable with ``REPRO_LEDGER=off``), each stamped with the git
+revision, a machine fingerprint, a unique run id and the machine-speed
+normalization reference (the preprocessing anchor throughput), so
+multi-PR perf trajectories are reconstructable and comparable across
+hosts.
+
+Consumers:
+
+* ``scripts/perf_report.py`` / ``repro perf report`` -- the markdown
+  trend report (:func:`render_trend_report`): per-test latest throughput
+  and ratio, delta vs the median of the previous runs, sparkline
+  history, top regressions/improvements;
+* ``scripts/check_bench_regression.py --ledger`` -- gates fresh bench
+  runs against the median of the last N ledger entries instead of only
+  the single frozen baseline file.
+
+The file format is deliberately dumb: one self-contained JSON object per
+line, append-only, never rewritten.  A crash mid-append leaves at most
+one partial trailing line, which :func:`read_ledger` silently drops;
+corruption *before* the tail means something other than an interrupted
+append touched the file, so it raises :class:`LedgerError` (pass
+``strict=False`` to skip bad interior lines instead).
+
+Entry schema (version 1)::
+
+    {
+      "version": 1,
+      "bench": "table3",
+      "ts": 1754524800.0,
+      "run_id": "8f0c2c...",          # unique per write_reports() call
+      "git": {"rev": "0f85358...", "dirty": false},
+      "machine": {"hostname": ..., "platform": ..., "machine": ...,
+                  "python": ..., "cpu_count": ..., "numpy": ...},
+      "codec_path": "vectorized",
+      "normalization": {"anchor_tests": [...], "anchor_MB_s": 747.1},
+      "records": [...]                 # BENCH records, span trees dropped
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import subprocess
+import time
+
+__all__ = [
+    "DEFAULT_LEDGER_RELPATH",
+    "LEDGER_ENV",
+    "LedgerError",
+    "append_entry",
+    "bench_series",
+    "git_revision",
+    "machine_fingerprint",
+    "make_entry",
+    "read_ledger",
+    "render_trend_report",
+    "resolve_ledger_path",
+    "sparkline",
+]
+
+LEDGER_ENV = "REPRO_LEDGER"
+DEFAULT_LEDGER_RELPATH = os.path.join("results", "ledger.jsonl")
+
+#: Record keys dropped from ledger entries: span trees dominate report
+#: size and the trend tooling only reads scalar metrics.
+_TRIM_KEYS = ("spans",)
+
+
+class LedgerError(ValueError):
+    """A ledger file is corrupt somewhere other than its trailing line."""
+
+
+def resolve_ledger_path(base_dir: str | None = None) -> str | None:
+    """Where the ledger lives, or None when disabled.
+
+    ``REPRO_LEDGER`` overrides (``off``/``none``/``0`` disables); the
+    default is ``<base_dir>/results/ledger.jsonl`` with ``base_dir``
+    defaulting to the current working directory.
+    """
+    override = os.environ.get(LEDGER_ENV)
+    if override is not None:
+        if override.strip().lower() in ("", "off", "none", "0"):
+            return None
+        return override
+    return os.path.join(base_dir or os.getcwd(), DEFAULT_LEDGER_RELPATH)
+
+
+def git_revision(cwd: str | None = None) -> dict:
+    """``{"rev": <sha or None>, "dirty": <bool or None>}`` for ``cwd``."""
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        if rev.returncode != 0:
+            return {"rev": None, "dirty": None}
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        dirty = bool(status.stdout.strip()) if status.returncode == 0 else None
+        return {"rev": rev.stdout.strip(), "dirty": dirty}
+    except (OSError, subprocess.SubprocessError):
+        return {"rev": None, "dirty": None}
+
+
+def machine_fingerprint() -> dict:
+    """Stable-enough identity of the host a bench ran on."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep in practice
+        numpy_version = None
+    return {
+        "hostname": socket.gethostname(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy_version,
+    }
+
+
+def _trim(rec: dict) -> dict:
+    return {k: v for k, v in rec.items() if k not in _TRIM_KEYS}
+
+
+def make_entry(
+    bench: str,
+    records: list[dict],
+    run_id: str,
+    *,
+    git: dict | None = None,
+    machine: dict | None = None,
+    normalization: dict | None = None,
+    ts: float | None = None,
+    repo_dir: str | None = None,
+) -> dict:
+    """Build one ledger entry for a finished bench run."""
+    codec_paths = {r.get("codec_path") for r in records if r.get("codec_path")}
+    entry = {
+        "version": 1,
+        "bench": bench,
+        "ts": time.time() if ts is None else float(ts),
+        "run_id": run_id,
+        "git": git if git is not None else git_revision(repo_dir),
+        "machine": machine if machine is not None else machine_fingerprint(),
+        "codec_path": codec_paths.pop() if len(codec_paths) == 1 else None,
+        "records": [_trim(r) for r in records],
+    }
+    if normalization:
+        entry["normalization"] = normalization
+    return entry
+
+
+def append_entry(path: str, entry: dict) -> None:
+    """Append one entry as a single JSON line (one write, flushed)."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    line = json.dumps(entry, sort_keys=False, separators=(",", ":")) + "\n"
+    with open(path, "a") as fh:
+        fh.write(line)
+        fh.flush()
+
+
+def read_ledger(path: str, strict: bool = True) -> list[dict]:
+    """Parse a ledger file into entries, oldest first.
+
+    A corrupt *trailing* line is always tolerated (an interrupted append
+    leaves exactly that).  A corrupt line anywhere else raises
+    :class:`LedgerError` when ``strict`` (the default) and is skipped
+    otherwise.  Missing file reads as an empty ledger.
+    """
+    if not os.path.exists(path):
+        return []
+    with open(path) as fh:
+        lines = fh.read().splitlines()
+    entries: list[dict] = []
+    last_idx = max((i for i, ln in enumerate(lines) if ln.strip()), default=-1)
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+            if not isinstance(entry, dict):
+                raise ValueError("entry is not an object")
+        except ValueError as exc:
+            if i == last_idx:
+                continue  # partial trailing append
+            if strict:
+                raise LedgerError(
+                    f"{path}:{i + 1}: corrupt interior ledger line ({exc})"
+                ) from exc
+            continue
+        entries.append(entry)
+    return entries
+
+
+# -- trend analysis -------------------------------------------------------------
+
+
+def bench_series(
+    entries: list[dict], last_n: int | None = None
+) -> dict[str, dict[str, list[dict]]]:
+    """``{bench: {test: [point, ...]}}``, points oldest -> newest.
+
+    Each point is ``{"ts", "run_id", "MB_per_s", "ratio", "rev"}`` (metric
+    keys present only when the record carried them).  ``last_n`` keeps
+    only each bench's newest N entries.
+    """
+    by_bench: dict[str, list[dict]] = {}
+    for entry in entries:
+        bench = entry.get("bench")
+        if isinstance(bench, str):
+            by_bench.setdefault(bench, []).append(entry)
+    out: dict[str, dict[str, list[dict]]] = {}
+    for bench, runs in by_bench.items():
+        runs.sort(key=lambda e: e.get("ts") or 0.0)
+        if last_n is not None:
+            runs = runs[-last_n:]
+        tests: dict[str, list[dict]] = {}
+        for entry in runs:
+            rev = (entry.get("git") or {}).get("rev")
+            for rec in entry.get("records", ()):
+                test = rec.get("test")
+                if not isinstance(test, str):
+                    continue
+                point = {
+                    "ts": entry.get("ts"),
+                    "run_id": entry.get("run_id"),
+                    "rev": rev[:10] if isinstance(rev, str) else None,
+                }
+                for key in ("MB_per_s", "ratio"):
+                    if isinstance(rec.get(key), (int, float)):
+                        point[key] = float(rec[key])
+                tests.setdefault(test, []).append(point)
+        out[bench] = tests
+    return out
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """Unicode block sparkline of a metric history (empty for no data)."""
+    vals = [v for v in values if isinstance(v, (int, float))]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        return _SPARK[3] * len(vals)
+    scale = (len(_SPARK) - 1) / (hi - lo)
+    return "".join(_SPARK[int(round((v - lo) * scale))] for v in vals)
+
+
+def _delta_vs_history(series: list[float]) -> float | None:
+    """Latest value vs the median of everything before it, as a fraction."""
+    if len(series) < 2:
+        return None
+    prev = _median(series[:-1])
+    if prev <= 0:
+        return None
+    return series[-1] / prev - 1.0
+
+
+def render_trend_report(entries: list[dict], last_n: int = 10) -> str:
+    """Markdown trend report over the last ``last_n`` runs per bench."""
+    lines = ["# Performance trend report", ""]
+    if not entries:
+        lines.append("_Ledger is empty — run the benchmark suite to populate it._")
+        return "\n".join(lines) + "\n"
+    n_runs = len({e.get("run_id") for e in entries})
+    ts = [e.get("ts") for e in entries if isinstance(e.get("ts"), (int, float))]
+    span = ""
+    if ts:
+        fmt = "%Y-%m-%d %H:%M"
+        span = (
+            f" spanning {time.strftime(fmt, time.gmtime(min(ts)))} — "
+            f"{time.strftime(fmt, time.gmtime(max(ts)))} UTC"
+        )
+    lines.append(
+        f"{len(entries)} ledger entries from {n_runs} run(s){span}; "
+        f"trends over the last {last_n} runs per bench."
+    )
+    series = bench_series(entries, last_n=last_n)
+    movers: list[tuple[float, str]] = []
+    for bench in sorted(series):
+        tests = series[bench]
+        if not tests:
+            continue
+        lines += ["", f"## bench_{bench}", ""]
+        lines.append("| test | runs | MB/s | Δ vs median | history | ratio | Δ ratio |")
+        lines.append("|---|---:|---:|---:|---|---:|---:|")
+        for test in sorted(tests):
+            points = tests[test]
+            tp = [p["MB_per_s"] for p in points if "MB_per_s" in p]
+            ratios = [p["ratio"] for p in points if "ratio" in p]
+            d_tp = _delta_vs_history(tp)
+            d_ratio = _delta_vs_history(ratios)
+            if d_tp is not None:
+                movers.append((d_tp, f"{bench}:{test}"))
+            lines.append(
+                "| {test} | {runs} | {tp} | {dtp} | {spark} | {ratio} | {dratio} |".format(
+                    test=f"`{test}`",
+                    runs=len(points),
+                    tp=f"{tp[-1]:.3f}" if tp else "—",
+                    dtp=f"{d_tp * 100:+.1f}%" if d_tp is not None else "—",
+                    spark=sparkline(tp) or "—",
+                    ratio=f"{ratios[-1]:.3f}" if ratios else "—",
+                    dratio=f"{d_ratio * 100:+.1f}%" if d_ratio is not None else "—",
+                )
+            )
+    movers.sort(key=lambda kv: kv[0])
+    regressions = [(d, t) for d, t in movers if d < -0.02]
+    improvements = [(d, t) for d, t in reversed(movers) if d > 0.02]
+    lines += ["", "## Top movers (latest vs median of prior runs)", ""]
+    if not regressions and not improvements:
+        lines.append("_No test moved more than ±2%._")
+    for d, test in regressions[:5]:
+        lines.append(f"- **regression** `{test}`: {d * 100:+.1f}%")
+    for d, test in improvements[:5]:
+        lines.append(f"- **improvement** `{test}`: {d * 100:+.1f}%")
+    latest = max(entries, key=lambda e: e.get("ts") or 0.0)
+    git = latest.get("git") or {}
+    machine = latest.get("machine") or {}
+    lines += [
+        "",
+        "---",
+        "",
+        "Latest run: `{rev}`{dirty} on {host} ({plat}, python {py}).".format(
+            rev=(git.get("rev") or "unknown")[:10],
+            dirty=" (dirty)" if git.get("dirty") else "",
+            host=machine.get("hostname", "unknown"),
+            plat=machine.get("platform", "unknown"),
+            py=machine.get("python", "?"),
+        ),
+    ]
+    return "\n".join(lines) + "\n"

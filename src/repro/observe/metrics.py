@@ -23,6 +23,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "metrics",
+    "percentile_from_snapshot",
 ]
 
 
@@ -111,21 +112,8 @@ class Histogram:
         the result is clamped to the observed ``[min, max]``.  An empty
         histogram is well-defined and returns 0.0.
         """
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {q}")
         with self._lock:
-            if self.n == 0:
-                return 0.0
-            target = q / 100.0 * self.n
-            cum = 0
-            for key in sorted(self.buckets):
-                cum += self.buckets[key]
-                if cum >= target:
-                    if key == _NONPOS_BUCKET:
-                        return self.min
-                    edge = 2.0**key if key <= 1023 else self.max
-                    return min(max(edge, self.min), self.max)
-            return self.max
+            return percentile_from_snapshot(self.snapshot(), q)
 
     def snapshot(self) -> dict:
         out = {"type": "histogram", "n": self.n, "total": self.total, "mean": self.mean}
@@ -134,6 +122,36 @@ class Histogram:
             out["max"] = self.max
             out["buckets"] = [[k, self.buckets[k]] for k in sorted(self.buckets)]
         return out
+
+
+def percentile_from_snapshot(snap: dict, q: float) -> float:
+    """Approximate ``q``-th percentile from a histogram snapshot dict.
+
+    Shared by :meth:`Histogram.percentile` (live metric) and the
+    OpenMetrics exporter (frozen snapshot): resolution is one binary order
+    of magnitude (the bucket width), the result is clamped to the
+    observed ``[min, max]``, and an empty histogram returns 0.0.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    n = int(snap.get("n", 0))
+    if n == 0:
+        return 0.0
+    lo = float(snap.get("min", 0.0))
+    hi = float(snap.get("max", 0.0))
+    buckets = sorted((int(k), int(c)) for k, c in snap.get("buckets") or ())
+    if not buckets:
+        return hi
+    target = q / 100.0 * n
+    cum = 0
+    for key, count in buckets:
+        cum += count
+        if cum >= target:
+            if key == _NONPOS_BUCKET:
+                return lo
+            edge = 2.0**key if key <= 1023 else hi
+            return min(max(edge, lo), hi)
+    return hi
 
 
 class MetricsRegistry:

@@ -39,6 +39,7 @@ class TaskTelemetry:
     cpu_s: float
     spans: list = field(default_factory=list)  # exported span dicts
     metrics: dict = field(default_factory=dict)  # registry diff of this task
+    profile: dict | None = None  # Profile.to_dict() from a worker-process sampler
 
 
 def run_traced(fn, *args, **kwargs):
@@ -52,15 +53,32 @@ def run_traced(fn, *args, **kwargs):
     tracer = get_tracer()
     reg = metrics()
     before = reg.snapshot()
+    # Worker-process profiling: when the parent installed a profiler it
+    # exported REPRO_PROFILE, which this (possibly child) process
+    # inherited.  task_sampler() returns a sampler only when no in-process
+    # profiler is already watching this thread (the process-pool case);
+    # it returns None in thread-pool/serial workers so samples are never
+    # double-counted.  Import is deferred so the common untraced path
+    # stays allocation-free.
+    sampler = None
+    if os.environ.get("REPRO_PROFILE"):
+        from repro.observe.profile import task_sampler
+
+        sampler = task_sampler()
     t_start = time.perf_counter()
     c0 = time.process_time()
-    if tracer.enabled:
-        with tracer.capture() as sink:
+    if sampler is not None:
+        sampler.start()
+    try:
+        if tracer.enabled:
+            with tracer.capture() as sink:
+                result = fn(*args, **kwargs)
+            spans = export_spans(sink)
+        else:
             result = fn(*args, **kwargs)
-        spans = export_spans(sink)
-    else:
-        result = fn(*args, **kwargs)
-        spans = []
+            spans = []
+    finally:
+        profile = sampler.stop().to_dict() if sampler is not None else None
     wall = time.perf_counter() - t_start
     cpu = time.process_time() - c0
     return result, TaskTelemetry(
@@ -70,6 +88,7 @@ def run_traced(fn, *args, **kwargs):
         cpu_s=cpu,
         spans=spans,
         metrics=reg.diff(before),
+        profile=profile,
     )
 
 
@@ -92,4 +111,15 @@ def absorb(parent_span, telem: TaskTelemetry, label: str = "task",
         sp.set(queue_wait_s=round(wait, 6))
     if telem.metrics and telem.pid != os.getpid():
         metrics().merge(telem.metrics)
+    if telem.profile:
+        # Stitch worker-process samples into the installed profiler under
+        # the dispatching span, mirroring what adopt() did for span trees.
+        from repro.observe.profile import get_profiler
+        from repro.observe.tracer import span_label
+
+        prof = get_profiler()
+        if prof is not None and prof.profile is not None:
+            prof.profile.ingest(
+                telem.profile, prefix=(span_label(parent_span), label)
+            )
     return wait

@@ -34,8 +34,11 @@ __all__ = [
     "export_spans",
     "get_tracer",
     "render_spans",
+    "render_top_spans",
     "span",
+    "span_label",
     "spans_from_dicts",
+    "top_spans",
     "tracing_enabled",
 ]
 
@@ -245,6 +248,13 @@ class Tracer:
         self._lock = threading.Lock()
         self._roots: list[Span] = []
         self._tl = threading.local()
+        # thread ident -> that thread's live span stack (the same list
+        # object the thread mutates).  Lets out-of-thread observers -- the
+        # sampling profiler -- see which span each thread is inside
+        # without touching the thread-local.  Entries for dead threads
+        # are just empty lists; bounded by the number of threads ever
+        # seen, which the pool executors reuse.
+        self._stacks: dict[int, list[Span]] = {}
 
     # -- span lifecycle --------------------------------------------------------
 
@@ -259,7 +269,13 @@ class Tracer:
     def _stack(self) -> list[Span]:
         stack = getattr(self._tl, "stack", None)
         if stack is None:
-            stack = self._tl.stack = []
+            stack = self._install_stack([])
+        return stack
+
+    def _install_stack(self, stack: list[Span]) -> list[Span]:
+        """Make ``stack`` the calling thread's span stack (and publish it)."""
+        self._tl.stack = stack
+        self._stacks[threading.get_ident()] = stack
         return stack
 
     def _push(self, sp: Span) -> None:
@@ -289,6 +305,22 @@ class Tracer:
         stack = getattr(self._tl, "stack", None)
         return stack[-1] if stack else NULL_SPAN
 
+    def active_stacks(self) -> dict[int, list[Span]]:
+        """Snapshot of every thread's open span stack, root first.
+
+        ``{thread ident: [root span, ..., innermost span]}``, omitting
+        threads with nothing open.  Read from *outside* the owning
+        threads (the sampling profiler calls this between samples); the
+        returned lists are copies, but the spans inside are live -- treat
+        them as read-only.
+        """
+        out: dict[int, list[Span]] = {}
+        for tid, stack in list(self._stacks.items()):
+            snap = stack[:]
+            if snap:
+                out[tid] = snap
+        return out
+
     # -- capture (worker isolation) ---------------------------------------------
 
     class _Capture:
@@ -300,13 +332,15 @@ class Tracer:
             tl = self._tracer._tl
             self._old_stack = getattr(tl, "stack", None)
             self._old_sink = getattr(tl, "sink", None)
-            tl.stack = []
+            self._tracer._install_stack([])
             tl.sink = self.spans
             return self.spans
 
         def __exit__(self, *exc) -> None:
             tl = self._tracer._tl
-            tl.stack = self._old_stack if self._old_stack is not None else []
+            self._tracer._install_stack(
+                self._old_stack if self._old_stack is not None else []
+            )
             tl.sink = self._old_sink
 
     def capture(self) -> "Tracer._Capture":
@@ -350,7 +384,14 @@ def get_tracer() -> Tracer:
 
 
 def span(name: str, **attrs):
-    """Open a span on the default tracer: ``with span("quantize") as sp:``."""
+    """Open a span on the default tracer: ``with span("quantize") as sp:``.
+
+    When tracing is disabled this returns the shared no-op span without
+    calling into the tracer, so instrumented hot paths pay one attribute
+    check and allocate nothing that outlives the call.
+    """
+    if not _TRACER.enabled:
+        return NULL_SPAN
     return _TRACER.span(name, **attrs)
 
 
@@ -397,9 +438,18 @@ def _fmt_bytes(n: int) -> str:
     return f"{n}B"
 
 
+def span_label(sp) -> str:
+    """Short stable label for one span: ``name`` or ``name[codec]``.
+
+    Shared by the tree renderer, the hot-spot table and the sampling
+    profiler, so the same stage shows up under the same label everywhere.
+    """
+    codec = sp.attrs.get("codec") if sp.attrs else None
+    return f"{sp.name}[{codec}]" if codec else sp.name
+
+
 def _label(sp: Span) -> str:
-    codec = sp.attrs.get("codec")
-    label = f"{sp.name}[{codec}]" if codec else sp.name
+    label = span_label(sp)
     extras = [f"{k}={v}" for k, v in sp.attrs.items() if k != "codec"]
     if sp.bytes_in:
         extras.append(f"in {_fmt_bytes(sp.bytes_in)}")
@@ -434,4 +484,62 @@ def render_spans(spans) -> str:
                 f"   stage coverage: {100.0 * root.coverage():.1f}% of root span "
                 f"({_fmt_seconds(root.self_s).strip()} untraced)"
             )
+    return "\n".join(lines)
+
+
+# -- hot-spot aggregation ---------------------------------------------------------
+
+
+def top_spans(spans, n: int = 10) -> list[dict]:
+    """The ``n`` hottest span labels by *self* wall time across trees.
+
+    Aggregates every span in the given trees (Spans or exported dicts) by
+    :func:`span_label`; self time is the span's wall/CPU time not covered
+    by its children, so a parent busy only dispatching does not obscure
+    the stage doing the work.  Rows are dicts with ``label``, ``count``,
+    ``self_wall_s``, ``self_cpu_s``, ``total_wall_s``, sorted by
+    ``self_wall_s`` descending.
+    """
+    agg: dict[str, dict] = {}
+
+    def visit(sp: Span) -> None:
+        child_wall = sum(c.wall_s for c in sp.children)
+        child_cpu = sum(c.cpu_s for c in sp.children)
+        row = agg.setdefault(
+            span_label(sp),
+            {"count": 0, "self_wall_s": 0.0, "self_cpu_s": 0.0, "total_wall_s": 0.0},
+        )
+        row["count"] += 1
+        row["self_wall_s"] += max(0.0, sp.wall_s - child_wall)
+        row["self_cpu_s"] += max(0.0, sp.cpu_s - child_cpu)
+        row["total_wall_s"] += sp.wall_s
+        for c in sp.children:
+            visit(c)
+
+    for root in spans or ():
+        visit(root if isinstance(root, Span) else Span.from_dict(root))
+    rows = [{"label": label, **row} for label, row in agg.items()]
+    rows.sort(key=lambda r: r["self_wall_s"], reverse=True)
+    return rows[: max(0, int(n))]
+
+
+def render_top_spans(spans, n: int = 10) -> str:
+    """Text table of :func:`top_spans` (the ``stats --top N`` view)."""
+    all_rows = top_spans(spans, n=1 << 30)
+    if not all_rows:
+        return "no spans captured"
+    total_self = sum(r["self_wall_s"] for r in all_rows) or 1.0
+    rows = all_rows[: max(0, int(n))]
+    lines = [
+        f"top {len(rows)} spans by self time:",
+        f"  {'span':<32s} {'calls':>6s} {'self wall':>10s} "
+        f"{'self cpu':>10s} {'total':>10s} {'%':>6s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"  {r['label']:<32s} {r['count']:>6d} "
+            f"{_fmt_seconds(r['self_wall_s'])} {_fmt_seconds(r['self_cpu_s'])} "
+            f"{_fmt_seconds(r['total_wall_s'])} "
+            f"{100.0 * r['self_wall_s'] / total_self:5.1f}%"
+        )
     return "\n".join(lines)

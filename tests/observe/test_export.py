@@ -65,6 +65,31 @@ class TestOpenMetricsRoundTrip:
         assert families["repro_chunk_compress_s_min"]["samples"][0][2] == 0.5
         assert families["repro_chunk_compress_s_max"]["samples"][0][2] == 3.5
 
+    def test_histogram_quantile_gauges(self, reg):
+        families = parse_openmetrics(to_openmetrics(reg.snapshot()))
+        snap = reg.snapshot()["chunk.compress_s"]
+        values = []
+        for q in (50, 90, 99):
+            fam = families[f"repro_chunk_compress_s_p{q}"]
+            assert fam["type"] == "gauge"
+            ((_, _, value),) = fam["samples"]
+            values.append(value)
+        assert values == sorted(values)  # non-decreasing by construction
+        assert all(snap["min"] <= v <= snap["max"] for v in values)
+
+    def test_quantiles_match_histogram_percentile(self, reg):
+        families = parse_openmetrics(to_openmetrics(reg.snapshot()))
+        h = reg.histogram("chunk.compress_s")
+        for q in (50, 90, 99):
+            ((_, _, value),) = families[f"repro_chunk_compress_s_p{q}"]["samples"]
+            assert value == pytest.approx(h.percentile(q))
+
+    def test_empty_histogram_emits_no_quantiles(self):
+        r = MetricsRegistry()
+        r.histogram("quiet")
+        families = parse_openmetrics(to_openmetrics(r.snapshot()))
+        assert "repro_quiet_p50" not in families
+
     def test_diff_snapshot_renders_too(self, reg):
         before = reg.snapshot()
         reg.counter("bytes.in").inc(10)
@@ -107,6 +132,38 @@ class TestParseRejectsMalformed:
         )
         with pytest.raises(ValueError, match="cumulative"):
             parse_openmetrics(text)
+
+    def _hist(self, extra: str) -> str:
+        return (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_count 3\nh_sum 6.0\n" + extra + "# EOF\n"
+        )
+
+    def test_quantile_subset_rejected(self):
+        extra = "# TYPE h_p50 gauge\nh_p50 2.0\n# TYPE h_p99 gauge\nh_p99 3.0\n"
+        with pytest.raises(ValueError, match="subset"):
+            parse_openmetrics(self._hist(extra))
+
+    def test_non_monotone_quantiles_rejected(self):
+        extra = (
+            "# TYPE h_p50 gauge\nh_p50 3.0\n"
+            "# TYPE h_p90 gauge\nh_p90 2.0\n"
+            "# TYPE h_p99 gauge\nh_p99 4.0\n"
+        )
+        with pytest.raises(ValueError, match="non-decreasing"):
+            parse_openmetrics(self._hist(extra))
+
+    def test_quantiles_outside_min_max_rejected(self):
+        extra = (
+            "# TYPE h_min gauge\nh_min 1.0\n"
+            "# TYPE h_max gauge\nh_max 2.0\n"
+            "# TYPE h_p50 gauge\nh_p50 1.5\n"
+            "# TYPE h_p90 gauge\nh_p90 1.9\n"
+            "# TYPE h_p99 gauge\nh_p99 9.0\n"
+        )
+        with pytest.raises(ValueError, match="min, max"):
+            parse_openmetrics(self._hist(extra))
 
 
 class TestJsonLines:

@@ -1,0 +1,168 @@
+"""Performance ledger: append/read round trips, corruption, trend report."""
+
+import json
+import os
+
+import pytest
+
+from repro.observe.ledger import (
+    DEFAULT_LEDGER_RELPATH,
+    LEDGER_ENV,
+    LedgerError,
+    append_entry,
+    bench_series,
+    machine_fingerprint,
+    make_entry,
+    read_ledger,
+    render_trend_report,
+    resolve_ledger_path,
+    sparkline,
+)
+
+
+def _records(mb_s, ratio=4.0):
+    return [
+        {"test": "t1", "MB_per_s": mb_s, "ratio": ratio, "codec_path": "vectorized",
+         "spans": {"name": "big-tree"}},
+        {"test": "t2", "MB_per_s": mb_s * 2, "ratio": ratio + 1},
+    ]
+
+
+def _entry(run, mb_s, ts):
+    return make_entry(
+        "table3",
+        _records(mb_s),
+        f"run{run}",
+        git={"rev": "a" * 40, "dirty": False},
+        machine={"hostname": "ci", "platform": "linux", "python": "3.x"},
+        normalization={"anchor_tests": ["test_preprocessing[x]"], "anchor_MB_s": 700.0},
+        ts=ts,
+    )
+
+
+class TestRoundTrip:
+    def test_append_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "sub" / "ledger.jsonl")
+        for i in range(3):
+            append_entry(path, _entry(i, 100.0 + i, ts=1000.0 + i))
+        entries = read_ledger(path)
+        assert [e["run_id"] for e in entries] == ["run0", "run1", "run2"]
+        assert entries[0]["bench"] == "table3"
+        assert entries[0]["codec_path"] == "vectorized"
+        assert entries[0]["normalization"]["anchor_MB_s"] == 700.0
+
+    def test_span_trees_trimmed(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        append_entry(path, _entry(0, 100.0, ts=1.0))
+        (entry,) = read_ledger(path)
+        assert all("spans" not in rec for rec in entry["records"])
+        assert entry["records"][0]["MB_per_s"] == 100.0
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_ledger(str(tmp_path / "nope.jsonl")) == []
+
+    def test_one_line_per_entry(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        append_entry(path, _entry(0, 100.0, ts=1.0))
+        append_entry(path, _entry(1, 101.0, ts=2.0))
+        with open(path) as fh:
+            lines = [ln for ln in fh.read().splitlines() if ln.strip()]
+        assert len(lines) == 2
+        assert all(isinstance(json.loads(ln), dict) for ln in lines)
+
+
+class TestCorruption:
+    def test_corrupt_trailing_line_tolerated(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        for i in range(3):
+            append_entry(path, _entry(i, 100.0 + i, ts=1000.0 + i))
+        with open(path, "a") as fh:
+            fh.write('{"version": 1, "bench": "tab')  # interrupted append
+        entries = read_ledger(path)
+        assert [e["run_id"] for e in entries] == ["run0", "run1", "run2"]
+
+    def test_corrupt_interior_line_raises_when_strict(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        append_entry(path, _entry(0, 100.0, ts=1.0))
+        with open(path, "a") as fh:
+            fh.write("not json at all\n")
+        append_entry(path, _entry(1, 101.0, ts=2.0))
+        with pytest.raises(LedgerError):
+            read_ledger(path)
+        entries = read_ledger(path, strict=False)
+        assert [e["run_id"] for e in entries] == ["run0", "run1"]
+
+    def test_non_object_interior_line_raises(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        append_entry(path, _entry(0, 100.0, ts=1.0))
+        with open(path, "a") as fh:
+            fh.write("[1, 2, 3]\n")
+        append_entry(path, _entry(1, 101.0, ts=2.0))
+        with pytest.raises(LedgerError):
+            read_ledger(path)
+
+
+class TestResolvePath:
+    def test_default_under_base_dir(self, monkeypatch):
+        monkeypatch.delenv(LEDGER_ENV, raising=False)
+        assert resolve_ledger_path("/x") == os.path.join("/x", DEFAULT_LEDGER_RELPATH)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(LEDGER_ENV, "/custom/led.jsonl")
+        assert resolve_ledger_path("/x") == "/custom/led.jsonl"
+
+    @pytest.mark.parametrize("value", ["off", "OFF", "none", "0", ""])
+    def test_env_disables(self, monkeypatch, value):
+        monkeypatch.setenv(LEDGER_ENV, value)
+        assert resolve_ledger_path("/x") is None
+
+
+class TestTrends:
+    def test_bench_series_orders_and_windows(self):
+        entries = [_entry(i, 100.0 + i, ts=1000.0 + i) for i in (2, 0, 1)]
+        series = bench_series(entries)
+        points = series["table3"]["t1"]
+        assert [p["MB_per_s"] for p in points] == [100.0, 101.0, 102.0]
+        windowed = bench_series(entries, last_n=2)
+        assert [p["MB_per_s"] for p in windowed["table3"]["t1"]] == [101.0, 102.0]
+
+    def test_sparkline(self):
+        assert sparkline([]) == ""
+        assert sparkline([1.0, 1.0]) == "▄▄"
+        line = sparkline([0.0, 5.0, 10.0])
+        assert len(line) == 3
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_trend_report_from_two_runs(self):
+        entries = [_entry(0, 100.0, ts=1000.0), _entry(1, 110.0, ts=2000.0)]
+        report = render_trend_report(entries)
+        assert report.startswith("# Performance trend report")
+        assert "## bench_table3" in report
+        assert "`t1`" in report and "`t2`" in report
+        assert "+10.0%" in report  # 110 vs median(100)
+        assert "improvement" in report  # > +2% shows in top movers
+        assert "`aaaaaaaaaa`" in report  # latest rev, truncated
+
+    def test_trend_report_empty_ledger(self):
+        report = render_trend_report([])
+        assert "Ledger is empty" in report
+
+    def test_trend_report_small_moves_are_quiet(self):
+        entries = [_entry(0, 100.0, ts=1000.0), _entry(1, 101.0, ts=2000.0)]
+        report = render_trend_report(entries)
+        assert "No test moved more than" in report
+
+
+class TestStamp:
+    def test_make_entry_mixed_codec_paths_is_none(self):
+        recs = [
+            {"test": "a", "MB_per_s": 1.0, "codec_path": "vectorized"},
+            {"test": "b", "MB_per_s": 1.0, "codec_path": "reference"},
+        ]
+        entry = make_entry("x", recs, "r", git={}, machine={}, ts=1.0)
+        assert entry["codec_path"] is None
+
+    def test_machine_fingerprint_fields(self):
+        fp = machine_fingerprint()
+        assert fp["hostname"] and fp["platform"] and fp["python"]
+        assert "numpy" in fp and "cpu_count" in fp

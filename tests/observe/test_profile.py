@@ -1,0 +1,260 @@
+"""Sampling profiler: byte-identity, span attribution, speedscope, stitching."""
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import RelativeBound, compress, decompress
+from repro.core.chunked import ChunkedCompressor
+from repro.observe import (
+    enable_tracing,
+    get_tracer,
+    install_profiler,
+    profiler_active,
+    profiling,
+    uninstall_profiler,
+)
+from repro.observe.profile import (
+    PROFILE_ENV,
+    Profile,
+    SamplingProfiler,
+    task_sampler,
+)
+from repro.observe.tracer import NULL_SPAN, span
+
+
+@pytest.fixture()
+def traced():
+    tracer = get_tracer()
+    was = tracer.enabled
+    enable_tracing(True)
+    tracer.clear()
+    yield tracer
+    tracer.clear()
+    enable_tracing(was)
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_profiler():
+    yield
+    uninstall_profiler()
+
+
+@pytest.fixture()
+def field():
+    rng = np.random.default_rng(7)
+    mags = rng.lognormal(mean=0.0, sigma=1.5, size=1 << 16)
+    signs = rng.choice([-1.0, 1.0], size=mags.shape)
+    return (mags * signs).astype(np.float64)
+
+
+def _busy(seconds: float) -> None:
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(500))
+
+
+class TestSamplerBasics:
+    def test_collects_samples_with_span_attribution(self, traced):
+        prof = SamplingProfiler(hz=500)
+        prof.start()
+        with span("hot-stage", codec="XX"):
+            _busy(0.08)
+        profile = prof.stop()
+        assert profile.n_samples > 0
+        assert profile.duration_s > 0
+        by_span = profile.by_span()
+        assert "hot-stage[XX]" in by_span
+        selfs = profile.self_time()
+        assert any("_busy" in name for name in selfs)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0.1)
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=1e6)
+
+    def test_install_sets_env_and_uninstall_clears(self, traced):
+        install_profiler(hz=123)
+        assert profiler_active()
+        assert os.environ.get(PROFILE_ENV) == "123.0"
+        profile = uninstall_profiler()
+        assert profile is not None
+        assert not profiler_active()
+        assert PROFILE_ENV not in os.environ
+        assert uninstall_profiler() is None
+
+    def test_profiling_context_manager(self, traced):
+        with profiling(hz=500) as prof:
+            _busy(0.02)
+        assert not profiler_active()
+        assert prof.profile is not None
+        assert prof.profile.n_samples >= 0
+
+    def test_memory_mode_records_span_high_water(self, traced):
+        with profiling(hz=500, memory=True) as prof:
+            with span("alloc-stage"):
+                blocks = [bytearray(1 << 20) for _ in range(8)]
+                _busy(0.05)
+                del blocks
+        mem = prof.profile.memory
+        assert mem.get("alloc-stage", 0) > 1 << 20
+
+
+class TestByteIdentity:
+    def test_streams_identical_with_and_without_profiler(self, traced, field):
+        bound = RelativeBound(1e-3)
+        plain = compress(field, bound, compressor="SZ_T")
+        install_profiler(hz=997)
+        profiled = compress(field, bound, compressor="SZ_T")
+        uninstall_profiler()
+        assert plain == profiled
+        assert np.array_equal(decompress(plain), decompress(profiled))
+
+
+class TestTaskSampler:
+    def test_none_when_env_unset(self):
+        os.environ.pop(PROFILE_ENV, None)
+        assert task_sampler() is None
+
+    def test_none_when_in_process_profiler_runs(self, traced):
+        install_profiler(hz=100)
+        assert task_sampler() is None
+
+    def test_sampler_when_env_inherited(self, traced, monkeypatch):
+        # Simulate a worker process: env set, no in-process profiler.
+        monkeypatch.setenv(PROFILE_ENV, "250.0")
+        sampler = task_sampler()
+        assert sampler is not None and sampler.hz == 250.0
+        assert not sampler.running
+
+    def test_garbage_env_ignored(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, "not-a-rate")
+        assert task_sampler() is None
+        monkeypatch.setenv(PROFILE_ENV, "1e9")
+        assert task_sampler() is None
+
+
+class TestCrossProcessStitching:
+    def test_worker_samples_stitch_under_chunk_spans(self, traced):
+        rng = np.random.default_rng(11)
+        big = rng.lognormal(mean=0.0, sigma=1.5, size=1 << 19)
+        comp = ChunkedCompressor(
+            "SZ_T", chunk_bytes=big.nbytes // 2, workers=2, executor="process"
+        )
+        install_profiler(hz=2000)
+        comp.compress(big, RelativeBound(1e-3))
+        profile = uninstall_profiler()
+        stitched = [
+            (path, stack)
+            for (_, path, stack) in profile.samples
+            if "chunk" in path
+        ]
+        assert stitched, "no worker-process samples stitched under chunk spans"
+        # Stitched paths carry the dispatch prefix, then the worker's spans.
+        path, stack = stitched[0]
+        assert path.index("chunk") >= 1
+        assert stack  # worker frames came along
+
+
+class TestProfileOutputs:
+    def _profile(self, traced) -> Profile:
+        with profiling(hz=500) as prof:
+            with span("stage-a", codec="SZ_T"):
+                _busy(0.05)
+            with span("stage-b"):
+                _busy(0.03)
+        return prof.profile
+
+    def test_speedscope_schema_sanity(self, traced):
+        profile = self._profile(traced)
+        doc = json.loads(profile.speedscope_json(name="unit"))
+        assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+        assert doc["name"] == "unit"
+        frames = doc["shared"]["frames"]
+        assert frames and all(isinstance(f["name"], str) for f in frames)
+        assert doc["profiles"], "no per-thread profiles"
+        for p in doc["profiles"]:
+            assert p["type"] == "sampled" and p["unit"] == "seconds"
+            assert len(p["samples"]) == len(p["weights"])
+            assert all(w > 0 for w in p["weights"])
+            assert abs(sum(p["weights"]) - p["endValue"]) < 1e-9
+            for stack in p["samples"]:
+                assert all(0 <= i < len(frames) for i in stack)
+
+    def test_collapsed_format(self, traced):
+        profile = self._profile(traced)
+        lines = profile.collapsed().strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, weight = line.rpartition(" ")
+            assert int(weight) >= 1
+            assert ";" in stack or stack
+        assert any(line.startswith("span:") for line in lines)
+
+    def test_table_mentions_spans_and_functions(self, traced):
+        profile = self._profile(traced)
+        text = profile.table()
+        assert "stage-a[SZ_T]" in text
+        assert "_busy" in text
+
+    def test_to_dict_ingest_round_trip(self, traced):
+        profile = self._profile(traced)
+        clone = Profile.from_dict(profile.to_dict())
+        assert clone.n_samples == profile.n_samples
+        assert clone.total_weight() == pytest.approx(profile.total_weight())
+        assert clone.by_span() == profile.by_span()
+
+    def test_ingest_applies_prefix(self):
+        profile = Profile(hz=97)
+        profile.ingest(
+            {
+                "samples": [["MainThread", ["compress[SZ_T]"], ["f (x.py:1)"], 0.5]],
+                "n_samples": 1,
+                "duration_s": 0.5,
+                "memory": {"compress[SZ_T]": 1024},
+            },
+            prefix=("compress[CHUNKED]", "chunk"),
+        )
+        (key,) = profile.samples
+        assert key[1] == ("compress[CHUNKED]", "chunk", "compress[SZ_T]")
+        assert profile.memory == {"compress[CHUNKED]/chunk/compress[SZ_T]": 1024}
+
+
+class TestNoOpFastPath:
+    def test_disabled_span_is_shared_null(self):
+        tracer = get_tracer()
+        was = tracer.enabled
+        enable_tracing(False)
+        try:
+            assert span("anything", codec="SZ_T") is NULL_SPAN
+            assert tracer.roots() == []
+        finally:
+            enable_tracing(was)
+
+    def test_active_stacks_sees_other_threads(self, traced):
+        seen = {}
+        release = threading.Event()
+        ready = threading.Event()
+
+        def worker():
+            with span("worker-stage"):
+                ready.set()
+                release.wait(timeout=5)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        try:
+            assert ready.wait(timeout=5)
+            stacks = traced.active_stacks()
+            seen = {
+                tid: [sp.name for sp in stack] for tid, stack in stacks.items()
+            }
+        finally:
+            release.set()
+            t.join()
+        assert ["worker-stage"] in list(seen.values())

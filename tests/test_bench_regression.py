@@ -244,3 +244,117 @@ class TestSpeedupGate:
         write_report(base, recs, name="BENCH_other.json")
         write_report(fresh, recs, name="BENCH_other.json")
         assert run(base, fresh) == 0
+
+
+def write_stamped_report(directory, records, bench="x", run_id="fresh-run",
+                         name="BENCH_x.json"):
+    """A fresh report the way benchmarks/_emit.py writes them post-stamping."""
+    path = directory / name
+    path.write_text(json.dumps({
+        "version": 1,
+        "bench": bench,
+        "records": records,
+        "stamp": {"run_id": run_id},
+    }))
+    return path
+
+
+def write_ledger(path, runs, bench="x"):
+    """Each run is ``(run_id, ts, records)``, appended as one entry."""
+    import sys
+
+    sys.path.insert(0, str(REPO / "src"))
+    try:
+        from repro.observe.ledger import append_entry, make_entry
+    finally:
+        sys.path.pop(0)
+    for run_id, ts, records in runs:
+        append_entry(str(path), make_entry(
+            bench, records, run_id, git={}, machine={}, ts=ts,
+        ))
+
+
+class TestLedgerTrendGate:
+    def history(self, tmp_path, mb_values, bench="x"):
+        ledger = tmp_path / "ledger.jsonl"
+        write_ledger(ledger, [
+            (f"old{i}", 1000.0 + i, [rec("t1", mb_per_s=v)])
+            for i, v in enumerate(mb_values)
+        ], bench=bench)
+        return ledger
+
+    def test_steady_trend_passes(self, dirs, tmp_path, capsys):
+        base, fresh = dirs
+        ledger = self.history(tmp_path, [9.8, 10.0, 10.2])
+        write_report(base, [rec("t1", mb_per_s=10.0)])
+        write_stamped_report(fresh, [rec("t1", mb_per_s=10.0)])
+        assert run(base, fresh, "--ledger", str(ledger)) == 0
+        assert "ledger trend" in capsys.readouterr().out
+
+    def test_trend_regression_fails(self, dirs, tmp_path, capsys):
+        base, fresh = dirs
+        ledger = self.history(tmp_path, [10.0, 10.0, 10.0])
+        write_report(base, [rec("t1", mb_per_s=6.0)])  # stale frozen baseline
+        write_stamped_report(fresh, [rec("t1", mb_per_s=6.0)])
+        assert run(base, fresh, "--ledger", str(ledger)) == 1
+        assert "ledger trend: throughput regression" in capsys.readouterr().out
+
+    def test_fresh_runs_own_entry_excluded(self, dirs, tmp_path):
+        """The bench run appends itself before the gate reads the ledger."""
+        base, fresh = dirs
+        ledger = self.history(tmp_path, [10.0, 10.0])
+        write_ledger(ledger, [("fresh-run", 2000.0, [rec("t1", mb_per_s=6.0)])])
+        write_report(base, [rec("t1", mb_per_s=6.0)])
+        write_stamped_report(fresh, [rec("t1", mb_per_s=6.0)], run_id="fresh-run")
+        # Median must come from the two old runs (10.0), not be dragged to
+        # 6.0 by the fresh run's own line: 6/10 < 0.85 fails.
+        assert run(base, fresh, "--ledger", str(ledger)) == 1
+
+    def test_empty_ledger_is_a_note_not_a_failure(self, dirs, tmp_path, capsys):
+        base, fresh = dirs
+        write_report(base, [rec("t1")])
+        write_stamped_report(fresh, [rec("t1")])
+        assert run(base, fresh, "--ledger", str(tmp_path / "none.jsonl")) == 0
+        assert "no prior runs" in capsys.readouterr().out
+
+    def test_ledger_only_mode_without_baselines(self, dirs, tmp_path, capsys):
+        base, fresh = dirs  # baseline dir left empty
+        ledger = self.history(tmp_path, [10.0, 10.0, 10.0])
+        write_stamped_report(fresh, [rec("t1", mb_per_s=10.0)])
+        assert run(base, fresh, "--ledger", str(ledger)) == 0
+        out = capsys.readouterr().out
+        assert "gating on the ledger trend only" in out
+        write_stamped_report(fresh, [rec("t1", mb_per_s=6.0)])
+        assert run(base, fresh, "--ledger", str(ledger)) == 1
+
+    def test_mismatched_codec_path_history_skipped(self, dirs, tmp_path, capsys):
+        base, fresh = dirs
+        ledger = tmp_path / "ledger.jsonl"
+        write_ledger(ledger, [
+            ("old0", 1000.0, [rec("t1", mb_per_s=60.0, codec_path="vectorized")]),
+            ("old1", 1001.0, [rec("t1", mb_per_s=10.0, codec_path="scalar")]),
+        ])
+        fresh_rec = rec("t1", mb_per_s=9.5, codec_path="scalar")
+        write_report(base, [fresh_rec])
+        write_stamped_report(fresh, [fresh_rec])
+        # Against the scalar history (10.0) this passes; folding the
+        # vectorized 60.0 into the median would fail it.
+        assert run(base, fresh, "--ledger", str(ledger)) == 0
+
+    def test_window_limits_history(self, dirs, tmp_path):
+        base, fresh = dirs
+        # A slow early era, then a fast recent era the window isolates.
+        ledger = self.history(tmp_path, [5.0, 5.0, 5.0, 10.0, 10.0])
+        write_report(base, [rec("t1", mb_per_s=6.0)])
+        write_stamped_report(fresh, [rec("t1", mb_per_s=6.0)])
+        assert run(base, fresh, "--ledger", str(ledger),
+                   "--ledger-window", "2") == 1  # vs recent 10.0: 0.6x
+        assert run(base, fresh, "--ledger", str(ledger),
+                   "--ledger-window", "5") == 0  # vs overall median 5.0: 1.2x
+
+    def test_bad_ledger_args_rejected(self, dirs):
+        base, fresh = dirs
+        with pytest.raises(SystemExit):
+            run(base, fresh, "--ledger", "x", "--ledger-window", "0")
+        with pytest.raises(SystemExit):
+            run(base, fresh, "--ledger", "x", "--ledger-tolerance", "1.5")
