@@ -122,6 +122,34 @@ def record_from_fixture(benchmark, request) -> None:
     record(bench, rec)
 
 
+#: Flat extra-info keys mirrored from an audit report's error summary.
+#: They ride into ``BENCH_*.json`` records and ledger entries so the
+#: trend report and the regression gate can watch quality drift the same
+#: way they watch throughput.
+_QUALITY_KEYS = (
+    "rel_p50", "rel_p90", "rel_p99", "rel_bias",
+    "abs_p99", "abs_bias", "max_abs",
+)
+
+
+def quality_info(report) -> dict:
+    """Flat quality keys from an ``AuditReport``'s point-wise error summary.
+
+    Returns ``{}`` when the report carries no error digest (quality
+    collection disabled, or no original available), so callers can merge
+    unconditionally: ``benchmark.extra_info.update(quality_info(audit))``.
+    """
+    summary = getattr(report, "error_summary", None)
+    if not isinstance(summary, dict):
+        return {}
+    out = {}
+    for key in _QUALITY_KEYS:
+        value = summary.get(key)
+        if isinstance(value, (int, float)):
+            out[key] = float(value)
+    return out
+
+
 def trace_once(fn, *args, **kwargs):
     """Run ``fn`` once with tracing on; return ``(result, span dicts)``.
 

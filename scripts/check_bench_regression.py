@@ -24,6 +24,15 @@ same name and fails (exit 1) on:
 * **bound conformance** -- any fresh record carrying both
   ``max_rel_err`` and ``rel_bound`` with ``max_rel_err > rel_bound``
   fails unconditionally: the paper's guarantee is not a tolerance.
+* **error quality** -- records carrying the point-wise error summary
+  (``rel_p99`` / ``rel_bias``, stamped by ``benchmarks/_emit.py``'s
+  ``quality_info``) are compared against the baseline's: the p99
+  relative error growing beyond ``--quality-tolerance``, or the signed
+  bias magnitude growing beyond the tolerance of the baseline's
+  magnitude, fails.  The stream can honor the hard max-error bound
+  while typical-point accuracy quietly degrades; this gate catches
+  that.  Baselines recorded before quality stamping lack the keys and
+  are skipped, so the gate bootstraps cleanly.
 * **safeguard overhead** -- fresh records paired via ``overhead_pair`` /
   ``overhead_role`` extra-info (``benchmarks/bench_safeguards.py``): the
   ``safeguarded`` member failing to stay within its declared
@@ -193,6 +202,60 @@ def check_bounds(fresh: dict[str, dict]) -> list[str]:
     return failures
 
 
+def check_quality(
+    base: dict[str, dict], fresh: dict[str, dict], tolerance: float
+) -> tuple[list[str], list[str]]:
+    """(failures, notes) for point-wise error-quality drift.
+
+    Per test, when both records carry the key (baselines recorded before
+    quality stamping are skipped):
+
+    * ``rel_p99`` growing more than ``tolerance`` beyond the baseline's
+      fails -- the stream still honors the hard bound, but typical-point
+      accuracy degraded;
+    * ``rel_bias`` magnitude growing beyond ``tolerance`` of the
+      baseline's magnitude fails, with the reference floored at 1e-9 so
+      a near-zero baseline bias doesn't turn any nonzero fresh bias
+      into a failure.
+
+    Improvements (smaller p99, smaller |bias|) always pass.
+    """
+    failures, notes = [], []
+    compared = 0
+    for test, b in sorted(base.items()):
+        f = fresh.get(test)
+        if f is None:
+            continue
+        b_p99, f_p99 = b.get("rel_p99"), f.get("rel_p99")
+        if (
+            isinstance(b_p99, (int, float))
+            and isinstance(f_p99, (int, float))
+            and b_p99 > 0
+        ):
+            compared += 1
+            if f_p99 > b_p99 * (1.0 + tolerance):
+                failures.append(
+                    f"quality regression in {test}: p99 rel error "
+                    f"{b_p99:.3e} -> {f_p99:.3e} "
+                    f"(tolerance {tolerance * 100:.0f}%)"
+                )
+        b_bias, f_bias = b.get("rel_bias"), f.get("rel_bias")
+        if isinstance(b_bias, (int, float)) and isinstance(f_bias, (int, float)):
+            floor = max(abs(b_bias), 1e-9)
+            if abs(f_bias) > floor * (1.0 + tolerance):
+                failures.append(
+                    f"quality regression in {test}: signed rel bias "
+                    f"{b_bias:+.3e} -> {f_bias:+.3e} "
+                    f"(tolerance {tolerance * 100:.0f}% of baseline magnitude)"
+                )
+    if compared and not failures:
+        notes.append(
+            f"quality gate: p99 rel error and bias within tolerance "
+            f"({compared} test(s))"
+        )
+    return failures, notes
+
+
 def check_safeguard_overhead(fresh: dict[str, dict]) -> tuple[list[str], list[str]]:
     """(failures, notes) for declared baseline/safeguarded overhead pairs.
 
@@ -216,17 +279,27 @@ def check_safeguard_overhead(fresh: dict[str, dict]) -> tuple[list[str], list[st
                 f"{sorted(members)} (both roles must run)"
             )
             continue
-        # min-of-rounds when available: the overhead is a ~10% effect, and
-        # the mean soaks up GC/scheduler noise that the min does not.
-        base_s = members["baseline"].get("min_s", members["baseline"].get("mean_s"))
-        safe_s = members["safeguarded"].get(
-            "min_s", members["safeguarded"].get("mean_s")
-        )
+        # A record may carry an explicit ``overhead_time_s`` -- a
+        # paired-design estimate (e.g. median off-round plus the median
+        # of per-round deltas) for pairs whose true delta is far below
+        # the round-to-round noise, where independent min-of-rounds per
+        # side would just compare two noise draws.  Otherwise
+        # min-of-rounds when available: the overhead is a ~10% effect,
+        # and the mean soaks up GC/scheduler noise that the min does not.
+        def _time(rec: dict):
+            for key in ("overhead_time_s", "min_s", "mean_s"):
+                if isinstance(rec.get(key), (int, float)):
+                    return rec[key]
+            return None
+
+        base_s = _time(members["baseline"])
+        safe_s = _time(members["safeguarded"])
         budget = members["safeguarded"].get("overhead_budget")
         if not all(isinstance(v, (int, float)) for v in (base_s, safe_s, budget)) \
                 or base_s <= 0:
             failures.append(
-                f"overhead pair {pair!r}: missing min_s/mean_s/overhead_budget"
+                f"overhead pair {pair!r}: missing "
+                f"overhead_time_s/min_s/mean_s/overhead_budget"
             )
             continue
         overhead = safe_s / base_s - 1.0
@@ -412,6 +485,7 @@ def compare_file(
     throughput_tol: float,
     ratio_tol: float,
     min_speedup: float = 0.0,
+    quality_tol: float = 0.25,
 ) -> tuple[list[str], list[str]]:
     base = load_report(baseline_path)
     fresh = load_report(fresh_path)
@@ -420,6 +494,7 @@ def compare_file(
     for fails, extra in (
         check_throughput(base, fresh, throughput_tol),
         check_coverage(base, fresh),
+        check_quality(base, fresh, quality_tol),
     ):
         failures.extend(fails)
         notes.extend(extra)
@@ -449,6 +524,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ratio-tolerance", type=float, default=0.02,
                         help="max tolerated compression-ratio drop "
                              "(default 0.02 = 2%%)")
+    parser.add_argument("--quality-tolerance", type=float, default=0.25,
+                        help="max tolerated growth of the p99 relative "
+                             "error (and of the signed-bias magnitude) vs "
+                             "the baseline (default 0.25 = 25%%; the bench "
+                             "inputs are deterministic, so real drift means "
+                             "a code change -- re-record deliberate changes "
+                             "with --update-baselines)")
     parser.add_argument("--min-speedup", type=float, default=5.0,
                         help="required table3 round-trip speedup over the "
                              "frozen pre-vectorization reference, after "
@@ -476,6 +558,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if not 0 < args.throughput_tolerance < 1 or not 0 < args.ratio_tolerance < 1:
         parser.error("tolerances must be in (0, 1)")
+    if not 0 < args.quality_tolerance < 1:
+        parser.error("--quality-tolerance must be in (0, 1)")
     if args.min_speedup < 0:
         parser.error("--min-speedup must be >= 0")
     if args.ledger is not None and args.ledger_window < 1:
@@ -518,7 +602,7 @@ def main(argv: list[str] | None = None) -> int:
         failures, notes = compare_file(
             baseline_path, fresh_path,
             args.throughput_tolerance, args.ratio_tolerance,
-            args.min_speedup,
+            args.min_speedup, args.quality_tolerance,
         )
         for note in notes:
             print(f"   note: {note}")

@@ -242,8 +242,25 @@ def _cmd_info(args) -> int:
                 f"{box.get_u64('group_size')} "
                 f"({len(box.get('parity'))} parity bytes)"
             )
+    kinds: dict[str, str] = {}
+    overhead = None
+    try:
+        from repro.observe.quality import attribute_bytes, section_kind_map
+
+        tree = attribute_bytes(blob)
+        kinds = section_kind_map(tree)
+        totals = tree.kind_totals()
+        overhead = totals.get("framing", 0) + totals.get("checksum", 0)
+    except Exception:  # noqa: BLE001 - attribution is descriptive, never fatal
+        pass
     for key in box.keys():
-        print(f"  section {key:12s} {len(box.get(key)):10d} B")
+        line = f"  section {key:12s} {len(box.get(key)):10d} B"
+        if key in kinds:
+            line += f"  [{kinds[key]}]"
+        print(line)
+    if overhead is not None:
+        print(f"container overhead: {overhead} B framing+CRC "
+              f"({100.0 * overhead / len(blob):.2f}%)")
     return 0
 
 
@@ -375,6 +392,29 @@ def _cmd_audit(args) -> int:
             json.dump(report.to_dict(), fh, indent=2, default=str)
     print(f"{args.input}:")
     print(report.format())
+    return 0 if report.ok else 2
+
+
+def _cmd_explain(args) -> int:
+    from repro.observe.quality import explain_stream
+
+    blob = _read_blob(args.input)
+    original = None
+    if args.original is not None:
+        original = load_array(args.original, args.shape, np.dtype(args.dtype))
+    report = explain_stream(blob, original, mad_k=args.mad_k)
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, default=str)
+    text = report.format(max_depth=args.depth)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"explain: wrote {args.out}")
+    else:
+        sys.stdout.write(text)
     return 0 if report.ok else 2
 
 
@@ -570,6 +610,32 @@ def main(argv: list[str] | None = None) -> int:
             "--metrics-path", default=None, metavar="PATH",
             help="write --metrics-out output to PATH instead of stdout")
 
+    expl = sub.add_parser(
+        "explain",
+        help="byte-attribution and quality report for a stream: who owns "
+             "each byte (framing, CRCs, entropy table vs payload, outliers, "
+             "safeguard patches, parity), per-chunk anomaly flags, and -- "
+             "with --original -- the point-wise error distribution "
+             "(exit 0 = intact, 2 = damaged)",
+    )
+    expl.add_argument("input")
+    expl.add_argument("--original", default=None, metavar="PATH",
+                      help="original field file; enables the point-wise "
+                           "error-quality section of the report")
+    expl.add_argument("--shape", type=_parse_shape, default=None,
+                      help="comma-separated dims for a raw binary --original")
+    expl.add_argument("--dtype", choices=["float32", "float64"], default="float32")
+    expl.add_argument("--json", default=None, metavar="PATH",
+                      help="additionally write the full explain report as JSON")
+    expl.add_argument("--out", default=None, metavar="PATH",
+                      help="write the markdown report to PATH instead of stdout")
+    expl.add_argument("--mad-k", type=float, default=5.0,
+                      help="anomaly threshold: flag chunks deviating more than "
+                           "K median-absolute-deviations from the stream "
+                           "median (default 5.0)")
+    expl.add_argument("--depth", type=_positive_int, default=3,
+                      help="attribution-tree depth in the markdown (default 3)")
+
     ver = sub.add_parser(
         "verify",
         help="check checksums and structure without decompressing "
@@ -617,6 +683,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": _cmd_info,
         "stats": _cmd_stats,
         "audit": _cmd_audit,
+        "explain": _cmd_explain,
         "verify": _cmd_verify,
         "repair": _cmd_repair,
         "faults": _cmd_faults,

@@ -545,7 +545,7 @@ class ChunkedCompressor(Compressor):
         delta = {
             k: v
             for k, v in metrics().diff(before).items()
-            if k.startswith(("audit.", "safeguard."))
+            if k.startswith(("audit.", "safeguard.", "quality."))
         }
         if delta:
             bound_value = (

@@ -205,10 +205,11 @@ class TransformedCompressor(Compressor):
                 # |x| already in hand -- abs and widening are both exact.
                 x64 = data.astype(np.float64).ravel()
                 absx = magnitudes.astype(np.float64, copy=False).ravel()
-                err = np.abs(recon.astype(np.float64).ravel() - x64)
+                diff = recon.astype(np.float64).ravel() - x64
+                err = np.abs(diff)
                 viol = channel.masks[stack[0].spec()]
                 self._feed_audit(
-                    recon, br, absx, err, viol,
+                    recon, br, absx, err, diff, viol,
                     channel.counts.get(stack[0].spec(), 0),
                     ba, ba0, eps0, max_log,
                 )
@@ -244,6 +245,7 @@ class TransformedCompressor(Compressor):
         br: float,
         absx: np.ndarray,
         err: np.ndarray,
+        diff: np.ndarray,
         viol: np.ndarray,
         patched: int,
         ba: float,
@@ -265,21 +267,53 @@ class TransformedCompressor(Compressor):
         """
         from repro.observe.audit import ChunkAudit, get_auditor, record_audit_metrics
         from repro.observe.events import emit as emit_event
+        from repro.observe.quality import ErrorHistogram, quality_enabled
 
         lemma2_ba = ba0 - max_log * eps0
         nz = absx != 0
         mask = nz if not patched else nz & ~viol
         rel = np.divide(err, absx, out=np.zeros_like(err), where=mask)
         max_abs = err if not patched else np.where(viol, 0.0, err)
+        max_rel_seen = float(rel.max(initial=0.0))
+        max_abs_seen = float(max_abs.max(initial=0.0))
         flat = recon.ravel()
+        hist_snap = None
+        if quality_enabled():
+            # Digest the post-patch residuals (patched points are stored
+            # bit-exactly, so their error is zero in the stream the user
+            # decodes).  Non-finite residuals -- non-finite originals, or
+            # reconstructions the patch channel replaces -- are counted,
+            # not binned.  The hook's overhead budget is 5% of the
+            # compress path (CI-gated), so the already-computed |diff|,
+            # nonzero mask, and maxima are handed straight to the digest.
+            pdiff = np.where(viol, 0.0, diff) if patched else diff
+            hist = ErrorHistogram()
+            # Zero patches means the reconstruction satisfied both the
+            # rel-bound and non-finite safeguards everywhere, so every
+            # residual is finite and the isfinite sweep can be skipped.
+            finite = None if not patched else np.isfinite(pdiff)
+            if finite is None or finite.all():
+                hist.observe_errors(
+                    absx,
+                    pdiff,
+                    err=max_abs,
+                    nz=nz,
+                    rel=rel,
+                    max_abs=max_abs_seen,
+                    max_rel=max_rel_seen,
+                )
+            else:
+                hist.nonfinite += int(pdiff.size - np.count_nonzero(finite))
+                hist.observe_errors(absx[finite], pdiff[finite])
+            hist_snap = hist.snapshot()
         audit = ChunkAudit(
             index=None,
             codec=self.name,
             n=int(absx.size),
             bound_kind="rel",
             bound_value=br,
-            max_rel=float(rel.max(initial=0.0)),
-            max_abs=float(max_abs.max(initial=0.0)),
+            max_rel=max_rel_seen,
+            max_abs=max_abs_seen,
             bounded_fraction=1.0,
             violations=0,
             zeros=int((flat == 0).sum()),
@@ -289,6 +323,7 @@ class TransformedCompressor(Compressor):
             theorem2_ba=ba0,
             lemma2_ba=lemma2_ba,
             lemma2_ok=bool(ba <= lemma2_ba + eps0 * (ba0 + 1.0)),
+            error_hist=hist_snap,
         )
         auditor = get_auditor()
         if auditor is not None:

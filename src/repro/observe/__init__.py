@@ -1,6 +1,6 @@
 """Zero-dependency pipeline telemetry: tracing, metrics, audit, export.
 
-Seven parts (see ``docs/observability.md``):
+Eight parts (see ``docs/observability.md``):
 
 * :mod:`repro.observe.tracer` -- nested :class:`Span` trees with wall/CPU
   time and byte counters per pipeline stage, rendered as a tree
@@ -24,7 +24,13 @@ Seven parts (see ``docs/observability.md``):
   export, propagated across process pools like spans are;
 * :mod:`repro.observe.ledger` -- append-only JSON-lines perf history
   (``results/ledger.jsonl``) every benchmark run appends to, plus the
-  markdown trend report behind ``repro perf report``.
+  markdown trend report behind ``repro perf report``;
+* :mod:`repro.observe.quality` -- point-wise error analytics: a
+  streaming, mergeable :class:`ErrorHistogram` (log-binned rel/abs
+  error with signed bias and percentiles) fed by the verify hooks,
+  :func:`attribute_bytes` decomposing any stream into an exhaustive
+  byte-attribution tree, and :func:`explain_stream` behind
+  ``repro-compress explain``.
 
 Tracing is on by default; ``REPRO_TRACE=off`` (or
 :func:`enable_tracing(False) <enable_tracing>`) reduces every
@@ -82,6 +88,19 @@ from repro.observe.profile import (
     uninstall_profiler,
 )
 from repro.observe.propagate import TaskTelemetry, absorb, run_traced
+from repro.observe.quality import (
+    ByteNode,
+    ErrorHistogram,
+    ExplainReport,
+    attribute_bytes,
+    explain_stream,
+    mad_outliers,
+    quality_enabled,
+    quality_summary_from_metrics,
+    record_quality_metrics,
+    record_quality_snapshot,
+    set_quality_enabled,
+)
 from repro.observe.tracer import (
     Span,
     Tracer,
@@ -101,9 +120,12 @@ from repro.observe.tracer import (
 __all__ = [
     "AuditReport",
     "BoundAuditor",
+    "ByteNode",
     "ChunkAudit",
     "Counter",
+    "ErrorHistogram",
     "EventLog",
+    "ExplainReport",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -115,9 +137,11 @@ __all__ = [
     "Tracer",
     "absorb",
     "append_entry",
+    "attribute_bytes",
     "audit_stream",
     "auditing",
     "current_span",
+    "explain_stream",
     "emit",
     "enable_tracing",
     "event_log_enabled",
@@ -130,6 +154,7 @@ __all__ = [
     "install_event_log",
     "install_profiler",
     "machine_fingerprint",
+    "mad_outliers",
     "make_entry",
     "metric_name",
     "metrics",
@@ -137,12 +162,17 @@ __all__ = [
     "parse_openmetrics",
     "profiler_active",
     "profiling",
+    "quality_enabled",
+    "quality_summary_from_metrics",
     "read_events",
     "read_ledger",
+    "record_quality_metrics",
+    "record_quality_snapshot",
     "render_spans",
     "render_top_spans",
     "render_trend_report",
     "run_traced",
+    "set_quality_enabled",
     "span",
     "span_label",
     "spans_from_dicts",

@@ -35,6 +35,11 @@ import numpy as np
 
 from repro.observe.metrics import MetricsRegistry
 from repro.observe.metrics import metrics as _metrics
+from repro.observe.quality import (
+    ErrorHistogram,
+    quality_enabled,
+    record_quality_snapshot,
+)
 
 __all__ = [
     "AuditReport",
@@ -78,6 +83,11 @@ class ChunkAudit:
     safeguards: tuple[str, ...] | None = None  # declared safeguard specs
     #: Per-spec recomputed violation counts (SAFE streams with original).
     safeguard_violations: dict[str, int] | None = None
+    #: :class:`~repro.observe.quality.ErrorHistogram` snapshot of this
+    #: chunk's point-wise errors (None when quality collection is off or
+    #: no original was available).  Mergeable: the aggregate report folds
+    #: the per-chunk digests into ``error_summary``.
+    error_hist: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -124,6 +134,10 @@ class AuditReport:
     safeguards: tuple[str, ...] = ()
     #: Per-spec violation counts summed over chunks (empty when clean).
     safeguard_violations: dict[str, int] = field(default_factory=dict)
+    #: Flat point-wise error-distribution summary (percentiles + signed
+    #: bias) merged over every chunk's error digest; ``None`` when no
+    #: digest was collected.  See ``repro.observe.quality``.
+    error_summary: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -162,6 +176,12 @@ class AuditReport:
             lines.append(
                 f"max rel error:  {self.max_rel:.3e}   max abs: "
                 f"{self.max_abs:.3e}{bounded}"
+            )
+        if self.error_summary:
+            q = self.error_summary
+            lines.append(
+                f"rel err p50/p90/p99: {q['rel_p50']:.3e} / {q['rel_p90']:.3e} "
+                f"/ {q['rel_p99']:.3e}   signed bias: {q['rel_bias']:+.3e}"
             )
         lines.append(
             f"zeros/negatives/patched: {self.zeros}/{self.negatives}/{self.patched}"
@@ -230,6 +250,15 @@ class AuditReport:
                 safeguards = c.safeguards
             for spec, count in (c.safeguard_violations or {}).items():
                 sg_viol[spec] = sg_viol.get(spec, 0) + count
+        error_summary = None
+        hists = [c.error_hist for c in chunks if c.error_hist]
+        if hists:
+            from repro.observe.quality import ErrorHistogram
+
+            merged = ErrorHistogram.from_snapshot(hists[0])
+            for snap in hists[1:]:
+                merged.merge(snap)
+            error_summary = merged.summary()
         return cls(
             codec=codec,
             bound_kind=first.bound_kind if first else None,
@@ -248,6 +277,7 @@ class AuditReport:
             notes=notes,
             safeguards=safeguards,
             safeguard_violations=sg_viol,
+            error_summary=error_summary,
         )
 
     @classmethod
@@ -271,6 +301,8 @@ class AuditReport:
         # (when it audits itself, like SZ_T) moves audit.* for the same
         # points.  Prefer the inner audit's coverage, fall back to the
         # safeguard pass, and count patches from both layers.
+        from repro.observe.quality import quality_summary_from_metrics
+
         h = delta.get("audit.max_rel") or {}
         hs = delta.get("safeguard.max_rel") or {}
         n_points = int(val("audit.points")) or int(val("safeguard.points"))
@@ -291,6 +323,7 @@ class AuditReport:
             zeros=int(val("audit.zeros")),
             negatives=int(val("audit.negatives")),
             patched=int(val("audit.patched")) + int(val("safeguard.patched")),
+            error_summary=quality_summary_from_metrics(delta),
         )
 
 
@@ -338,6 +371,11 @@ class BoundAuditor:
         nz = x != 0
         rel = err[nz] / np.abs(x[nz])
         viol = int((rel > rel_bound).sum()) + int((err[~nz] > 0).sum())
+        hist_snap = None
+        if quality_enabled():
+            hist = ErrorHistogram()
+            hist.observe(x, xd)
+            hist_snap = hist.snapshot()
         lemma2_ok = None
         if effective_ba is not None and lemma2_ba is not None:
             lemma2_ok = bool(effective_ba <= lemma2_ba * (1.0 + 1e-12) + 1e-300)
@@ -358,6 +396,7 @@ class BoundAuditor:
             theorem2_ba=theorem2_ba,
             lemma2_ba=lemma2_ba,
             lemma2_ok=lemma2_ok,
+            error_hist=hist_snap,
         )
         return self.record(audit)
 
@@ -390,6 +429,10 @@ def record_audit_metrics(audit: ChunkAudit, registry: MetricsRegistry | None = N
         reg.counter("audit.patched").inc(audit.patched)
     if audit.max_rel is not None:
         reg.histogram("audit.max_rel").observe(audit.max_rel)
+    if audit.error_hist:
+        # The per-chunk quality digest rides the same registry road as the
+        # audit counters, so it too survives thread/process pools.
+        record_quality_snapshot(audit.error_hist, reg)
 
 
 # -- global auditor hook ------------------------------------------------------
@@ -559,6 +602,7 @@ def _audit_one(
 
     max_rel = max_abs = bf = None
     violations = None
+    hist_snap = None
     if original is not None:
         with np.errstate(invalid="ignore"):
             x = np.asarray(original, dtype=np.float64).ravel()
@@ -567,6 +611,10 @@ def _audit_one(
                     f"original has {x.size} elements, stream reconstructs {flat.size}"
                 )
             xd = flat.astype(np.float64)
+            if quality_enabled():
+                hist = ErrorHistogram()
+                hist.observe(x, xd)
+                hist_snap = hist.snapshot()
             err = np.abs(xd - x)
             nz = (x != 0) & np.isfinite(x)
             rel = err[nz] / np.abs(x[nz])
@@ -599,6 +647,7 @@ def _audit_one(
         lemma2_ok=lemma2_ok,
         safeguards=safeguards,
         safeguard_violations=safeguard_violations,
+        error_hist=hist_snap,
     )
 
 

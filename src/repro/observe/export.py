@@ -89,10 +89,12 @@ def to_openmetrics(snapshot: dict[str, dict], prefix: str = "repro") -> str:
             lines.append(f"{base} {_fmt(snap.get('value', 0.0))}")
         elif kind == "histogram":
             lines.append(f"# TYPE {base} histogram")
+            scale = int(snap.get("scale", 1)) or 1
             cum = 0
             for key, count in snap.get("buckets", ()):
                 cum += count
-                edge = 2.0**key if -1074 <= key <= 1023 else snap.get("min", 0.0)
+                in_range = -1074 * scale <= key <= 1023 * scale
+                edge = 2.0 ** (key / scale) if in_range else snap.get("min", 0.0)
                 lines.append(f'{base}_bucket{{le="{_fmt(edge)}"}} {cum}')
             lines.append(f'{base}_bucket{{le="+Inf"}} {snap.get("n", 0)}')
             lines.append(f"{base}_count {snap.get('n', 0)}")
@@ -187,11 +189,19 @@ def parse_openmetrics(text: str) -> dict[str, dict]:
                     f"histogram {family} exports only a subset of the "
                     f"p{'/p'.join(str(q) for q in _QUANTILES)} quantile gauges"
                 )
+            count = next(
+                (v for nm, _, v in fam["samples"] if nm == family + "_count"), None
+            )
+            if count == 0:
+                # A zero-sample histogram has no observed range: its
+                # quantile gauges are placeholders (typically 0.0) and
+                # there is nothing for monotonicity/containment to check.
+                continue
             values = [v for _, v in quantiles]
             if any(b < a for a, b in zip(values, values[1:])):
                 raise ValueError(f"histogram {family} quantiles not non-decreasing")
             lo, hi = _gauge("_min"), _gauge("_max")
-            if lo is not None and hi is not None and not all(
+            if lo is not None and hi is not None and lo <= hi and not all(
                 lo <= v <= hi for v in values
             ):
                 raise ValueError(

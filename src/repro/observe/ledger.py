@@ -207,14 +207,21 @@ def read_ledger(path: str, strict: bool = True) -> list[dict]:
 # -- trend analysis -------------------------------------------------------------
 
 
+#: Scalar metrics lifted from ledger records into trend points.  The
+#: quality keys appear only on audited benchmarks (benchmarks stamp them
+#: via ``benchmarks/_emit.py:quality_info``).
+_POINT_KEYS = ("MB_per_s", "ratio", "rel_p99", "rel_bias", "max_rel_err")
+
+
 def bench_series(
     entries: list[dict], last_n: int | None = None
 ) -> dict[str, dict[str, list[dict]]]:
     """``{bench: {test: [point, ...]}}``, points oldest -> newest.
 
-    Each point is ``{"ts", "run_id", "MB_per_s", "ratio", "rev"}`` (metric
-    keys present only when the record carried them).  ``last_n`` keeps
-    only each bench's newest N entries.
+    Each point is ``{"ts", "run_id", "rev"}`` plus whichever of
+    ``MB_per_s`` / ``ratio`` / ``rel_p99`` / ``rel_bias`` /
+    ``max_rel_err`` the record carried.  ``last_n`` keeps only each
+    bench's newest N entries.
     """
     by_bench: dict[str, list[dict]] = {}
     for entry in entries:
@@ -238,7 +245,7 @@ def bench_series(
                     "run_id": entry.get("run_id"),
                     "rev": rev[:10] if isinstance(rev, str) else None,
                 }
-                for key in ("MB_per_s", "ratio"):
+                for key in _POINT_KEYS:
                     if isinstance(rec.get(key), (int, float)):
                         point[key] = float(rec[key])
                 tests.setdefault(test, []).append(point)
@@ -326,6 +333,35 @@ def render_trend_report(entries: list[dict], last_n: int = 10) -> str:
                     dratio=f"{d_ratio * 100:+.1f}%" if d_ratio is not None else "—",
                 )
             )
+    quality_rows: list[str] = []
+    for bench in sorted(series):
+        for test in sorted(series[bench]):
+            points = series[bench][test]
+            p99 = [p["rel_p99"] for p in points if "rel_p99" in p]
+            bias = [p["rel_bias"] for p in points if "rel_bias" in p]
+            max_rel = [p["max_rel_err"] for p in points if "max_rel_err" in p]
+            if not (p99 or bias or max_rel):
+                continue
+            d_p99 = _delta_vs_history(p99)
+            quality_rows.append(
+                "| {test} | {p99} | {dp99} | {spark} | {bias} | {mx} |".format(
+                    test=f"`{bench}:{test}`",
+                    p99=f"{p99[-1]:.3e}" if p99 else "—",
+                    dp99=f"{d_p99 * 100:+.1f}%" if d_p99 is not None else "—",
+                    spark=sparkline(p99) or "—",
+                    bias=f"{bias[-1]:+.2e}" if bias else "—",
+                    mx=f"{max_rel[-1]:.3e}" if max_rel else "—",
+                )
+            )
+    if quality_rows:
+        lines += [
+            "",
+            "## Quality trend (point-wise error)",
+            "",
+            "| test | rel p99 | Δ vs median | history | signed bias | max rel |",
+            "|---|---:|---:|---|---:|---:|",
+        ]
+        lines += quality_rows
     movers.sort(key=lambda kv: kv[0])
     regressions = [(d, t) for d, t in movers if d < -0.02]
     improvements = [(d, t) for d, t in reversed(movers) if d > 0.02]

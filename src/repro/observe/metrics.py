@@ -76,9 +76,15 @@ class Histogram:
     non-positive values share a single underflow bucket), which makes
     approximate percentiles available without storing samples and keeps
     the structure mergeable across process boundaries.
+
+    ``scale`` refines the binning to ``scale`` buckets per octave: bucket
+    ``k`` then holds values in ``(2^((k-1)/scale), 2^(k/scale)]``.  Scaled
+    histograms are populated by merging pre-binned snapshots (the quality
+    digests in :mod:`repro.observe.quality` do this); ``observe`` always
+    bins at scale 1, so a histogram only ever holds keys of one scale.
     """
 
-    __slots__ = ("_lock", "n", "total", "min", "max", "buckets")
+    __slots__ = ("_lock", "n", "total", "min", "max", "buckets", "scale")
     kind = "histogram"
 
     def __init__(self) -> None:
@@ -88,6 +94,7 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self.buckets: dict[int, int] = {}
+        self.scale = 1
 
     def observe(self, v: float) -> None:
         v = float(v)
@@ -117,6 +124,8 @@ class Histogram:
 
     def snapshot(self) -> dict:
         out = {"type": "histogram", "n": self.n, "total": self.total, "mean": self.mean}
+        if self.scale != 1:
+            out["scale"] = self.scale
         if self.n:
             out["min"] = self.min
             out["max"] = self.max
@@ -127,16 +136,18 @@ class Histogram:
 def percentile_from_snapshot(snap: dict, q: float) -> float:
     """Approximate ``q``-th percentile from a histogram snapshot dict.
 
-    Shared by :meth:`Histogram.percentile` (live metric) and the
-    OpenMetrics exporter (frozen snapshot): resolution is one binary order
-    of magnitude (the bucket width), the result is clamped to the
-    observed ``[min, max]``, and an empty histogram returns 0.0.
+    Shared by :meth:`Histogram.percentile` (live metric), the OpenMetrics
+    exporter and the quality digests (frozen snapshots): resolution is one
+    bucket width (a binary order of magnitude divided by the snapshot's
+    ``scale``), the result is clamped to the observed ``[min, max]``, and
+    an empty histogram returns 0.0.
     """
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
     n = int(snap.get("n", 0))
     if n == 0:
         return 0.0
+    scale = int(snap.get("scale", 1)) or 1
     lo = float(snap.get("min", 0.0))
     hi = float(snap.get("max", 0.0))
     buckets = sorted((int(k), int(c)) for k, c in snap.get("buckets") or ())
@@ -147,9 +158,9 @@ def percentile_from_snapshot(snap: dict, q: float) -> float:
     for key, count in buckets:
         cum += count
         if cum >= target:
-            if key == _NONPOS_BUCKET:
+            if key == _NONPOS_BUCKET * scale:
                 return lo
-            edge = 2.0**key if key <= 1023 else hi
+            edge = 2.0 ** (key / scale) if key <= 1023 * scale else hi
             return min(max(edge, lo), hi)
     return hi
 
@@ -221,6 +232,8 @@ class MetricsRegistry:
                     dt = snap["total"] - (prev.get("total", 0.0) if prev else 0.0)
                     entry = {"type": "histogram", "n": dn, "total": dt,
                              "mean": dt / dn if dn else 0.0}
+                    if "scale" in snap:
+                        entry["scale"] = snap["scale"]
                     if "min" in snap:
                         entry["min"] = snap["min"]
                         entry["max"] = snap["max"]
@@ -248,6 +261,8 @@ class MetricsRegistry:
             elif kind == "histogram":
                 h = self.histogram(name)
                 with h._lock:
+                    if "scale" in snap and not h.n:
+                        h.scale = int(snap["scale"])
                     h.n += int(snap.get("n", 0))
                     h.total += float(snap.get("total", 0.0))
                     if "min" in snap and snap["min"] < h.min:

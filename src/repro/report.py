@@ -180,6 +180,13 @@ class StreamStats:
     #: Declared safeguard specs and patch count of a SAFE (v4) stream.
     safeguards: tuple[str, ...] | None = None
     patched: int | None = None
+    #: Bytes per attribution kind (entropy table vs payload, outliers,
+    #: patches, parity, framing, CRCs ...) from the byte-attribution tree
+    #: (``repro.observe.quality.attribute_bytes``); None when attribution
+    #: was unavailable.  Leaf kinds sum exactly to ``nbytes``.
+    kind_totals: dict[str, int] | None = None
+    #: Dominant payload kind per top-level section, same source.
+    section_kinds: dict[str, str] | None = None
 
     def format(self) -> str:
         lines = [
@@ -213,7 +220,19 @@ class StreamStats:
         )
         lines.append("sections:")
         for key, size in self.sections.items():
-            lines.append(f"  {key:14s} {size:12d} B")
+            kind = (self.section_kinds or {}).get(key)
+            suffix = f"  [{kind}]" if kind else ""
+            lines.append(f"  {key:14s} {size:12d} B{suffix}")
+        if self.kind_totals:
+            lines.append("byte attribution:")
+            for kind, size in self.kind_totals.items():
+                share = 100.0 * size / self.nbytes if self.nbytes else 0.0
+                lines.append(f"  {kind:14s} {size:12d} B  {share:6.2f}%")
+            overhead = self.kind_totals.get("framing", 0) + self.kind_totals.get(
+                "checksum", 0
+            )
+            share = 100.0 * overhead / self.nbytes if self.nbytes else 0.0
+            lines.append(f"  container overhead (framing+CRC): {overhead} B ({share:.2f}%)")
         moved = {k: v for k, v in self.metrics.items() if k not in self.sections}
         if moved:
             lines.append("decode metrics:")
@@ -282,6 +301,15 @@ def build_report(blob: bytes, tolerate_corruption: bool = False) -> StreamStats:
         if "n_patch" in box:
             patched = int(box.get_u64("n_patch"))
     crc = delta.get("crc.verify_s")
+    kind_totals = section_kinds = None
+    try:
+        from repro.observe.quality import attribute_bytes, section_kind_map
+
+        tree = attribute_bytes(blob)
+        kind_totals = tree.kind_totals()
+        section_kinds = section_kind_map(tree)
+    except Exception:  # noqa: BLE001 - attribution is descriptive, never fatal
+        pass
     return StreamStats(
         codec=box.codec,
         version=box.version,
@@ -300,6 +328,8 @@ def build_report(blob: bytes, tolerate_corruption: bool = False) -> StreamStats:
         recovery=recovery,
         safeguards=safeguards,
         patched=patched,
+        kind_totals=kind_totals,
+        section_kinds=section_kinds,
     )
 
 

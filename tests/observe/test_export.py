@@ -165,6 +165,27 @@ class TestParseRejectsMalformed:
         with pytest.raises(ValueError, match="min, max"):
             parse_openmetrics(self._hist(extra))
 
+    def test_zero_sample_histogram_quantiles_accepted(self):
+        """Placeholder p50/p90/p99 gauges on an empty histogram must lint.
+
+        An aggregator exporting every known metric renders zero-sample
+        histograms with 0.0 quantile gauges; those carry no observed
+        range, so the monotonicity/containment lint has nothing to say.
+        """
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 0\n'
+            "h_count 0\nh_sum 0.0\n"
+            "# TYPE h_min gauge\nh_min inf\n"
+            "# TYPE h_max gauge\nh_max -inf\n"
+            "# TYPE h_p50 gauge\nh_p50 0.0\n"
+            "# TYPE h_p90 gauge\nh_p90 0.0\n"
+            "# TYPE h_p99 gauge\nh_p99 0.0\n"
+            "# EOF\n"
+        )
+        families = parse_openmetrics(text)
+        assert families["h"]["type"] == "histogram"
+
 
 class TestJsonLines:
     def test_metrics_one_object_per_line(self, reg):

@@ -358,3 +358,108 @@ class TestLedgerTrendGate:
             run(base, fresh, "--ledger", "x", "--ledger-window", "0")
         with pytest.raises(SystemExit):
             run(base, fresh, "--ledger", "x", "--ledger-tolerance", "1.5")
+
+
+class TestQualityGate:
+    def quality_rec(self, rel_p99=1e-3, rel_bias=-2e-6):
+        return rec("roundtrip", rel_p99=rel_p99, rel_bias=rel_bias)
+
+    def test_unchanged_quality_passes_with_note(self, dirs, capsys):
+        base, fresh = dirs
+        write_report(base, [self.quality_rec()])
+        write_report(fresh, [self.quality_rec()])
+        assert run(base, fresh) == 0
+        assert "quality gate" in capsys.readouterr().out
+
+    def test_p99_growth_beyond_tolerance_fails(self, dirs, capsys):
+        base, fresh = dirs
+        write_report(base, [self.quality_rec(rel_p99=1e-3)])
+        write_report(fresh, [self.quality_rec(rel_p99=1.5e-3)])
+        assert run(base, fresh) == 1
+        assert "p99 rel error" in capsys.readouterr().out
+
+    def test_p99_improvement_passes(self, dirs):
+        base, fresh = dirs
+        write_report(base, [self.quality_rec(rel_p99=1e-3)])
+        write_report(fresh, [self.quality_rec(rel_p99=5e-4)])
+        assert run(base, fresh) == 0
+
+    def test_bias_magnitude_growth_fails(self, dirs, capsys):
+        base, fresh = dirs
+        write_report(base, [self.quality_rec(rel_bias=-2e-6)])
+        write_report(fresh, [self.quality_rec(rel_bias=+4e-6)])  # |bias| doubled
+        assert run(base, fresh) == 1
+        assert "signed rel bias" in capsys.readouterr().out
+
+    def test_near_zero_baseline_bias_uses_floor(self, dirs):
+        """A tiny baseline bias must not make any nonzero fresh bias fail."""
+        base, fresh = dirs
+        write_report(base, [self.quality_rec(rel_bias=1e-16)])
+        write_report(fresh, [self.quality_rec(rel_bias=5e-10)])
+        assert run(base, fresh) == 0
+
+    def test_baseline_without_quality_keys_is_skipped(self, dirs):
+        """Pre-stamping baselines bootstrap cleanly: no keys, no gate."""
+        base, fresh = dirs
+        write_report(base, [rec("roundtrip")])
+        write_report(fresh, [self.quality_rec(rel_p99=9e-3)])
+        assert run(base, fresh) == 0
+
+    def test_custom_tolerance(self, dirs):
+        base, fresh = dirs
+        write_report(base, [self.quality_rec(rel_p99=1e-3)])
+        write_report(fresh, [self.quality_rec(rel_p99=1.1e-3)])
+        assert run(base, fresh) == 0  # +10% inside the default 25%
+        assert run(base, fresh, "--quality-tolerance", "0.05") == 1
+
+    def test_bad_quality_tolerance_rejected(self, dirs):
+        base, fresh = dirs
+        with pytest.raises(SystemExit):
+            run(base, fresh, "--quality-tolerance", "1.5")
+
+
+class TestOverheadPairGate:
+    def pair(self, base_extra, safe_extra):
+        return [
+            rec("ov[off]", overhead_pair="p", overhead_role="baseline",
+                **base_extra),
+            rec("ov[on]", overhead_pair="p", overhead_role="safeguarded",
+                overhead_budget=0.05, **safe_extra),
+        ]
+
+    def test_within_budget_passes(self, dirs, capsys):
+        base, fresh = dirs
+        write_report(base, FIVE)
+        records = FIVE + self.pair({"min_s": 1.0}, {"min_s": 1.03})
+        write_report(fresh, records)
+        assert run(base, fresh) == 0
+        assert "safeguard overhead" in capsys.readouterr().out
+
+    def test_over_budget_fails(self, dirs, capsys):
+        base, fresh = dirs
+        write_report(base, FIVE)
+        write_report(fresh, FIVE + self.pair({"min_s": 1.0}, {"min_s": 1.2}))
+        assert run(base, fresh) == 1
+        assert "overhead regression" in capsys.readouterr().out
+
+    def test_overhead_time_s_preferred_over_min_s(self, dirs):
+        """A paired-design estimate outranks each side's own min.
+
+        The mins here disagree with the paired deltas by design: trusting
+        min_s would fail the budget, the explicit estimate passes.
+        """
+        base, fresh = dirs
+        write_report(base, FIVE)
+        records = FIVE + self.pair(
+            {"min_s": 1.0, "overhead_time_s": 1.0},
+            {"min_s": 1.2, "overhead_time_s": 1.02},
+        )
+        write_report(fresh, records)
+        assert run(base, fresh) == 0
+
+    def test_incomplete_pair_fails(self, dirs, capsys):
+        base, fresh = dirs
+        write_report(base, FIVE)
+        write_report(fresh, FIVE + self.pair({"min_s": 1.0}, {})[:1])
+        assert run(base, fresh) == 1
+        assert "incomplete" in capsys.readouterr().out

@@ -317,6 +317,54 @@ class TestAuditCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestExplainCommand:
+    def test_clean_stream_markdown(self, stream, field, capsys):
+        out, _ = stream
+        path, _ = field
+        capsys.readouterr()
+        assert main(["explain", out, "--original", path, "--shape", "16,16,16"]) == 0
+        text = capsys.readouterr().out
+        assert "repro explain" in text
+        assert "Byte attribution" in text
+        assert "Point-wise error quality" in text
+
+    def test_json_and_out_files(self, stream, field, tmp_path):
+        import json
+
+        out, _ = stream
+        path, _ = field
+        js = str(tmp_path / "explain.json")
+        md = str(tmp_path / "explain.md")
+        assert main(["explain", out, "--original", path, "--shape", "16,16,16",
+                     "--json", js, "--out", md]) == 0
+        doc = json.load(open(js))
+        assert doc["codec"] == "CHUNKED"
+        assert doc["ok"] is True
+        assert sum(doc["kind_totals"].values()) == doc["nbytes"]
+        assert "Byte attribution" in open(md).read()
+
+    def test_truncated_stream_exits_2_but_renders(self, stream, tmp_path, capsys):
+        out, _ = stream
+        cut = str(tmp_path / "cut.rpz")
+        with open(out, "rb") as fh:
+            blob = fh.read()
+        with open(cut, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        capsys.readouterr()
+        assert main(["explain", cut]) == 2
+        text = capsys.readouterr().out
+        assert "DAMAGED" in text
+        assert "StreamError" in text
+
+    def test_info_shows_attribution_kinds(self, stream, capsys):
+        out, _ = stream
+        capsys.readouterr()
+        assert main(["info", out]) == 0
+        text = capsys.readouterr().out
+        assert "container overhead" in text
+        assert "[chunk-table]" in text or "[payload]" in text
+
+
 class TestMetricsExportFlags:
     def test_openmetrics_to_file(self, stream, tmp_path):
         from repro.observe import parse_openmetrics
