@@ -62,6 +62,17 @@ from repro.encoding.container import (
     TruncatedStreamError,
     peek_codec,
 )
+from repro.resilience import (
+    DegradationLadder,
+    LadderExhaustedError,
+    ResilienceError,
+    ResiliencePolicy,
+    ResilienceReport,
+    parse_policy,
+    resume_job,
+    run_compress_job,
+    run_decompress_job,
+)
 from repro.safeguards import Safeguard, SafeguardedCompressor, parse_safeguard
 
 __version__ = "1.0.0"
@@ -75,7 +86,9 @@ __all__ = [
     "Compressor",
     "Container",
     "ContainerError",
+    "DegradationLadder",
     "ErrorBound",
+    "LadderExhaustedError",
     "FpzipCompressor",
     "IsabelaCompressor",
     "LogTransform",
@@ -84,6 +97,9 @@ __all__ = [
     "RateBound",
     "RecoveryReport",
     "RelativeBound",
+    "ResilienceError",
+    "ResiliencePolicy",
+    "ResilienceReport",
     "Safeguard",
     "SafeguardedCompressor",
     "StreamError",
@@ -102,10 +118,14 @@ __all__ = [
     "get_compressor",
     "make_sz_t",
     "make_zfp_t",
+    "parse_policy",
     "parse_safeguard",
     "recover_array",
     "register_compressor",
     "repair_stream",
+    "resume_job",
+    "run_compress_job",
+    "run_decompress_job",
     "verify_stream",
 ]
 

@@ -26,10 +26,20 @@ Raw binaries need ``--shape`` (and ``--dtype`` when not float32); ``.npy``
 inputs are self-describing.  ``compress`` verifies and reports the achieved
 ratio and maximum point-wise relative error.
 
-Corrupt or unreadable inputs never produce a traceback: every command
-prints a one-line diagnostic to stderr and exits with status 2, so shell
-pipelines and batch schedulers can distinguish "bad data" (2) from "bad
-usage" (argparse's 2 on stderr with usage) and crashes (anything else).
+``compress``/``decompress`` accept ``--journal DIR`` (crash-safe
+write-ahead journaling; an interrupted job is finished by
+``repro-compress resume DIR``), ``--policy SPEC`` (declarative resilience
+policy, e.g. ``retries=3;chunk-timeout=2;ladder=SZ_T>GZIP``) and
+``--ladder A>B`` (graceful-degradation codec chain); see
+``docs/resilience.md``.
+
+Expected failures never produce a traceback: every command prints a
+one-line ``error:`` diagnostic to stderr and exits with a meaningful
+status.  Exit 2 means bad data or environment (corrupt stream, missing
+file, I/O error -- and argparse's own usage errors); exit 1 means the
+request itself cannot be satisfied (invalid spec or bound, exhausted
+codec ladder, unresumable journal).  Anything else exiting nonzero is a
+crash and keeps its traceback.
 """
 
 from __future__ import annotations
@@ -49,8 +59,10 @@ from repro import (
     compress,
     decompress,
 )
+from repro.compressors.base import UnsupportedBound
 from repro.data.io import load_array, save_array
 from repro.metrics import bounded_fraction
+from repro.resilience.policy import ResilienceError
 
 __all__ = ["main"]
 
@@ -121,6 +133,31 @@ def _parse_safeguard_spec(text: str) -> str:
     return text
 
 
+def _parse_policy_spec(text: str) -> str:
+    """Validate a ``--policy`` spec early; the string itself is kept."""
+    from repro.resilience import parse_policy
+
+    try:
+        parse_policy(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return text
+
+
+def _parse_ladder(text: str) -> list[str]:
+    """``A>B>C`` fallback chain; every rung must be a registered codec."""
+    rungs = [r.strip() for r in text.split(">") if r.strip()]
+    if not rungs:
+        raise argparse.ArgumentTypeError(f"bad ladder {text!r}; expected e.g. SZ_T>GZIP")
+    known = set(available_compressors())
+    for rung in rungs:
+        if rung not in known:
+            raise argparse.ArgumentTypeError(
+                f"unknown ladder rung {rung!r}; choose from {sorted(known)}"
+            )
+    return rungs
+
+
 def _bound_from(args) -> AbsoluteBound | RelativeBound | PrecisionBound:
     chosen = [
         b for b in (
@@ -145,9 +182,35 @@ def _read_blob(path: str) -> bytes:
 # -- commands ----------------------------------------------------------------
 
 
+def _journaled_compress(args, bound) -> int:
+    from repro.resilience import run_compress_job
+
+    result = run_compress_job(
+        args.input,
+        args.output,
+        bound,
+        journal_dir=args.journal,
+        shape=args.shape,
+        dtype=args.dtype,
+        compressor=args.compressor,
+        safeguards=list(args.safeguard) if args.safeguard else None,
+        ladder=args.ladder,
+        policy=args.policy,
+        chunk_bytes=args.chunk_size,
+        workers=args.workers,
+        parity=args.parity,
+        group_size=args.group_size if args.parity is not None else None,
+        chunk_timeout=args.chunk_timeout,
+    )
+    print(f"{args.input}: {result.summary()}")
+    return 0
+
+
 def _cmd_compress(args) -> int:
-    data = load_array(args.input, args.shape, np.dtype(args.dtype))
     bound = _bound_from(args)
+    if args.journal is not None:
+        return _journaled_compress(args, bound)
+    data = load_array(args.input, args.shape, np.dtype(args.dtype))
     compressor: object = args.compressor
     label = args.compressor
     if args.safeguard:
@@ -155,7 +218,14 @@ def _cmd_compress(args) -> int:
 
         compressor = SafeguardedCompressor(args.compressor, args.safeguard)
         label = f"SAFE({args.compressor}; {'; '.join(args.safeguard)})"
-    chunked_opts = (args.chunk_size, args.workers, args.parity, args.chunk_timeout)
+    if args.ladder:
+        from repro.resilience import DegradationLadder
+
+        compressor = DegradationLadder.with_fallbacks(compressor, args.ladder)
+        label = ">".join([label, *compressor.rung_names[1:]])
+    chunked_opts = (
+        args.chunk_size, args.workers, args.parity, args.chunk_timeout, args.policy,
+    )
     if any(v is not None for v in chunked_opts):
         from repro.core.chunked import ChunkedCompressor
 
@@ -169,6 +239,8 @@ def _cmd_compress(args) -> int:
             kwargs["group_size"] = args.group_size
         if args.chunk_timeout is not None:
             kwargs["timeout"] = args.chunk_timeout
+        if args.policy is not None:
+            kwargs["policy"] = args.policy
         chunked = ChunkedCompressor(compressor, **kwargs)
         blob = compress(data, bound, compressor=chunked)
         label = (
@@ -177,6 +249,8 @@ def _cmd_compress(args) -> int:
             + (f", k={chunked.parity} parity" if chunked.parity else "")
             + ")"
         )
+        if chunked.last_resilience is not None and not chunked.last_resilience.quiet:
+            print(f"resilience: {chunked.last_resilience.summary()}", file=sys.stderr)
     else:
         blob = compress(data, bound, compressor=compressor)
     with open(args.output, "wb") as fh:
@@ -202,6 +276,17 @@ def _cmd_compress(args) -> int:
 
 
 def _cmd_decompress(args) -> int:
+    if args.journal is not None:
+        if args.tolerate_corruption:
+            print("error: --journal and --tolerate-corruption are mutually "
+                  "exclusive (resume needs deterministic chunk output)",
+                  file=sys.stderr)
+            return 2
+        from repro.resilience import run_decompress_job
+
+        result = run_decompress_job(args.input, args.output, journal_dir=args.journal)
+        print(f"{args.output}: {result.summary()}")
+        return 0
     blob = _read_blob(args.input)
     if args.tolerate_corruption:
         from repro.core.chunked import recover_array
@@ -217,6 +302,14 @@ def _cmd_decompress(args) -> int:
         recon = decompress(blob)
     save_array(args.output, recon)
     print(f"{args.output}: {recon.shape} {recon.dtype}")
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from repro.resilience import resume_job
+
+    result = resume_job(args.journal)
+    print(result.summary())
     return 0
 
 
@@ -236,6 +329,20 @@ def _cmd_info(args) -> int:
     if box.codec == "CHUNKED":
         print(f"inner:  {box.get_str('inner_codec')}")
         print(f"chunks: {box.get_u64('n_chunks')}")
+        if "ladder" in box:
+            print(f"ladder: {box.get_str('ladder')}")
+        if "chunk_codecs" in box:
+            from collections import Counter
+
+            codecs = box.get_str("chunk_codecs").split(";")
+            mix = Counter(codecs)
+            primary = (
+                box.get_str("ladder").split(">") if "ladder" in box else codecs
+            )[0]
+            degraded = sum(n for c, n in mix.items() if c != primary)
+            parts = ", ".join(f"{n}x {c}" for c, n in sorted(mix.items()))
+            print(f"codec mix: {parts}"
+                  + (f" ({degraded} chunk(s) fell back)" if degraded else ""))
         if "parity_k" in box:
             print(
                 f"parity: k={box.get_u64('parity_k')} per group of "
@@ -511,6 +618,21 @@ def main(argv: list[str] | None = None) -> int:
     comp.add_argument("--chunk-timeout", type=float, default=None, metavar="SEC",
                       help="per-chunk watchdog deadline: hung workers are "
                            "cancelled and retried (implies chunking)")
+    comp.add_argument("--policy", type=_parse_policy_spec, default=None,
+                      metavar="SPEC",
+                      help="resilience policy spec, e.g. 'retries=3;backoff=0.1;"
+                           "chunk-timeout=2;job-timeout=60;memory=512M;"
+                           "breaker=0.5/10;ladder=SZ_T>GZIP' (implies chunking; "
+                           "see docs/resilience.md)")
+    comp.add_argument("--ladder", type=_parse_ladder, default=None, metavar="A>B",
+                      help="graceful-degradation fallback chain tried in order "
+                           "when the compressor fails, hangs or breaks the "
+                           "bound, e.g. SZ_T>GZIP")
+    comp.add_argument("--journal", default=None, metavar="DIR",
+                      help="write-ahead journal directory: the job can be "
+                           "killed at any point and finished with "
+                           "'repro-compress resume DIR', producing the same "
+                           "bytes as an uninterrupted run")
 
     dec = sub.add_parser("decompress", help="reconstruct a compressed stream")
     dec.add_argument("input")
@@ -522,6 +644,17 @@ def main(argv: list[str] | None = None) -> int:
                      help="fill for unrecoverable spans with "
                           "--tolerate-corruption: nan, zero, nearest, or a "
                           "number (default nan)")
+    dec.add_argument("--journal", default=None, metavar="DIR",
+                     help="write-ahead journal directory enabling crash-safe "
+                          "resume via 'repro-compress resume DIR'")
+
+    res = sub.add_parser(
+        "resume",
+        help="finish an interrupted journaled compress/decompress job: "
+             "re-does only chunks the journal has no valid record for and "
+             "commits the identical output an uninterrupted run produces",
+    )
+    res.add_argument("journal", help="journal directory of the interrupted job")
 
     info = sub.add_parser("info", help="describe a compressed stream")
     info.add_argument("input")
@@ -680,6 +813,7 @@ def main(argv: list[str] | None = None) -> int:
     handler = {
         "compress": _cmd_compress,
         "decompress": _cmd_decompress,
+        "resume": _cmd_resume,
         "info": _cmd_info,
         "stats": _cmd_stats,
         "audit": _cmd_audit,
@@ -709,6 +843,12 @@ def main(argv: list[str] | None = None) -> int:
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except (ResilienceError, UnsupportedBound, ValueError) as exc:
+        # Expected "the request cannot be satisfied" failures: bad specs,
+        # unsupported bounds, exhausted ladders, unresumable journals.
+        # One line, exit 1 -- distinct from bad data/environment (2).
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     finally:
         if tracing:
             tracer = get_tracer()

@@ -48,6 +48,14 @@ from repro.encoding.container import (
 )
 from repro.encoding.rs import MAX_GROUP_BLOCKS, encode_parity
 from repro.observe.events import emit as emit_event
+from repro.resilience.policy import (
+    ChunkIncident,
+    CircuitOpenError,
+    JobDeadlineError,
+    ResiliencePolicy,
+    ResilienceReport,
+    parse_policy,
+)
 from repro.observe.metrics import metrics
 from repro.observe.propagate import absorb, run_traced
 from repro.observe.tracer import current_span, span
@@ -258,6 +266,14 @@ class ChunkedCompressor(Compressor):
         ``timeout_backoff_s`` -- before :class:`ChunkTimeoutError` is
         raised.  With a timeout set, even ``serial`` runs go through a
         single-slot pool so the deadline is enforceable.
+    policy:
+        A :class:`repro.resilience.ResiliencePolicy` (or its spec string,
+        e.g. ``"retries=3;chunk-timeout=2;breaker=0.5/8;ladder=GZIP"``)
+        that supersedes the individual retry/backoff/timeout knobs above,
+        adds a whole-job deadline and memory-budgeted worker cap, arms a
+        failure-rate circuit breaker, and may wrap ``inner`` in a
+        :class:`~repro.resilience.DegradationLadder` of fallback codecs.
+        See ``docs/resilience.md``.
 
     A worker failure that is not a :class:`StreamError` (a crashed
     process pool, a transient executor fault) does not fail the array:
@@ -279,6 +295,7 @@ class ChunkedCompressor(Compressor):
         timeout: float | None = None,
         timeout_retries: int = 2,
         timeout_backoff_s: float = 0.05,
+        policy: "ResiliencePolicy | str | None" = None,
     ) -> None:
         if chunk_bytes <= 0:
             raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
@@ -310,6 +327,30 @@ class ChunkedCompressor(Compressor):
         self.timeout = float(timeout) if timeout is not None else None
         self.timeout_retries = int(timeout_retries)
         self.timeout_backoff_s = float(timeout_backoff_s)
+        self.policy = parse_policy(policy) if isinstance(policy, str) else policy
+        if self.policy is not None:
+            # A policy is the single source of truth for the knobs it
+            # covers: its retry/backoff/deadline fields supersede the
+            # legacy per-knob arguments, its memory budget caps workers,
+            # and its ladder wraps the inner codec in fallback rungs.
+            pol = self.policy
+            if pol.chunk_timeout_s is not None:
+                self.timeout = pol.chunk_timeout_s
+            self.timeout_retries = pol.retries
+            self.timeout_backoff_s = pol.backoff_s
+            self.workers = pol.max_workers(self.workers, self.chunk_bytes)
+            if pol.ladder:
+                from repro.resilience.ladder import DegradationLadder
+
+                if not isinstance(self._inner, DegradationLadder):
+                    self._inner = DegradationLadder.with_fallbacks(
+                        self._inner, pol.ladder
+                    )
+        self._job_started: float | None = None
+        self._incidents: list[ChunkIncident] = []
+        #: Resilience outcome of the most recent compress() call (None
+        #: until one has run).
+        self.last_resilience: ResilienceReport | None = None
         #: Chunk count of the most recent compress() call.
         self.last_chunk_count = 0
         #: Chunks the most recent _map had to re-run serially after a
@@ -391,12 +432,43 @@ class ChunkedCompressor(Compressor):
             for proc in list(procs.values()):
                 proc.terminate()
 
+    def _job_deadline_at(self) -> float | None:
+        """Absolute perf-counter time the whole job must finish by."""
+        if (
+            self.policy is None
+            or self.policy.job_timeout_s is None
+            or self._job_started is None
+        ):
+            return None
+        return self._job_started + self.policy.job_timeout_s
+
+    def _check_job_deadline(self) -> None:
+        deadline = self._job_deadline_at()
+        if deadline is not None and time.perf_counter() > deadline:
+            metrics().counter("resilience.job_deadline").inc()
+            emit_event("job-deadline", codec=self.name,
+                       job_timeout_s=self.policy.job_timeout_s)
+            raise JobDeadlineError(
+                f"job exceeded its {self.policy.job_timeout_s}s deadline"
+            )
+
     def _wait(self, fut: Future, submitted_at: float):
-        """``fut.result()`` honouring the per-chunk watchdog deadline."""
-        if self.timeout is None:
+        """``fut.result()`` honouring the chunk watchdog and job deadline."""
+        deadlines = []
+        if self.timeout is not None:
+            deadlines.append(submitted_at + self.timeout)
+        job_deadline = self._job_deadline_at()
+        if job_deadline is not None:
+            deadlines.append(job_deadline)
+        if not deadlines:
             return fut.result()
-        budget = submitted_at + self.timeout - time.perf_counter()
-        return fut.result(timeout=max(budget, 0.0))
+        try:
+            return fut.result(timeout=max(min(deadlines) - time.perf_counter(), 0.0))
+        except FuturesTimeoutError:
+            # Distinguish "this chunk's worker hung" (retryable) from
+            # "the whole job is out of budget" (fatal).
+            self._check_job_deadline()
+            raise
 
     def _retry_timed_out(self, fn, job, index: int, parent) -> object:
         """Bounded fresh-worker retry of a chunk whose worker hung.
@@ -409,8 +481,13 @@ class ChunkedCompressor(Compressor):
         reg = metrics()
         delay = self.timeout_backoff_s
         for attempt in range(1, self.timeout_retries + 1):
-            if delay:
-                time.sleep(delay)
+            self._check_job_deadline()
+            if self.policy is not None:
+                pause = self.policy.backoff_for(attempt, index)
+            else:
+                pause = delay
+            if pause:
+                time.sleep(pause)
             delay *= 2
             emit_event(
                 "chunk-retry", index=index, codec=self.name,
@@ -466,11 +543,14 @@ class ChunkedCompressor(Compressor):
         """
         self.last_retried_chunks = 0
         self.last_timed_out_chunks = 0
+        self._incidents = []
+        breaker = self.policy.breaker() if self.policy is not None else None
         reg = metrics()
         pool = self._make_pool(len(jobs))
         if pool is None:
             out = []
             for i, job in enumerate(jobs):
+                self._check_job_deadline()
                 with span("chunk", index=i):
                     out.append(fn(*job))
             return out
@@ -480,6 +560,7 @@ class ChunkedCompressor(Compressor):
         futures: dict[int, Future] = {}
         submitted: dict[int, float] = {}
         timed_out: list[int] = []
+        hard_stop = False
         try:
             try:
                 for i, job in enumerate(jobs):
@@ -504,6 +585,10 @@ class ChunkedCompressor(Compressor):
                     continue
                 except StreamError:
                     raise
+                except JobDeadlineError:
+                    # Out of whole-job budget: abandon stragglers, fail loud.
+                    hard_stop = True
+                    raise
                 except Exception:
                     continue  # worker lost; retry serially below
                 wait = absorb(parent, telem, label="chunk", index=i,
@@ -512,19 +597,43 @@ class ChunkedCompressor(Compressor):
                 if wait is not None:
                     reg.histogram("chunk.queue_wait_s").observe(wait)
         finally:
-            self._shutdown_pool(pool, abandon=bool(timed_out))
+            self._shutdown_pool(pool, abandon=bool(timed_out) or hard_stop)
         self.last_timed_out_chunks = len(timed_out)
         if timed_out:
             parent.set(timed_out=len(timed_out))
+        pending = [
+            i for i in range(len(jobs)) if not done[i] and i not in timed_out
+        ]
+        if breaker is not None:
+            # First-attempt outcomes feed the breaker; a failure rate over
+            # the threshold means the codec/executor is failing
+            # systematically, so stop instead of grinding serial retries.
+            for i in range(len(jobs)):
+                if done[i]:
+                    breaker.record(True)
+            for i in timed_out + pending:
+                breaker.record(False)
+            if breaker.tripped:
+                reg.counter("resilience.breaker_open").inc()
+                emit_event("circuit-open", codec=self.name,
+                           detail=breaker.describe())
+                raise CircuitOpenError(breaker.describe())
         for i in timed_out:
+            self._incidents.append(ChunkIncident(
+                i, "timeout", f"worker hung past {self.timeout}s"
+            ))
+            self._check_job_deadline()
             results[i] = self._retry_timed_out(fn, jobs[i], i, parent)
             done[i] = True
-        pending = [i for i in range(len(jobs)) if not done[i]]
         self.last_retried_chunks = len(pending)
         if pending:
             reg.counter("chunks.retried").inc(len(pending))
             parent.set(retried=len(pending))
         for i in pending:
+            self._incidents.append(ChunkIncident(
+                i, "retry", "worker lost; re-run in-process"
+            ))
+            self._check_job_deadline()
             emit_event("chunk-retry", index=i, codec=self.name)
             with span("chunk", index=i, retried=True):
                 results[i] = fn(*jobs[i])
@@ -577,6 +686,7 @@ class ChunkedCompressor(Compressor):
     def compress(self, data: np.ndarray, bound: ErrorBound) -> bytes:
         inner = self.inner
         inner._check_bound(bound)
+        self._job_started = time.perf_counter()
         data = np.asarray(data)
         if data.size == 0:
             if data.dtype not in (np.float32, np.float64):
@@ -592,18 +702,68 @@ class ChunkedCompressor(Compressor):
             audit_before = metrics().snapshot()
             blobs = self._map(_compress_chunk, [(inner, c, bound) for c in chunks])
             self._build_audit(audit_before, bound)
+        self._build_resilience(blobs)
+        return self._assemble(data, chunks, blobs)
+
+    def _build_resilience(self, blobs: list[bytes]) -> None:
+        """Summarize what the resilience machinery did for this compress."""
+        incidents = list(self._incidents)
+        degraded = 0
+        codecs = self._chunk_codecs(blobs)
+        if codecs is not None:
+            primary = self.inner.rung_names[0]
+            for i, codec in enumerate(codecs):
+                if codec != primary:
+                    degraded += 1
+                    incidents.append(
+                        ChunkIncident(i, "fallback", f"{primary} -> {codec}")
+                    )
+        self.last_resilience = ResilienceReport(
+            n_chunks=len(blobs),
+            retried=self.last_retried_chunks,
+            timed_out=self.last_timed_out_chunks,
+            fallbacks=degraded,
+            incidents=tuple(incidents),
+        )
+
+    def _chunk_codecs(self, blobs: list[bytes]) -> list[str] | None:
+        """Per-chunk winning codec names when the inner is a ladder."""
+        from repro.encoding.container import peek_codec
+        from repro.resilience.ladder import DegradationLadder
+
+        if not isinstance(self.inner, DegradationLadder) or not blobs:
+            return None
+        return [peek_codec(b) for b in blobs]
+
+    def _assemble(
+        self, data: np.ndarray, chunks: list[np.ndarray], blobs: list[bytes]
+    ) -> bytes:
+        """Frame finished chunk streams into the CHUNKED container.
+
+        Shared verbatim by :meth:`compress` and the journaled job runner
+        (:mod:`repro.resilience.jobs`), so a resumed job's container is
+        byte-identical to an uninterrupted run's.
+        """
         self.last_chunk_count = len(blobs)
         metrics().counter("chunks.compressed").inc(len(blobs))
         current_span().set(chunks=len(blobs), workers=self.workers)
 
         box = self._new_container(self.name, data)
-        box.put_str("inner_codec", inner.name)
+        box.put_str("inner_codec", self.inner.name)
         box.put_u64("n_chunks", len(blobs))
         lens = np.array([len(b) for b in blobs], dtype=np.uint64)
         offs = np.concatenate([[0], np.cumsum(lens)])[:-1].astype(np.uint64)
         box.put_array("offs", offs)
         box.put_array("lens", lens)
         box.put_array("elems", np.array([c.size for c in chunks], dtype=np.uint64))
+        codecs = self._chunk_codecs(blobs)
+        if codecs is not None:
+            # Record the ladder and each chunk's winning rung in the
+            # stream itself, so stats/explain/info can show which chunks
+            # degraded long after the run (and any process can decode
+            # them -- chunk streams self-identify regardless).
+            box.put_str("ladder", self.inner.chain)
+            box.put_str("chunk_codecs", ";".join(codecs))
         # Parity sections precede the payload on purpose: a tail
         # truncation then erases trailing *chunks* -- exactly the erasure
         # pattern the parity can repair -- instead of the parity itself.
@@ -663,6 +823,7 @@ class ChunkedCompressor(Compressor):
         return offs, lens, elems
 
     def decompress(self, blob: bytes) -> np.ndarray:
+        self._job_started = time.perf_counter()
         codec = Container.from_bytes(blob).codec
         if codec != self.name:
             # v1 (monolithic) stream: dispatch to its own codec unchanged.

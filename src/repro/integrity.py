@@ -253,6 +253,20 @@ def verify_stream(blob: bytes) -> VerifyReport:
 
     if box.codec == "CHUNKED":
         report.n_chunks = _verify_chunk_table(box, blob, problems)
+        if "chunk_codecs" in box and box.check_section("chunk_codecs"):
+            codecs = [c for c in box.get_str("chunk_codecs").split(";") if c]
+            primary = (
+                box.get_str("ladder").split(">")
+                if "ladder" in box and box.check_section("ladder")
+                else codecs
+            )[0] if codecs else None
+            degraded = sum(1 for c in codecs if c != primary)
+            if degraded:
+                notes.append(
+                    f"{degraded} of {len(codecs)} chunk(s) were compressed by "
+                    f"a fallback rung of the codec ladder (primary {primary}); "
+                    f"bytes are intact, but see 'repro-compress explain'"
+                )
         if "parity_k" in box and box.check_section("parity_k"):
             notes.append(
                 f"carries Reed-Solomon parity: k={box.get_u64('parity_k')} "

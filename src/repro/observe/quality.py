@@ -970,6 +970,8 @@ class ExplainReport:
     decoded_nbytes: int | None = None
     ratio: float | None = None
     rel_bound: float | None = None
+    #: Degradation-ladder chain recorded in the stream ("SZ_T>GZIP").
+    ladder: str | None = None
     chunks: list[dict] = field(default_factory=list)
     anomalies: list[dict] = field(default_factory=list)
     quality: dict | None = None
@@ -991,6 +993,7 @@ class ExplainReport:
             "decoded_nbytes": self.decoded_nbytes,
             "ratio": self.ratio,
             "rel_bound": self.rel_bound,
+            "ladder": self.ladder,
             "kind_totals": self.kind_totals,
             "attribution": self.tree.to_dict(),
             "chunks": self.chunks,
@@ -1012,6 +1015,10 @@ class ExplainReport:
             bits.append(f"ratio: **{self.ratio:.2f}x**")
         if self.rel_bound is not None:
             bits.append(f"rel bound: {self.rel_bound:g}")
+        if self.ladder is not None:
+            fallbacks = sum(1 for a in self.anomalies if a["metric"] == "fallback")
+            bits.append(f"ladder: {self.ladder}"
+                        + (f" ({fallbacks} fallback(s))" if fallbacks else ""))
         if self.audit_ok is not None:
             bits.append(f"audit: {'pass' if self.audit_ok else 'VIOLATED'}")
         lines.append(" · ".join(bits))
@@ -1035,10 +1042,13 @@ class ExplainReport:
             lines.append("| chunk | metric | value | deviation |")
             lines.append("| ---: | --- | ---: | ---: |")
             for a in self.anomalies:
-                lines.append(
-                    f"| {a['index']} | {a['metric']} | {a['value']:.4g} "
-                    f"| {a['deviation']:.1f}·MAD |"
+                value = a["value"]
+                vtxt = f"{value:.4g}" if isinstance(value, (int, float)) else str(value)
+                dtxt = (
+                    "—" if a["metric"] == "fallback"
+                    else f"{a['deviation']:.1f}·MAD"
                 )
+                lines.append(f"| {a['index']} | {a['metric']} | {vtxt} | {dtxt} |")
         elif self.chunks:
             lines += ["", f"No chunk deviates ≥{self.mad_k:g}·MAD from the stream median."]
         if self.quality:
@@ -1145,8 +1155,27 @@ def explain_stream(
         except Exception:  # noqa: BLE001 - bound recovery is best-effort here
             report.rel_bound = None
 
-    # Per-chunk geometry (CHUNKED streams): size + ratio per chunk.
+    # Per-chunk geometry (CHUNKED streams): size + ratio per chunk, plus
+    # the codec that actually compressed each chunk when the stream was
+    # written through a degradation ladder.  A chunk a fallback rung had
+    # to handle is flagged as a "fallback" anomaly: the bytes are valid
+    # and the bound holds, but the operator should know the primary codec
+    # failed there.
     if box is not None and codec == "CHUNKED":
+        chunk_codecs: list[str] = []
+        primary = None
+        try:
+            if "chunk_codecs" in box:
+                chunk_codecs = [
+                    c for c in box.get_str("chunk_codecs").split(";") if c
+                ]
+            if "ladder" in box:
+                report.ladder = box.get_str("ladder")
+                primary = report.ladder.split(">")[0]
+            elif chunk_codecs:
+                primary = chunk_codecs[0]
+        except StreamError:
+            pass
         try:
             lens = [int(v) for v in box.get_array("lens")]
             elems = [int(v) for v in box.get_array("elems")]
@@ -1154,6 +1183,17 @@ def explain_stream(
                 rec = {"index": i, "nbytes": ln, "elems": ne}
                 if itemsize and ln:
                     rec["ratio"] = ne * itemsize / ln
+                if i < len(chunk_codecs):
+                    rec["codec"] = chunk_codecs[i]
+                    if primary is not None and chunk_codecs[i] != primary:
+                        report.anomalies.append(
+                            {
+                                "index": i,
+                                "metric": "fallback",
+                                "value": chunk_codecs[i],
+                                "deviation": 0.0,
+                            }
+                        )
                 report.chunks.append(rec)
         except StreamError:
             notes.append("StreamError: chunk table unreadable")

@@ -109,6 +109,31 @@ def _rank_path(out_dir: str, rank: int) -> str:
     return os.path.join(out_dir, f"rank_{rank}.rpz")
 
 
+def _fsync_parent_dir(path: str) -> None:
+    """Flush the parent directory entry of a just-renamed file.
+
+    ``os.replace`` makes the rename atomic, but until the *directory* is
+    fsynced the new entry lives only in the page cache -- a power loss
+    can silently drop a file whose write and rename both "succeeded".
+    POSIX-only (Windows has no directory fsync) and best-effort: some
+    filesystems refuse ``fsync`` on a directory fd, and a file that
+    merely shows up late is strictly better than a failed write.
+    """
+    if os.name != "posix":
+        return
+    parent = os.path.dirname(os.path.abspath(path)) or "."
+    try:
+        fd = os.open(parent, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_bytes(
     path: str,
     blob: bytes,
@@ -119,11 +144,18 @@ def atomic_write_bytes(
     """Write ``blob`` to ``path`` atomically, retrying transient failures.
 
     The bytes land in ``path + ".tmp"`` first, are fsynced, then renamed
-    over ``path`` -- a mid-write crash can leave a stale temp file but
-    never a truncated ``path``.  Transient ``OSError``s (full/flaky
-    filesystem, NFS hiccups) are retried with exponential backoff before
-    the last error propagates.
+    over ``path``, and finally the parent directory is fsynced so the
+    rename itself is durable -- a mid-write crash (or power loss) can
+    leave a stale temp file but never a truncated or vanished ``path``.
+    Transient ``OSError``s (full/flaky filesystem, NFS hiccups) are
+    retried with exponential backoff before the last error propagates.
+
+    The named crash points (:func:`repro.resilience.crashpoints.reach`)
+    let the chaos harness kill this function at every boundary and assert
+    those invariants hold.
     """
+    from repro.resilience.crashpoints import reach
+
     tmp = path + ".tmp"
     for attempt in range(retries + 1):
         try:
@@ -132,7 +164,11 @@ def atomic_write_bytes(
                 fh.write(blob)
                 fh.flush()
                 os.fsync(fh.fileno())
+            reach("io.tmp-written", path=path)
             os.replace(tmp, path)
+            reach("io.renamed", path=path)
+            _fsync_parent_dir(path)
+            reach("io.dir-synced", path=path)
             reg = metrics()
             reg.counter("io.write_s").inc(time.perf_counter() - t0)
             reg.counter("io.bytes_written").inc(len(blob))

@@ -187,6 +187,14 @@ class StreamStats:
     kind_totals: dict[str, int] | None = None
     #: Dominant payload kind per top-level section, same source.
     section_kinds: dict[str, str] | None = None
+    #: Degradation-ladder chain recorded by the writer (``"SZ_T>GZIP"``),
+    #: None when the stream was not written through a ladder.
+    ladder: str | None = None
+    #: Per-codec chunk counts from the ``chunk_codecs`` section (which
+    #: rung actually compressed each chunk); None when not recorded.
+    codec_mix: dict[str, int] | None = None
+    #: Chunks a fallback rung (not the primary codec) had to compress.
+    degraded_chunks: int | None = None
 
     def format(self) -> str:
         lines = [
@@ -198,6 +206,16 @@ class StreamStats:
         if self.n_chunks is not None:
             inner = f" of {self.inner_codec}" if self.inner_codec else ""
             lines.append(f"chunks:        {self.n_chunks}{inner}")
+        if self.ladder is not None:
+            lines.append(f"ladder:        {self.ladder}")
+        if self.codec_mix is not None:
+            mix = ", ".join(f"{n}x {c}" for c, n in sorted(self.codec_mix.items()))
+            fell = (
+                f" ({self.degraded_chunks} chunk(s) fell back)"
+                if self.degraded_chunks
+                else ""
+            )
+            lines.append(f"codec mix:     {mix}{fell}")
         if self.parity is not None:
             lines.append(
                 f"parity:        k={self.parity[0]} per group of {self.parity[1]}"
@@ -285,12 +303,22 @@ def build_report(blob: bytes, tolerate_corruption: bool = False) -> StreamStats:
     )
     n_chunks = inner_codec = parity = None
     safeguards = patched = None
+    ladder = codec_mix = degraded = None
     if box.codec == "CHUNKED" and "n_chunks" in box:
         n_chunks = box.get_u64("n_chunks")
         if "inner_codec" in box:
             inner_codec = box.get_str("inner_codec")
         if "parity_k" in box and "group_size" in box:
             parity = (box.get_u64("parity_k"), box.get_u64("group_size"))
+        if "ladder" in box:
+            ladder = box.get_str("ladder")
+        if "chunk_codecs" in box:
+            codecs = [c for c in box.get_str("chunk_codecs").split(";") if c]
+            codec_mix = {}
+            for c in codecs:
+                codec_mix[c] = codec_mix.get(c, 0) + 1
+            primary = (ladder.split(">") if ladder else codecs)[0] if codecs else None
+            degraded = sum(n for c, n in codec_mix.items() if c != primary)
     if box.codec == "SAFE":
         if "safeguards" in box:
             safeguards = tuple(
@@ -330,6 +358,9 @@ def build_report(blob: bytes, tolerate_corruption: bool = False) -> StreamStats:
         patched=patched,
         kind_totals=kind_totals,
         section_kinds=section_kinds,
+        ladder=ladder,
+        codec_mix=codec_mix,
+        degraded_chunks=degraded,
     )
 
 

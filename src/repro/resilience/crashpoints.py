@@ -1,0 +1,50 @@
+"""Named crash points for deterministic crash-consistency testing.
+
+Production code calls :func:`reach` at every durability boundary -- after
+a journal record is fsynced, after a temp file is written, after a
+rename, after a commit mark.  With no hook installed the call is a
+single attribute load and compare (nanoseconds), so the points stay in
+the shipped code permanently rather than living in a test-only fork.
+
+The chaos harness (:mod:`repro.testing.chaos`) installs a hook that
+either records every point reached (to enumerate the fault space) or
+raises a simulated kill at exactly one of them, then asserts the journal
+recovers.  Hooks raise ``BaseException`` subclasses on purpose: recovery
+code that catches ``Exception`` must not be able to swallow a kill.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable
+
+__all__ = ["crash_hook", "reach"]
+
+_hook: Callable[[str, dict], None] | None = None
+
+
+def reach(name: str, **info) -> None:
+    """Mark a crash point; invokes the installed hook, if any.
+
+    ``name`` identifies the durability boundary (e.g. ``"io.renamed"``,
+    ``"journal.chunk-recorded"``); ``info`` carries context (path, chunk
+    index) the hook may log.  No hook installed -> no-op.
+    """
+    if _hook is not None:
+        _hook(name, info)
+
+
+@contextmanager
+def crash_hook(fn: Callable[[str, dict], None]):
+    """Install ``fn`` as the process-wide crash-point hook for the block.
+
+    Nested installs restore the previous hook on exit, so a recorder can
+    wrap a killer (or vice versa) in the same test.
+    """
+    global _hook
+    prev = _hook
+    _hook = fn
+    try:
+        yield fn
+    finally:
+        _hook = prev

@@ -1,0 +1,204 @@
+"""Graceful-degradation codec ladder.
+
+:class:`DegradationLadder` wraps an ordered chain of compressors.  Each
+compress call walks the chain: the first rung that produces a stream
+wins; a rung that raises, exceeds the per-attempt timeout, or (with
+``verify``) violates the requested relative bound is abandoned and the
+next rung tries.  The produced stream is the winning rung's own
+container, completely unchanged -- so decompression needs no knowledge of
+the ladder and a mixed-codec CHUNKED payload decodes like any other.
+
+The canonical final rung is ``GZIP`` (:class:`repro.LosslessDeflate`):
+lossless storage accepts every bound kind and satisfies any error bound
+vacuously, so a ladder ending in it cannot leave data uncompressed short
+of an environment failure.
+
+Fallbacks are observable: each one bumps the ``resilience.fallbacks``
+counter and emits a ``codec-fallback`` event (both propagate back from
+process-pool workers), and :class:`~repro.core.chunked.ChunkedCompressor`
+records the per-chunk winning codec in the stream itself (the
+``chunk_codecs`` section) so ``stats``/``explain``/``info`` can show
+which chunks degraded long after the run.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+
+import numpy as np
+
+from repro.compressors.base import Compressor, ErrorBound, RelativeBound
+from repro.observe.events import emit as emit_event
+from repro.observe.metrics import metrics
+from repro.resilience.policy import LadderExhaustedError
+
+__all__ = ["DegradationLadder"]
+
+
+class DegradationLadder(Compressor):
+    """Compressor chain with automatic per-call fallback.
+
+    Parameters
+    ----------
+    rungs:
+        Compressor instances or registry names, tried in order.  At least
+        one rung is required; ending with ``"GZIP"`` makes the ladder
+        total (lossless storage never fails on finite input).
+    attempt_timeout_s:
+        Wall-clock budget per rung attempt; a rung that overruns is
+        abandoned (its worker thread orphaned) and counts as a failure.
+    verify:
+        With a :class:`RelativeBound`, decode each candidate stream and
+        fall through when the achieved max relative error exceeds the
+        bound -- turning silent bound violations into fallbacks.
+    """
+
+    name = "LADDER"
+
+    @staticmethod
+    def with_fallbacks(primary, fallbacks) -> "DegradationLadder":
+        """``primary`` plus ``fallbacks``, dropping consecutive duplicate
+        names (a primary re-listed as its own first fallback adds
+        nothing -- same-codec retries belong to the retry policy)."""
+        rungs: list = [primary]
+        last = primary if isinstance(primary, str) else primary.name
+        for rung in fallbacks:
+            rung_name = rung if isinstance(rung, str) else rung.name
+            if rung_name != last:
+                rungs.append(rung)
+                last = rung_name
+        return DegradationLadder(rungs)
+
+    def __init__(
+        self,
+        rungs=("SZ_T", "GZIP"),
+        attempt_timeout_s: float | None = None,
+        verify: bool = False,
+    ) -> None:
+        rungs = list(rungs) if not isinstance(rungs, (str, Compressor)) else [rungs]
+        if not rungs:
+            raise ValueError("a degradation ladder needs at least one rung")
+        if attempt_timeout_s is not None and attempt_timeout_s <= 0:
+            raise ValueError(f"attempt_timeout_s must be positive, got {attempt_timeout_s}")
+        self._rungs = rungs
+        self.attempt_timeout_s = attempt_timeout_s
+        self.verify = bool(verify)
+        #: Fallbacks taken by the most recent compress() in this process.
+        self.last_fallbacks = 0
+
+    # -- configuration -------------------------------------------------------
+
+    @property
+    def rungs(self) -> tuple[Compressor, ...]:
+        """Rung instances, resolving registry names on first use."""
+        from repro.compressors.base import get_compressor
+
+        self._rungs = [
+            get_compressor(r) if isinstance(r, str) else r for r in self._rungs
+        ]
+        return tuple(self._rungs)
+
+    @property
+    def rung_names(self) -> tuple[str, ...]:
+        return tuple(
+            r if isinstance(r, str) else r.name for r in self._rungs
+        )
+
+    @property
+    def chain(self) -> str:
+        """The ladder as a spec string: ``"SZ_T>GZIP"``."""
+        return ">".join(self.rung_names)
+
+    @property
+    def supported_bounds(self) -> tuple[type, ...]:  # type: ignore[override]
+        seen: dict[type, None] = {}
+        for rung in self.rungs:
+            for kind in rung.supported_bounds:
+                seen[kind] = None
+        return tuple(seen)
+
+    @property
+    def allows_nonfinite(self) -> bool:  # type: ignore[override]
+        return all(getattr(r, "allows_nonfinite", False) for r in self.rungs)
+
+    # -- compression ---------------------------------------------------------
+
+    def _attempt(self, rung: Compressor, data: np.ndarray, bound: ErrorBound) -> bytes:
+        """One rung attempt, under ``attempt_timeout_s`` when configured."""
+        if self.attempt_timeout_s is None:
+            return rung.compress(data, bound)
+        pool = ThreadPoolExecutor(max_workers=1)
+        fut = pool.submit(rung.compress, data, bound)
+        try:
+            blob = fut.result(timeout=self.attempt_timeout_s)
+        except FuturesTimeoutError:
+            fut.cancel()
+            # Abandon, never join: the worker thread may be wedged.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise TimeoutError(
+                f"{rung.name} exceeded the {self.attempt_timeout_s}s rung budget"
+            ) from None
+        pool.shutdown(wait=False)
+        return blob
+
+    def _verify(self, rung: Compressor, blob: bytes, data: np.ndarray,
+                bound: ErrorBound) -> None:
+        """Raise when the candidate stream violates a relative bound."""
+        if not self.verify or not isinstance(bound, RelativeBound):
+            return
+        recon = rung.decompress(blob).astype(np.float64).ravel()
+        x = data.astype(np.float64).ravel()
+        err = np.abs(recon - x)
+        # Same tolerance discipline as the audit: grade against eps-padded
+        # bound so float32 round-off is not misread as a violation.
+        tol = bound.value * (1 + 1e-12) + np.finfo(np.float64).tiny
+        bad = err > tol * np.abs(x)
+        if bad.any():
+            raise ValueError(
+                f"{rung.name} stream violates rel bound {bound.value:g} at "
+                f"{int(bad.sum())} point(s) (max rel err "
+                f"{float((err[bad] / np.abs(x[bad])).max()):.3e})"
+            )
+
+    def compress(self, data: np.ndarray, bound: ErrorBound) -> bytes:
+        self._check_bound(bound)
+        self.last_fallbacks = 0
+        failures: list[str] = []
+        rungs = self.rungs
+        for pos, rung in enumerate(rungs):
+            try:
+                if not isinstance(bound, rung.supported_bounds):
+                    raise TypeError(
+                        f"{rung.name} does not accept {type(bound).__name__}"
+                    )
+                blob = self._attempt(rung, data, bound)
+                self._verify(rung, blob, data, bound)
+            except Exception as exc:  # noqa: BLE001 - each rung failure is a
+                # fallback trigger by design; BaseException (kills,
+                # simulated crash points) still propagates.
+                reason = f"{type(exc).__name__}: {exc}"
+                failures.append(f"{rung.name}: {reason}")
+                if pos + 1 < len(rungs):
+                    self.last_fallbacks += 1
+                    metrics().counter("resilience.fallbacks").inc()
+                    emit_event(
+                        "codec-fallback",
+                        from_codec=rung.name,
+                        to_codec=rungs[pos + 1].name,
+                        reason=reason[:200],
+                    )
+                continue
+            if pos:
+                metrics().counter("resilience.degraded_chunks").inc()
+            return blob
+        raise LadderExhaustedError(
+            "every rung of the degradation ladder failed: " + "; ".join(failures)
+        )
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        # Streams self-identify as the winning rung's codec; dispatch
+        # generically so a ladder instance round-trips like any codec.
+        from repro import decompress
+
+        return decompress(blob)

@@ -1,13 +1,24 @@
 """Test-support utilities shipped with the library.
 
 :mod:`repro.testing.faults` provides the deterministic fault injectors
-(bit flips, truncation, section drops, flaky-filesystem shim, crashing
-and stalling executors) behind the corruption/fault test suites and the
-``repro-compress faults`` CLI.
+(bit flips, truncation, section drops, flaky/failing-filesystem shims,
+crashing and stalling executors) behind the corruption/fault test suites
+and the ``repro-compress faults`` CLI.  :mod:`repro.testing.chaos` is the
+crash-point chaos harness: it kills journaled jobs at every durability
+boundary and asserts resume converges to byte-identical output.
 """
 
+from repro.testing.chaos import (
+    ChaosOutcome,
+    ChaosReport,
+    CrashPoint,
+    chaos_compress,
+    kill_at,
+    record_crash_points,
+)
 from repro.testing.faults import (
     CrashingExecutor,
+    FailingFilesystem,
     FlakyFilesystem,
     StallingExecutor,
     corrupt_chunk,
@@ -19,13 +30,20 @@ from repro.testing.faults import (
 )
 
 __all__ = [
+    "ChaosOutcome",
+    "ChaosReport",
+    "CrashPoint",
     "CrashingExecutor",
+    "FailingFilesystem",
     "FlakyFilesystem",
     "StallingExecutor",
+    "chaos_compress",
     "corrupt_chunk",
     "corrupt_section",
     "drop_section",
     "flip_bit",
     "flip_random_bits",
+    "kill_at",
+    "record_crash_points",
     "truncate",
 ]

@@ -1,0 +1,252 @@
+"""Crash-point chaos harness: kill a job at every durability boundary.
+
+The resilience layer marks each of its durability boundaries with a named
+crash point (:func:`repro.resilience.crashpoints.reach`).  This module
+turns those marks into a systematic fault-space exploration:
+
+1. run the job once, uninterrupted, recording the ordered crash points it
+   reaches (and keeping its output as the byte-identity reference);
+2. for every point ``k``, re-run the job with a hook that raises
+   :class:`CrashPoint` -- a ``BaseException``, so no recovery code can
+   accidentally swallow the simulated kill -- at exactly the ``k``-th
+   point;
+3. resume the interrupted job with :func:`repro.resilience.resume_job`
+   and assert the recovery invariants: the output file is never torn
+   (absent or fully valid at every kill), resume converges, and the
+   resumed container is byte-identical to the uninterrupted run.
+
+:func:`chaos_compress` packages the whole enumeration for journaled
+compress jobs (``repro-compress compress --journal`` / ``resume``);
+:func:`record_crash_points` and :func:`kill_at` are the primitives for
+building other cases (e.g. the ``atomic_write_bytes`` dir-fsync
+regression test).  Enumeration order is deterministic; ``sample``/
+``seed`` select a reproducible subset when the full space is too big.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.resilience.crashpoints import crash_hook
+
+__all__ = [
+    "ChaosOutcome",
+    "ChaosReport",
+    "CrashPoint",
+    "chaos_compress",
+    "kill_at",
+    "record_crash_points",
+]
+
+
+class CrashPoint(BaseException):
+    """A simulated kill at a named crash point.
+
+    Deliberately a ``BaseException``: production error handling catches
+    ``Exception`` at most, so a simulated kill tears through every
+    recovery path exactly like ``SIGKILL`` would -- if any ``except``
+    clause could absorb it, the chaos run would be testing nothing.
+    """
+
+    def __init__(self, name: str, index: int) -> None:
+        super().__init__(f"simulated kill at crash point {index} ({name})")
+        self.name = name
+        self.index = index
+
+
+def record_crash_points(fn, *args, **kwargs):
+    """``(result, ordered crash-point names)`` of one uninterrupted run."""
+    names: list[str] = []
+    with crash_hook(lambda name, info: names.append(name)):
+        result = fn(*args, **kwargs)
+    return result, names
+
+
+@contextmanager
+def kill_at(index: int):
+    """Raise :class:`CrashPoint` at the ``index``-th (0-based) crash point
+    reached inside the block."""
+    state = {"n": -1}
+
+    def hook(name: str, info: dict) -> None:
+        state["n"] += 1
+        if state["n"] == index:
+            raise CrashPoint(name, index)
+
+    with crash_hook(hook):
+        yield
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """One kill-and-recover case of the enumeration."""
+
+    point: int
+    name: str
+    #: False when the job finished before reaching the point (only
+    #: possible with nondeterministic point counts; never in enumeration
+    #: over recorded points).
+    killed: bool
+    #: The output file was either absent or fully decodable at kill time.
+    output_intact: bool
+    #: resume_job completed without error.
+    resumed: bool
+    #: Final output byte-identical to the uninterrupted run.
+    identical: bool
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.output_intact and self.resumed and self.identical
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Outcome of a full crash-point enumeration."""
+
+    n_points: int
+    crash_points: tuple[str, ...]
+    outcomes: tuple[ChaosOutcome, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def failures(self) -> tuple[ChaosOutcome, ...]:
+        return tuple(o for o in self.outcomes if not o.ok)
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"killed at {len(self.outcomes)}/{self.n_points} crash points: "
+                f"every job resumed to a byte-identical container"
+            )
+        bad = self.failures
+        detail = "; ".join(
+            f"point {o.point} ({o.name}): "
+            + (o.error or "recovery invariant violated")
+            for o in bad[:5]
+        )
+        return f"{len(bad)}/{len(self.outcomes)} crash points failed recovery: {detail}"
+
+    def to_dict(self) -> dict:
+        return {
+            "n_points": self.n_points,
+            "crash_points": list(self.crash_points),
+            "ok": self.ok,
+            "outcomes": [
+                {
+                    "point": o.point,
+                    "name": o.name,
+                    "killed": o.killed,
+                    "output_intact": o.output_intact,
+                    "resumed": o.resumed,
+                    "identical": o.identical,
+                    "error": o.error,
+                }
+                for o in self.outcomes
+            ],
+        }
+
+
+def _output_intact(path: str) -> bool:
+    """True when ``path`` is absent or holds a fully decodable stream."""
+    if not os.path.exists(path):
+        return True
+    from repro import decompress
+
+    try:
+        with open(path, "rb") as fh:
+            decompress(fh.read())
+    except Exception:  # noqa: BLE001 - any decode failure means torn output
+        return False
+    return True
+
+
+def chaos_compress(
+    input_path: str,
+    bound,
+    workdir: str,
+    sample: int | None = None,
+    seed: int = 0,
+    shape: tuple[int, ...] | None = None,
+    dtype: str = "float32",
+    **spec,
+) -> ChaosReport:
+    """Kill-at-every-crash-point enumeration of a journaled compress job.
+
+    Runs the job once uninterrupted (recording the crash-point sequence
+    and the reference container), then for each point kills a fresh job
+    there and resumes it, asserting the recovery invariants.  ``spec``
+    is the job pipeline description passed straight to
+    :func:`repro.resilience.run_compress_job` (compressor, safeguards,
+    ladder, policy, chunk knobs).  ``sample`` limits the enumeration to
+    a reproducible ``seed``-chosen subset of points.
+    """
+    from repro.resilience import resume_job, run_compress_job
+
+    os.makedirs(workdir, exist_ok=True)
+    ref_out = os.path.join(workdir, "reference.rpz")
+    _, points = record_crash_points(
+        run_compress_job,
+        input_path,
+        ref_out,
+        bound,
+        journal_dir=os.path.join(workdir, "reference.journal"),
+        shape=shape,
+        dtype=dtype,
+        **spec,
+    )
+    with open(ref_out, "rb") as fh:
+        reference = fh.read()
+
+    indices = list(range(len(points)))
+    if sample is not None and sample < len(indices):
+        rng = np.random.default_rng(seed)
+        indices = sorted(
+            int(i) for i in rng.choice(len(indices), size=sample, replace=False)
+        )
+
+    outcomes = []
+    for k in indices:
+        out = os.path.join(workdir, f"kill_{k:03d}.rpz")
+        journal_dir = out + ".journal"
+        killed = resumed = identical = False
+        error = ""
+        try:
+            with kill_at(k):
+                run_compress_job(
+                    input_path, out, bound, journal_dir=journal_dir,
+                    shape=shape, dtype=dtype, **spec,
+                )
+        except CrashPoint:
+            killed = True
+        output_intact = _output_intact(out)
+        try:
+            if killed:
+                resume_job(journal_dir)
+            resumed = True
+        except Exception as exc:  # noqa: BLE001 - recorded per-point
+            error = f"resume failed: {type(exc).__name__}: {exc}"
+        if resumed:
+            try:
+                with open(out, "rb") as fh:
+                    identical = fh.read() == reference
+                if not identical and not error:
+                    error = "resumed container differs from uninterrupted run"
+            except OSError as exc:
+                error = f"no output after resume: {exc}"
+        if not output_intact and not error:
+            error = "output file torn at kill time"
+        outcomes.append(ChaosOutcome(
+            point=k, name=points[k], killed=killed, output_intact=output_intact,
+            resumed=resumed, identical=identical, error=error,
+        ))
+    return ChaosReport(
+        n_points=len(points), crash_points=tuple(points), outcomes=tuple(outcomes)
+    )

@@ -18,6 +18,9 @@ Injector catalogue:
 * :func:`corrupt_safeguards` -- damage aimed at the safeguard machinery
   of a SAFE stream (spec list, patch channel, patch count),
 * :class:`FlakyFilesystem` -- ``open()`` for writing fails N times,
+* :class:`FailingFilesystem` -- ``write()`` on open files fails N times
+  with a real errno (``ENOSPC``/``EIO``), modelling a disk that fills or
+  errors mid-write rather than at ``open()``,
 * :class:`CrashingExecutor` -- the Nth submitted chunk task dies like a
   crashed process-pool worker,
 * :class:`StallingExecutor` -- the Nth submitted chunk task hangs (or is
@@ -27,6 +30,8 @@ Injector catalogue:
 from __future__ import annotations
 
 import builtins
+import errno
+import os
 import time
 from concurrent.futures import Executor, Future
 from concurrent.futures.process import BrokenProcessPool
@@ -37,6 +42,7 @@ from repro.encoding.container import Container, ContainerError, section_byte_ran
 
 __all__ = [
     "CrashingExecutor",
+    "FailingFilesystem",
     "FlakyFilesystem",
     "StallingExecutor",
     "corrupt_chunk",
@@ -187,6 +193,89 @@ class FlakyFilesystem:
             return self._real_open(file, mode, *args, **kwargs)
 
         builtins.open = flaky_open
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        builtins.open = self._real_open
+
+
+class _FailingFile:
+    """File proxy whose ``write()`` draws from a shared failure budget."""
+
+    def __init__(self, fh, fs: "FailingFilesystem"):
+        self._fh = fh
+        self._fs = fs
+
+    def write(self, data):
+        self._fs._on_write()
+        return self._fh.write(data)
+
+    def writelines(self, lines):
+        self._fs._on_write()
+        return self._fh.writelines(lines)
+
+    def __enter__(self) -> "_FailingFile":
+        self._fh.__enter__()
+        return self
+
+    def __exit__(self, *exc_info):
+        return self._fh.__exit__(*exc_info)
+
+    def __iter__(self):
+        return iter(self._fh)
+
+    def __getattr__(self, name):
+        return getattr(self._fh, name)
+
+
+class FailingFilesystem:
+    """Context manager: the first ``failures`` ``write()`` calls fail with
+    a real errno.
+
+    Where :class:`FlakyFilesystem` rejects the ``open()`` itself, this shim
+    lets the file open fine and fails *mid-write* -- the shape of a disk
+    filling up (``ENOSPC``, the default) or erroring (``EIO``) halfway
+    through a stream.  Patches :func:`builtins.open` for the ``with``
+    block; files opened with a write/append mode come back wrapped in a
+    proxy whose ``write``/``writelines`` raise ``OSError(code, ...)``
+    until the budget is spent.  Reads, and writes after the budget, are
+    untouched; an optional ``match`` substring restricts the fault to
+    paths containing it.  Deterministic: the budget is counted, never
+    random.
+    """
+
+    def __init__(
+        self,
+        failures: int = 1,
+        code: int = errno.ENOSPC,
+        match: str | None = None,
+    ):
+        if failures < 0:
+            raise ValueError(f"failures must be >= 0, got {failures}")
+        self.failures = failures
+        self.code = code
+        self.match = match
+        self.write_calls = 0
+        self._real_open = None
+
+    def _on_write(self) -> None:
+        self.write_calls += 1
+        if self.failures > 0:
+            self.failures -= 1
+            raise OSError(self.code, os.strerror(self.code))
+
+    def __enter__(self) -> "FailingFilesystem":
+        self._real_open = builtins.open
+
+        def failing_open(file, mode="r", *args, **kwargs):
+            fh = self._real_open(file, mode, *args, **kwargs)
+            if any(c in str(mode) for c in "wax+") and (
+                self.match is None or self.match in str(file)
+            ):
+                return _FailingFile(fh, self)
+            return fh
+
+        builtins.open = failing_open
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -1,0 +1,90 @@
+"""Shared fixtures for the resilience suite: a controllable test codec.
+
+``BRITTLE`` is a lossless codec whose failures are scripted per call
+(raise, or hang then raise on retry), so ladder/watchdog/chaos tests can
+stage exact failure sequences.  It emits containers under its own codec
+name, so ``chunk_codecs`` attribution distinguishes it from fallback
+rungs.  Class-level state means the scripting only works with in-process
+executors (serial/thread) -- which is what every test here uses.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.compressors.base import (
+    AbsoluteBound,
+    Compressor,
+    PrecisionBound,
+    RelativeBound,
+)
+
+
+class BrittleCodec(Compressor):
+    name = "BRITTLE"
+    supported_bounds = (RelativeBound, AbsoluteBound, PrecisionBound)
+
+    #: 1-based compress-call numbers that raise RuntimeError.
+    fail_on: frozenset[int] = frozenset()
+    #: 1-based compress-call numbers that sleep ``hang_s`` first.
+    hang_on: frozenset[int] = frozenset()
+    hang_s: float = 0.0
+    calls: int = 0
+
+    def compress(self, data, bound):
+        cls = BrittleCodec
+        cls.calls += 1
+        n = cls.calls
+        if n in cls.hang_on:
+            time.sleep(cls.hang_s)
+        if n in cls.fail_on:
+            raise RuntimeError(f"scripted failure on call {n}")
+        data = self._check_input(data)
+        box = self._new_container(self.name, data)
+        box.put("raw", data.tobytes())
+        return box.to_bytes()
+
+    def decompress(self, blob):
+        box, shape, dtype = self._open_container(blob, "BRITTLE")
+        return np.frombuffer(box.get("raw"), dtype=dtype).reshape(shape).copy()
+
+
+@pytest.fixture(scope="package", autouse=True)
+def _register_brittle():
+    """Register BRITTLE for this package only, so registry-completeness
+    checks elsewhere in the suite never see the test codec."""
+    from repro.compressors.base import _REGISTRY
+
+    _REGISTRY.setdefault("BRITTLE", BrittleCodec)
+    yield
+    _REGISTRY.pop("BRITTLE", None)
+
+
+@pytest.fixture
+def brittle():
+    """A reset BRITTLE codec class; script failures via its class attrs."""
+    BrittleCodec.fail_on = frozenset()
+    BrittleCodec.hang_on = frozenset()
+    BrittleCodec.hang_s = 0.0
+    BrittleCodec.calls = 0
+    yield BrittleCodec
+    BrittleCodec.fail_on = frozenset()
+    BrittleCodec.hang_on = frozenset()
+    BrittleCodec.hang_s = 0.0
+
+
+@pytest.fixture
+def field_2d() -> np.ndarray:
+    """Small strictly-positive field; 4 chunks at chunk_bytes=1024."""
+    rng = np.random.default_rng(12)
+    return (rng.random((64, 16)).astype(np.float32) + 0.5)
+
+
+@pytest.fixture
+def field_file(tmp_path, field_2d):
+    path = tmp_path / "field.raw"
+    field_2d.tofile(path)
+    return str(path)

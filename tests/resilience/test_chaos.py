@@ -1,0 +1,120 @@
+"""Crash-point chaos harness, plus the atomic-write durability contract."""
+
+from __future__ import annotations
+
+import os
+import stat
+
+import pytest
+
+from repro.compressors.base import RelativeBound
+from repro.parallel.runner import atomic_write_bytes
+from repro.testing import CrashPoint, chaos_compress, kill_at, record_crash_points
+
+BOUND = RelativeBound(1e-3)
+
+
+def job_spec(**extra):
+    spec = {"compressor": "SZ_T", "chunk_bytes": 1024, "executor": "serial",
+            "workers": 1}
+    spec.update(extra)
+    return spec
+
+
+class TestChaosCompress:
+    def test_every_crash_point_recovers(self, tmp_path, field_2d, field_file):
+        report = chaos_compress(field_file, BOUND, str(tmp_path / "chaos"),
+                                shape=field_2d.shape, **job_spec())
+        assert report.ok, report.summary()
+        assert report.n_points == len(report.crash_points)
+        assert len(report.outcomes) == report.n_points
+        assert all(o.killed for o in report.outcomes)
+        assert "byte-identical" in report.summary()
+        # The enumeration must cover every durability boundary class.
+        for name in (
+            "journal.created", "journal.part-written", "journal.chunks-recorded",
+            "journal.commit-recorded", "journal.cleanup", "job.assembled",
+            "job.output-written", "io.tmp-written", "io.renamed", "io.dir-synced",
+        ):
+            assert name in report.crash_points, name
+
+    def test_sampled_enumeration_is_reproducible(self, tmp_path, field_2d,
+                                                 field_file):
+        a = chaos_compress(field_file, BOUND, str(tmp_path / "a"), sample=5,
+                           seed=3, shape=field_2d.shape, **job_spec())
+        b = chaos_compress(field_file, BOUND, str(tmp_path / "b"), sample=5,
+                           seed=3, shape=field_2d.shape, **job_spec())
+        assert a.ok and b.ok
+        assert [o.point for o in a.outcomes] == [o.point for o in b.outcomes]
+        assert len(a.outcomes) == 5 < a.n_points
+
+    def test_enumeration_with_ladder_policy(self, tmp_path, field_2d, field_file):
+        report = chaos_compress(
+            field_file, BOUND, str(tmp_path / "chaos"), shape=field_2d.shape,
+            **job_spec(ladder=["GZIP"], policy="retries=1"),
+        )
+        assert report.ok, report.summary()
+
+    def test_report_to_dict(self, tmp_path, field_2d, field_file):
+        report = chaos_compress(field_file, BOUND, str(tmp_path / "chaos"),
+                                sample=2, shape=field_2d.shape, **job_spec())
+        d = report.to_dict()
+        assert d["ok"] is True
+        assert d["n_points"] == report.n_points
+        assert len(d["outcomes"]) == 2
+        assert {"point", "name", "killed", "resumed", "identical"} <= set(
+            d["outcomes"][0]
+        )
+
+
+class TestAtomicWriteDurability:
+    """Satellite regression tests for the ``atomic_write_bytes`` contract:
+    tmp fsync -> rename -> parent-dir fsync, kill-safe at every boundary."""
+
+    def test_crash_point_sequence(self, tmp_path):
+        dest = str(tmp_path / "x.bin")
+        _, names = record_crash_points(atomic_write_bytes, dest, b"payload")
+        assert names == ["io.tmp-written", "io.renamed", "io.dir-synced"]
+
+    def test_parent_dir_fsynced_after_rename(self, tmp_path, monkeypatch):
+        """The dir-fsync regression: without fsyncing the parent directory
+        after ``os.replace`` the rename itself is not durable.  Assert a
+        directory fd is fsynced, and only after the rename."""
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            kind = "dir" if stat.S_ISDIR(os.fstat(fd).st_mode) else "file"
+            events.append(("fsync", kind))
+            real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append(("rename", None))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        atomic_write_bytes(str(tmp_path / "x.bin"), b"payload")
+        assert ("fsync", "file") in events  # tmp file synced before rename
+        assert ("fsync", "dir") in events  # parent directory synced
+        assert events.index(("fsync", "file")) < events.index(("rename", None))
+        assert events.index(("rename", None)) < events.index(("fsync", "dir"))
+
+    @pytest.mark.parametrize("point", [0, 1, 2])
+    def test_kill_at_any_point_never_tears_destination(self, tmp_path, point):
+        dest = str(tmp_path / "x.bin")
+        with open(dest, "wb") as fh:
+            fh.write(b"old contents")
+        with pytest.raises(CrashPoint):
+            with kill_at(point):
+                atomic_write_bytes(dest, b"new contents!")
+        with open(dest, "rb") as fh:
+            assert fh.read() in (b"old contents", b"new contents!")
+
+    def test_kill_before_rename_leaves_no_destination(self, tmp_path):
+        dest = str(tmp_path / "fresh.bin")
+        with pytest.raises(CrashPoint):
+            with kill_at(0):  # io.tmp-written: tmp exists, dest must not
+                atomic_write_bytes(dest, b"payload")
+        assert not os.path.exists(dest)
+        assert os.path.exists(dest + ".tmp")

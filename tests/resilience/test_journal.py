@@ -1,0 +1,118 @@
+"""JobJournal: durability discipline, torn tails, CRC re-validation."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.resilience import JobJournal, JournalError
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return JobJournal.create(str(tmp_path / "j"), {"kind": "compress", "x": 1})
+
+
+class TestLifecycle:
+    def test_create_writes_durable_header(self, journal):
+        reopened = JobJournal.open(journal.root)
+        assert reopened.header == {"kind": "compress", "x": 1}
+        assert reopened.chunks == {}
+        assert not reopened.committed
+
+    def test_double_create_refuses(self, journal):
+        with pytest.raises(JournalError, match="already exists"):
+            JobJournal.create(journal.root, {"kind": "compress"})
+
+    def test_open_missing_raises(self, tmp_path):
+        with pytest.raises(JournalError, match="no readable journal"):
+            JobJournal.open(str(tmp_path / "nope"))
+
+    def test_remove_deletes_directory(self, journal):
+        journal.remove()
+        assert not os.path.exists(journal.root)
+
+
+class TestChunks:
+    def test_record_and_read_back(self, journal):
+        journal.record_chunks([(0, b"alpha"), (2, b"gamma")])
+        assert journal.chunk_blob(0) == b"alpha"
+        assert journal.chunk_blob(1) is None
+        assert journal.chunk_blob(2) == b"gamma"
+        reopened = JobJournal.open(journal.root)
+        assert reopened.chunk_blob(2) == b"gamma"
+        assert reopened.finished(3) == [0, 2]
+
+    def test_corrupt_part_file_reads_as_unfinished(self, journal):
+        journal.record_chunks([(0, b"alpha")])
+        part = os.path.join(journal.root, "chunk_00000.bin")
+        with open(part, "wb") as fh:
+            fh.write(b"alpha".swapcase())  # same length, wrong CRC
+        assert JobJournal.open(journal.root).chunk_blob(0) is None
+
+    def test_short_part_file_reads_as_unfinished(self, journal):
+        journal.record_chunks([(0, b"alphabet")])
+        part = os.path.join(journal.root, "chunk_00000.bin")
+        with open(part, "wb") as fh:
+            fh.write(b"alp")
+        assert JobJournal.open(journal.root).chunk_blob(0) is None
+
+    def test_missing_part_file_reads_as_unfinished(self, journal):
+        journal.record_chunks([(0, b"alpha")])
+        os.remove(os.path.join(journal.root, "chunk_00000.bin"))
+        assert JobJournal.open(journal.root).chunk_blob(0) is None
+
+
+class TestManifestDamage:
+    def test_torn_trailing_line_is_ignored(self, journal):
+        journal.record_chunks([(0, b"alpha")])
+        manifest = os.path.join(journal.root, "manifest.jsonl")
+        with open(manifest, "ab") as fh:
+            fh.write(b'{"rec": "chunk", "index": 1, "le')  # mid-append kill
+        reopened = JobJournal.open(journal.root)
+        assert reopened.chunk_blob(0) == b"alpha"
+        assert 1 not in reopened.chunks
+
+    def test_corruption_before_the_tail_raises(self, journal):
+        manifest = os.path.join(journal.root, "manifest.jsonl")
+        with open(manifest, "ab") as fh:
+            fh.write(b"garbage not json\n")
+            for i in range(3):
+                fh.write(json.dumps({"rec": "chunk", "index": i, "len": 0,
+                                     "crc": 0}).encode() + b"\n")
+        with pytest.raises(JournalError, match="corrupt at line"):
+            JobJournal.open(journal.root)
+
+    def test_header_must_come_first(self, tmp_path):
+        root = tmp_path / "j2"
+        root.mkdir()
+        (root / "manifest.jsonl").write_text('{"rec": "chunk", "index": 0}\n')
+        with pytest.raises(JournalError, match="no job header"):
+            JobJournal.open(str(root))
+
+
+class TestCommit:
+    def test_commit_round_trips(self, journal):
+        journal.record_commit(nbytes=123)
+        assert JobJournal.open(journal.root).committed
+
+    def test_part_file_precedes_manifest_record(self, journal, monkeypatch):
+        """The write-ahead invariant: a manifest record implies its part
+        file is already durable on disk."""
+        order = []
+        real_append = JobJournal._append
+
+        def spying_append(self, records):
+            for rec in records:
+                if rec.get("rec") == "chunk":
+                    part = os.path.join(
+                        self.root, f"chunk_{int(rec['index']):05d}.bin"
+                    )
+                    order.append(("record", rec["index"], os.path.exists(part)))
+            real_append(self, records)
+
+        monkeypatch.setattr(JobJournal, "_append", spying_append)
+        journal.record_chunks([(0, b"a"), (1, b"b")])
+        assert order == [("record", 0, True), ("record", 1, True)]

@@ -400,3 +400,127 @@ class TestMetricsExportFlags:
                      "--metrics-path", dest]) == 0
         families = parse_openmetrics(open(dest).read())
         assert "repro_audit_points" in families
+
+
+class TestResilienceFlags:
+    """--journal/--policy/--ladder plumbing and the resume subcommand."""
+
+    def test_journaled_compress_matches_plain(self, field, tmp_path, capsys):
+        path, _ = field
+        plain = str(tmp_path / "plain.rpz")
+        journaled = str(tmp_path / "j.rpz")
+        assert main(["compress", path, plain, "--shape", "16,16,16",
+                     "--rel-bound", "1e-2", "--chunk-size", "4K",
+                     "--workers", "1"]) == 0
+        capsys.readouterr()
+        assert main(["compress", path, journaled, "--shape", "16,16,16",
+                     "--rel-bound", "1e-2", "--chunk-size", "4K",
+                     "--workers", "1", "--journal",
+                     str(tmp_path / "wal")]) == 0
+        assert "completed" in capsys.readouterr().out
+        assert open(journaled, "rb").read() == open(plain, "rb").read()
+        assert not (tmp_path / "wal").exists()
+
+    def test_kill_and_resume_via_cli(self, field, tmp_path, capsys):
+        from repro.testing import CrashPoint, kill_at
+
+        path, data = field
+        out = str(tmp_path / "f.rpz")
+        jdir = str(tmp_path / "wal")
+        with pytest.raises(CrashPoint):
+            with kill_at(5):
+                main(["compress", path, out, "--shape", "16,16,16",
+                      "--rel-bound", "1e-2", "--chunk-size", "4K",
+                      "--workers", "1", "--journal", jdir])
+        capsys.readouterr()
+        assert main(["resume", jdir]) == 0
+        assert "resumed" in capsys.readouterr().out
+        back = str(tmp_path / "b.f32")
+        assert main(["decompress", out, back]) == 0
+        recon = load_array(back, (16, 16, 16))
+        assert np.all(np.abs(recon - data) <= 1e-2 * np.abs(data))
+
+    def test_policy_and_ladder_compress(self, field, tmp_path, capsys):
+        path, data = field
+        out = str(tmp_path / "f.rpz")
+        assert main(["compress", path, out, "--shape", "16,16,16",
+                     "--rel-bound", "1e-2", "--chunk-size", "4K",
+                     "--policy", "retries=1;backoff=0.01",
+                     "--ladder", "SZ_T>GZIP"]) == 0
+        capsys.readouterr()
+        assert main(["info", out]) == 0
+        text = capsys.readouterr().out
+        assert "SZ_T>GZIP" in text
+        back = str(tmp_path / "b.f32")
+        assert main(["decompress", out, back]) == 0
+        recon = load_array(back, (16, 16, 16))
+        assert np.all(np.abs(recon - data) <= 1e-2 * np.abs(data))
+
+    def test_journaled_decompress(self, field, tmp_path):
+        path, data = field
+        out = str(tmp_path / "f.rpz")
+        assert main(["compress", path, out, "--shape", "16,16,16",
+                     "--rel-bound", "1e-2", "--chunk-size", "4K"]) == 0
+        back = str(tmp_path / "b.f32")
+        assert main(["decompress", out, back, "--journal",
+                     str(tmp_path / "dwal")]) == 0
+        recon = load_array(back, (16, 16, 16))
+        assert np.all(np.abs(recon - data) <= 1e-2 * np.abs(data))
+
+    def test_journal_excludes_tolerate_corruption(self, field, tmp_path, capsys):
+        path, _ = field
+        out = str(tmp_path / "f.rpz")
+        assert main(["compress", path, out, "--shape", "16,16,16",
+                     "--rel-bound", "1e-2"]) == 0
+        capsys.readouterr()
+        assert main(["decompress", out, str(tmp_path / "b.f32"),
+                     "--journal", str(tmp_path / "w"),
+                     "--tolerate-corruption"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_policy_spec_is_an_argparse_error(self, field, tmp_path):
+        path, _ = field
+        with pytest.raises(SystemExit):
+            main(["compress", path, str(tmp_path / "o"), "--shape", "16,16,16",
+                  "--rel-bound", "1e-2", "--policy", "nonsense=1"])
+
+    def test_unknown_ladder_rung_is_an_argparse_error(self, field, tmp_path):
+        path, _ = field
+        with pytest.raises(SystemExit):
+            main(["compress", path, str(tmp_path / "o"), "--shape", "16,16,16",
+                  "--rel-bound", "1e-2", "--ladder", "SZ_T>NOPE"])
+
+
+class TestFailureContract:
+    """Every failure exits 1 or 2 with a one-line diagnostic -- never a
+    traceback.  Exit 2 = bad data/environment; exit 1 = bad request."""
+
+    CASES = [
+        ("compress-missing-input", 2, lambda d: [
+            "compress", str(d / "nope.f32"), str(d / "o.rpz"),
+            "--shape", "4,4", "--rel-bound", "1e-2"]),
+        ("decompress-missing-input", 2, lambda d: [
+            "decompress", str(d / "nope.rpz"), str(d / "o.f32")]),
+        ("decompress-garbage", 2, lambda d: [
+            "decompress", str(d / "garbage.bin"), str(d / "o.f32")]),
+        ("info-garbage", 2, lambda d: ["info", str(d / "garbage.bin")]),
+        ("stats-garbage", 2, lambda d: ["stats", str(d / "garbage.bin")]),
+        ("verify-missing", 2, lambda d: ["verify", str(d / "nope.rpz")]),
+        ("resume-missing-journal", 1, lambda d: [
+            "resume", str(d / "nope.journal")]),
+        ("unsupported-bound", 1, lambda d: [
+            "compress", str(d / "tiny.f32"), str(d / "o.rpz"),
+            "--shape", "4,4", "--precision", "16"]),
+    ]
+
+    @pytest.mark.parametrize("name,code,argv", CASES,
+                             ids=[c[0] for c in CASES])
+    def test_exit_code_and_clean_diagnostic(self, name, code, argv,
+                                            tmp_path, capsys):
+        (tmp_path / "garbage.bin").write_bytes(b"not a stream at all")
+        np.ones((4, 4), dtype=np.float32).tofile(tmp_path / "tiny.f32")
+        assert main(argv(tmp_path)) == code
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err + captured.out

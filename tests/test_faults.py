@@ -387,3 +387,73 @@ class TestDropSectionVersions:
         box = Container.from_bytes(out, partial=True)
         assert box.version == 3
         assert "parity_lens" not in box
+
+
+class TestFailingFilesystem:
+    def test_budget_counts_down(self, tmp_path):
+        from repro.testing import FailingFilesystem
+
+        path = str(tmp_path / "x.bin")
+        with FailingFilesystem(failures=2) as fs:
+            with pytest.raises(OSError) as exc:
+                with open(path, "wb") as fh:
+                    fh.write(b"a")
+            assert exc.value.errno == 28  # ENOSPC
+            with pytest.raises(OSError):
+                with open(path, "wb") as fh:
+                    fh.write(b"b")
+            with open(path, "wb") as fh:  # budget spent: writes succeed
+                fh.write(b"c")
+        assert fs.write_calls == 3
+        assert open(path, "rb").read() == b"c"
+
+    def test_eio_code(self, tmp_path):
+        import errno
+
+        from repro.testing import FailingFilesystem
+
+        with FailingFilesystem(failures=1, code=errno.EIO):
+            with pytest.raises(OSError) as exc:
+                with open(str(tmp_path / "x"), "wb") as fh:
+                    fh.write(b"a")
+        assert exc.value.errno == errno.EIO
+
+    def test_match_filters_paths(self, tmp_path):
+        from repro.testing import FailingFilesystem
+
+        safe, doomed = str(tmp_path / "safe.bin"), str(tmp_path / "doomed.bin")
+        with FailingFilesystem(failures=9, match="doomed"):
+            with open(safe, "wb") as fh:
+                fh.write(b"fine")
+            with pytest.raises(OSError):
+                with open(doomed, "wb") as fh:
+                    fh.write(b"nope")
+        assert open(safe, "rb").read() == b"fine"
+
+    def test_reads_never_fail(self, tmp_path):
+        from repro.testing import FailingFilesystem
+
+        path = str(tmp_path / "x.bin")
+        with open(path, "wb") as fh:
+            fh.write(b"payload")
+        with FailingFilesystem(failures=9):
+            with open(path, "rb") as fh:
+                assert fh.read() == b"payload"
+
+    def test_atomic_write_retries_through_transient_enospc(self, tmp_path):
+        from repro.testing import FailingFilesystem
+
+        dest = str(tmp_path / "x.bin")
+        with FailingFilesystem(failures=1, match="x.bin"):
+            atomic_write_bytes(dest, b"payload", backoff_s=0.001)
+        assert open(dest, "rb").read() == b"payload"
+
+    def test_atomic_write_propagates_persistent_enospc(self, tmp_path):
+        from repro.testing import FailingFilesystem
+
+        dest = str(tmp_path / "x.bin")
+        with FailingFilesystem(failures=99, match="x.bin"):
+            with pytest.raises(OSError) as exc:
+                atomic_write_bytes(dest, b"payload", backoff_s=0.001)
+        assert exc.value.errno == 28
+        assert not os.path.exists(dest)
